@@ -1,0 +1,90 @@
+// Shared harness for the figure-reproduction benches.
+//
+// Each fig* binary reruns one experiment of the paper's §V and prints:
+//   1. the figure as ASCII stacked bars (user/system split, normal vs
+//      attacked — the same series the paper plots),
+//   2. an overcharge table against the cycle-exact ground truth (which the
+//      paper's authors could not observe directly),
+//   3. machine-readable CSV.
+//
+// Workloads are scaled to ~10 virtual seconds by default so the whole
+// bench suite finishes quickly; set MTR_BENCH_SCALE to change (1.0 gives
+// ~40-second programs closer to the paper's §V-B runs).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+
+namespace mtr::bench {
+
+inline double env_scale(double fallback = 0.25) {
+  if (const char* s = std::getenv("MTR_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0) return v;
+  }
+  return fallback;
+}
+
+inline core::ExperimentConfig base_config(workloads::WorkloadKind kind, double scale) {
+  core::ExperimentConfig cfg;
+  cfg.kind = kind;
+  cfg.workload.scale = scale;
+  return cfg;
+}
+
+struct FigureRow {
+  std::string label;
+  core::ExperimentResult result;
+};
+
+/// Renders one figure: grouped normal/attacked bars plus the analysis table.
+inline void render_figure(const std::string& title, const std::vector<FigureRow>& rows,
+                          const std::string& note = {}) {
+  std::cout << "==== " << title << " ====\n";
+  if (!note.empty()) std::cout << note << "\n";
+  std::cout << '\n';
+
+  BarChart chart(title + " — CPU time (U = user, S = system)");
+  std::string last_prefix;
+  for (const auto& row : rows) {
+    const std::string prefix = row.label.substr(0, row.label.find(' '));
+    if (!last_prefix.empty() && prefix != last_prefix) chart.add_gap();
+    last_prefix = prefix;
+    chart.add({row.label, row.result.billed_user_seconds,
+               row.result.billed_system_seconds});
+  }
+  chart.render(std::cout);
+  std::cout << '\n';
+
+  TextTable table({"run", "billed_u(s)", "billed_s(s)", "billed(s)", "true(s)",
+                   "tsc(s)", "pais(s)", "overcharge", "src_ok", "majflt",
+                   "dbgexc"});
+  for (const auto& row : rows) {
+    const auto& r = row.result;
+    table.add_row({row.label, fmt_double(r.billed_user_seconds),
+                   fmt_double(r.billed_system_seconds), fmt_double(r.billed_seconds),
+                   fmt_double(r.true_seconds), fmt_double(r.tsc_seconds),
+                   fmt_double(r.pais_seconds), fmt_ratio(r.overcharge),
+                   r.source_verdict.ok ? "yes" : "NO",
+                   std::to_string(r.major_faults), std::to_string(r.debug_exceptions)});
+  }
+  table.render(std::cout);
+  std::cout << "\n-- CSV --\n";
+  table.render_csv(std::cout);
+  std::cout << std::endl;
+}
+
+inline const std::vector<workloads::WorkloadKind>& all_workloads() {
+  static const std::vector<workloads::WorkloadKind> kAll = {
+      workloads::WorkloadKind::kOurs, workloads::WorkloadKind::kPi,
+      workloads::WorkloadKind::kWhetstone, workloads::WorkloadKind::kBrute};
+  return kAll;
+}
+
+}  // namespace mtr::bench

@@ -1,0 +1,33 @@
+// Reproduces Fig. 6 — the shared-library function-substitution attack
+// (§IV-A2, §V-B2).
+//
+// Fake malloc()/sqrt() wrappers run the payload and then call the genuine
+// function, so correctness is preserved; the effect is amplified by how
+// often the victim calls the wrapped symbols. Expected shape: W (dense
+// sqrt) and P/B (malloc users) inflate proportionally to call counts; O
+// (no library imports) is untouched; system time unaffected; the preloaded
+// wrapper library fails source-integrity verification.
+#include "attacks/launch_attacks.hpp"
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace mtr;
+  const double scale = bench::env_scale();
+  // Per-call payload: fixed (call counts already scale with the workload).
+  const Cycles per_call{5'000'000};  // ~2 ms per wrapped call
+
+  std::vector<bench::FigureRow> rows;
+  for (const auto kind : bench::all_workloads()) {
+    const auto cfg = bench::base_config(kind, scale);
+    rows.push_back({std::string(workloads::short_name(kind)) + " normal",
+                    core::run_experiment(cfg)});
+    attacks::LibraryInterpositionAttack attack(per_call);
+    rows.push_back({std::string(workloads::short_name(kind)) + " attacked",
+                    core::run_experiment(cfg, &attack)});
+  }
+  bench::render_figure(
+      "Fig. 6 — Shared-library function substitution (malloc/sqrt)", rows,
+      "per-call payload ~2ms; expectation: inflation proportional to each "
+      "program's malloc/sqrt call frequency (W highest), O unaffected");
+  return 0;
+}

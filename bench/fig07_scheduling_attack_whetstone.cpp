@@ -1,0 +1,11 @@
+// Reproduces Fig. 7 — the process-scheduling attack on Whetstone
+// (§IV-B1, §V-B3). See sched_sweep.hpp for the harness and the expected
+// shape: victim's bill grows with the attacker's priority, attacker's bill
+// shrinks, sum roughly conserved.
+#include "bench/sched_sweep.hpp"
+
+int main() {
+  mtr::bench::run_sweep(mtr::workloads::WorkloadKind::kWhetstone,
+                        "Fig. 7 — Process scheduling attack on Whetstone");
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Reproduces Fig. 8 — the process-scheduling attack on Brute (§V-B3).
+//
+// Brute spawns worker threads that are scheduled as processes; the paper
+// reports the attack is "not effective" against it — the accounting error
+// spreads over the thread group and the relative inflation collapses
+// compared with Fig. 7. Expected shape: Brute's bars stay nearly flat
+// across the nice sweep (our O(1) model reproduces the direction of the
+// dilution; see EXPERIMENTS.md for the magnitude discussion).
+#include "bench/sched_sweep.hpp"
+
+int main() {
+  mtr::bench::run_sweep(mtr::workloads::WorkloadKind::kBrute,
+                        "Fig. 8 — Process scheduling attack on Brute");
+  return 0;
+}

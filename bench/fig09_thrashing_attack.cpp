@@ -1,0 +1,32 @@
+// Reproduces Fig. 9 — the execution-thrashing attack (§IV-B2, §V-B4).
+//
+// A tracer ptrace-attaches to each victim thread and programs DR0 with the
+// address of a hot variable (the paper: loop counter for O, y for P, T1
+// for W, count in crack_len() for B). Every access raises a debug
+// exception: stop, tracer wakeup, continue. Expected shape: system time
+// inflates markedly (exception dispatch, SIGTRAP delivery, context
+// switches are billed to PT), user time stays put; the process-aware meter
+// re-attributes the kernel work to the tracer.
+#include "attacks/thrashing_attack.hpp"
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace mtr;
+  const double scale = bench::env_scale();
+
+  std::vector<bench::FigureRow> rows;
+  for (const auto kind : bench::all_workloads()) {
+    const auto cfg = bench::base_config(kind, scale);
+    rows.push_back({std::string(workloads::short_name(kind)) + " normal",
+                    core::run_experiment(cfg)});
+    attacks::ThrashingAttack attack;
+    rows.push_back({std::string(workloads::short_name(kind)) + " attacked",
+                    core::run_experiment(cfg, &attack)});
+  }
+  bench::render_figure(
+      "Fig. 9 — Execution thrashing attack (ptrace + DR0 breakpoints)", rows,
+      "breakpoints on each program's hot variable; expectation: stime "
+      "inflates (debug exceptions, signal handling, context switches), "
+      "utime unchanged, PAIS bill stays at baseline");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// google-benchmark microbenches for the substrate itself: crypto
+// throughput, simulator event rate, scheduler pick cost, meter hook
+// overhead. These are engineering benchmarks (how fast is the simulator),
+// not paper reproductions.
+#include <benchmark/benchmark.h>
+
+#include "core/integrity.hpp"
+#include "core/meters.hpp"
+#include "crypto/md5.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
+#include "kernel/cfs_scheduler.hpp"
+#include "exec/program_base.hpp"
+#include "kernel/o1_scheduler.hpp"
+#include "sim/simulation.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace mtr;
+
+void BM_Md5Throughput(benchmark::State& state) {
+  const std::string msg(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::md5(msg));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Md5Throughput)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Sha256Throughput(benchmark::State& state) {
+  const std::string msg(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(msg));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256Throughput)->Arg(64)->Arg(16384);
+
+void BM_Sha512Throughput(benchmark::State& state) {
+  const std::string msg(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha512(msg));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha512Throughput)->Arg(64)->Arg(16384);
+
+/// Virtual seconds simulated per real second: boot a machine, run one
+/// Whetstone through the shell, measure wall cost per simulated run.
+void BM_SimulateWhetstone(benchmark::State& state) {
+  const double scale = 0.01;
+  for (auto _ : state) {
+    sim::Simulation s;
+    const auto info = workloads::make_workload(workloads::WorkloadKind::kWhetstone,
+                                               {scale});
+    const Pid pid = s.launch(info.image);
+    s.run_until_exit(pid);
+    benchmark::DoNotOptimize(s.usage_of(pid).ticks.total().v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulateWhetstone);
+
+/// Same run with the full meter stack attached: the hook overhead.
+void BM_SimulateWhetstoneWithMeters(benchmark::State& state) {
+  const double scale = 0.01;
+  for (auto _ : state) {
+    sim::Simulation s;
+    core::TickMeter tick;
+    core::TscMeter tsc;
+    core::PaisMeter pais;
+    core::SourceIntegrityMonitor source;
+    core::ExecutionIntegrityMonitor execution;
+    s.kernel().add_hook(&tick);
+    s.kernel().add_hook(&tsc);
+    s.kernel().add_hook(&pais);
+    s.kernel().add_hook(&source);
+    s.kernel().add_hook(&execution);
+    const auto info = workloads::make_workload(workloads::WorkloadKind::kWhetstone,
+                                               {scale});
+    const Pid pid = s.launch(info.image);
+    s.run_until_exit(pid);
+    benchmark::DoNotOptimize(tsc.usage(s.kernel().process(pid).tgid).total().v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulateWhetstoneWithMeters);
+
+/// Scheduler pick-next cost under load.
+template <typename SchedulerT, typename... Args>
+void scheduler_pick_bench(benchmark::State& state, Args... args) {
+  SchedulerT sched(args...);
+  std::vector<std::unique_ptr<kernel::Process>> procs;
+  for (int i = 0; i < 64; ++i) {
+    procs.push_back(std::make_unique<kernel::Process>(
+        Pid{i + 1}, Tgid{i + 1}, Pid{}, "p",
+        exec::make_step_list("p", {})(), Nice{static_cast<std::int8_t>(i % 40 - 20)},
+        i));
+    procs.back()->state = kernel::ProcState::kReady;
+    sched.enqueue(*procs.back(), Cycles{0});
+  }
+  for (auto _ : state) {
+    kernel::Process* p = sched.pick_next(Cycles{0});
+    benchmark::DoNotOptimize(p);
+    p->state = kernel::ProcState::kReady;
+    sched.enqueue(*p, Cycles{0});
+  }
+}
+
+void BM_O1PickNext(benchmark::State& state) {
+  scheduler_pick_bench<kernel::O1PriorityScheduler>(state, TimerHz{});
+}
+BENCHMARK(BM_O1PickNext);
+
+void BM_CfsPickNext(benchmark::State& state) {
+  scheduler_pick_bench<kernel::CfsScheduler>(state, CpuHz{});
+}
+BENCHMARK(BM_CfsPickNext);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Shared nice-value sweep harness for the scheduling-attack figures
+// (Fig. 7 on Whetstone, Fig. 8 on Brute).
+#pragma once
+
+#include <iostream>
+
+#include "attacks/scheduling_attack.hpp"
+#include "bench/bench_util.hpp"
+
+namespace mtr::bench {
+
+struct SweepPoint {
+  std::string label;
+  double victim_billed, victim_true;
+  double fork_billed, fork_true;
+};
+
+inline attacks::SchedulingAttackParams fork_params(double scale, int nice) {
+  attacks::SchedulingAttackParams p;
+  p.nice = Nice{static_cast<std::int8_t>(nice)};
+  p.total_forks = static_cast<std::uint64_t>(150'000 * scale);
+  return p;
+}
+
+/// The paper's leftmost bars: the Fork program running by itself.
+inline std::pair<double, double> fork_alone(double scale) {
+  sim::Simulation s;
+  const Pid pid = attacks::SchedulingAttack::spawn_standalone(
+      s, fork_params(scale, 0));
+  s.run_until_exit(pid);
+  const auto u = s.usage_of(pid);
+  return {ticks_to_seconds(u.ticks.total(), TimerHz{}),
+          cycles_to_seconds(u.true_cycles.total(), CpuHz{})};
+}
+
+inline void run_sweep(workloads::WorkloadKind kind, const char* figure_title) {
+  const double scale = bench::env_scale();
+  std::vector<SweepPoint> points;
+
+  // Independent runs.
+  {
+    const auto base = core::run_experiment(bench::base_config(kind, scale));
+    const auto [fb, ft] = fork_alone(scale);
+    points.push_back({"no attack", base.billed_seconds, base.true_seconds, fb, ft});
+  }
+  // Concurrent runs across the nice sweep.
+  for (const int nice : {0, -5, -10, -15, -20}) {
+    attacks::SchedulingAttack attack(fork_params(scale, nice));
+    const auto r = core::run_experiment(bench::base_config(kind, scale), &attack);
+    const std::string label = nice == 0 ? "nice" : "nice" + std::to_string(nice);
+    points.push_back({label, r.billed_seconds, r.true_seconds,
+                      r.attacker_billed_seconds, r.attacker_true_seconds});
+  }
+
+  std::cout << "==== " << figure_title << " ====\n"
+            << "victim = " << workloads::long_name(kind)
+            << "; Fork = fork/wait bursts + mid-jiffy relinquish; sweep = "
+               "Fork's nice value\n\n";
+
+  BarChart chart(std::string(figure_title) +
+                 " — stacked CPU time (U = victim, S = Fork)");
+  for (const auto& p : points)
+    chart.add({p.label, p.victim_billed, p.fork_billed});
+  chart.render(std::cout);
+
+  std::cout << '\n';
+  TextTable table({"nice of Fork", "victim_billed(s)", "victim_true(s)",
+                   "fork_billed(s)", "fork_true(s)", "sum_billed(s)", "sum_true(s)",
+                   "victim_overcharge"});
+  for (const auto& p : points) {
+    table.add_row({p.label, fmt_double(p.victim_billed), fmt_double(p.victim_true),
+                   fmt_double(p.fork_billed), fmt_double(p.fork_true),
+                   fmt_double(p.victim_billed + p.fork_billed),
+                   fmt_double(p.victim_true + p.fork_true),
+                   fmt_ratio(p.victim_true > 0 ? p.victim_billed / p.victim_true
+                                               : 1.0)});
+  }
+  table.render(std::cout);
+  std::cout << "\n-- CSV --\n";
+  table.render_csv(std::cout);
+  std::cout << std::endl;
+}
+
+}  // namespace mtr::bench

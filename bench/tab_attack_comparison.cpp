@@ -1,0 +1,79 @@
+// Reproduces the qualitative comparison of §V-C as a measured table: for
+// every attack, the vulnerability exploited, which time component it
+// inflates, the measured inflation on Whetstone, the privilege it needed,
+// and its side-effect radius.
+#include <iostream>
+#include <memory>
+
+#include "attacks/flooding_attacks.hpp"
+#include "attacks/launch_attacks.hpp"
+#include "attacks/scheduling_attack.hpp"
+#include "attacks/thrashing_attack.hpp"
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace mtr;
+  const double scale = bench::env_scale();
+  const auto kind = workloads::WorkloadKind::kWhetstone;
+  const auto cfg = bench::base_config(kind, scale);
+  const auto base = core::run_experiment(cfg);
+
+  struct Entry {
+    std::unique_ptr<attacks::Attack> attack;
+    const char* vulnerability;
+    const char* target;
+    const char* privilege;
+    const char* side_effects;
+  };
+
+  attacks::SchedulingAttackParams sched;
+  sched.nice = Nice{-20};
+  sched.total_forks = static_cast<std::uint64_t>(150'000 * scale);
+  attacks::ExceptionFloodParams flood;
+  flood.hog_pages = 24 * 1024;
+
+  std::vector<Entry> entries;
+  entries.push_back({std::make_unique<attacks::ShellAttack>(
+                         seconds_to_cycles(34.0 * scale, CpuHz{})),
+                     "alien code in PT (launch window)", "utime", "shell admin",
+                     "all programs from the attacked shell"});
+  entries.push_back({std::make_unique<attacks::LibraryCtorAttack>(
+                         seconds_to_cycles(34.0 * scale, CpuHz{})),
+                     "alien code in PT (ld ctor)", "utime", "env/library admin",
+                     "all programs loading the library"});
+  entries.push_back({std::make_unique<attacks::LibraryInterpositionAttack>(
+                         Cycles{5'000'000}),
+                     "alien code in PT (symbol interposition)", "utime",
+                     "env/library admin", "all callers of the symbols"});
+  entries.push_back({std::make_unique<attacks::SchedulingAttack>(sched),
+                     "tick-granularity miscount", "utime (miscounted)",
+                     "root (renice)", "none visible to the victim"});
+  entries.push_back({std::make_unique<attacks::ThrashingAttack>(),
+                     "unsolicited trace stops", "stime", "ptrace (LSM-gated)",
+                     "least: targets exactly PT"});
+  entries.push_back({std::make_unique<attacks::InterruptFloodAttack>(60'000.0),
+                     "handler billed to current", "stime", "network access",
+                     "whole system (DoS-like)"});
+  entries.push_back({std::make_unique<attacks::ExceptionFloodAttack>(flood),
+                     "fault handling billed to victim", "stime + wall",
+                     "none (any user)", "whole system (memory DoS)"});
+
+  std::cout << "==== Table (from §V-C) — attack comparison on Whetstone ====\n\n";
+  TextTable table({"attack", "phase", "vulnerability", "inflates",
+                   "measured_delta_u(s)", "measured_delta_s(s)", "overcharge",
+                   "privilege", "side_effects"});
+  for (auto& e : entries) {
+    const auto r = core::run_experiment(cfg, e.attack.get());
+    table.add_row({e.attack->name(), e.attack->phase(), e.vulnerability, e.target,
+                   fmt_double(r.billed_user_seconds - base.billed_user_seconds),
+                   fmt_double(r.billed_system_seconds - base.billed_system_seconds),
+                   fmt_ratio(r.overcharge), e.privilege, e.side_effects});
+  }
+  table.render(std::cout);
+  std::cout << "\n-- CSV --\n";
+  table.render_csv(std::cout);
+  std::cout << "\nbaseline: billed " << fmt_double(base.billed_seconds)
+            << "s (u=" << fmt_double(base.billed_user_seconds)
+            << " s=" << fmt_double(base.billed_system_seconds) << ")\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Live-host demo of the paper's granularity argument: this process burns a
+// precisely known amount of CPU, then compares three observers —
+//   * /proc/self/stat's utime/stime (jiffy counters: the commodity meter),
+//   * getrusage (microsecond interface over the same accounting),
+//   * the time-stamp counter (rdtsc/rdtscp, §VI-B's fine-grained proposal).
+// On most kernels the jiffy counters move in CLK_TCK-sized steps; the TSC
+// resolves the same burn to sub-microsecond granularity. Degrades
+// gracefully where procfs/rdtsc are unavailable.
+//
+//   $ ./host_metering
+#include <iostream>
+
+#include "common/table.hpp"
+#include "host/host_meter.hpp"
+#include "host/tsc_clock.hpp"
+
+int main() {
+  using namespace mtr;
+
+  std::cout << "calibrating TSC… ";
+  const double tsc_hz = host::calibrate_tsc_hz(100);
+  std::cout << fmt_double(tsc_hz / 1e9, 3) << " GHz"
+            << (host::tsc_supported() ? " (rdtscp)" : " (clock_gettime fallback)")
+            << "\n\n";
+
+  TextTable table({"burn_target(s)", "tsc(s)", "rusage_delta(s)",
+                   "procfs_delta(s)", "procfs_step(s)"});
+
+  for (const double target : {0.05, 0.1, 0.2, 0.4}) {
+    const auto ru0 = host::rusage_self();
+    const auto ps0 = host::read_proc_self_stat();
+    host::TscStopwatch watch;
+
+    (void)host::burn_cpu_seconds(target);
+
+    const double tsc_elapsed = watch.elapsed_seconds(tsc_hz);
+    const auto ru1 = host::rusage_self();
+    const auto ps1 = host::read_proc_self_stat();
+
+    std::string proc_delta = "n/a";
+    std::string proc_step = "n/a";
+    if (ps0 && ps1) {
+      proc_delta = fmt_double((ps1->user_seconds() + ps1->system_seconds()) -
+                                  (ps0->user_seconds() + ps0->system_seconds()),
+                              4);
+      proc_step =
+          fmt_double(1.0 / static_cast<double>(ps1->jiffies_per_second), 4);
+    }
+    table.add_row({fmt_double(target, 2), fmt_double(tsc_elapsed, 6),
+                   fmt_double(ru1.total() - ru0.total(), 6), proc_delta, proc_step});
+  }
+  table.render(std::cout);
+
+  std::cout << "\nThe procfs jiffy counters quantize to the step in the last "
+               "column — on the\npaper's 1–10 ms ticks, a whole tick is the "
+               "smallest billable unit and whoever\nholds the CPU at the tick "
+               "pays it all. The TSC column shows the same burns\nat "
+               "cycle resolution: the fine-grained metering the paper calls "
+               "for.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// The constructive side: the same attacks with the TrustedMeteringService
+// armed (source integrity + execution witness + fine-grained process-aware
+// metering + TPM-signed reports). Shows each attack either detected or
+// neutralized, per the paper's three properties (§VI-B).
+//
+//   $ ./trusted_metering
+#include <iostream>
+#include <memory>
+
+#include "attacks/flooding_attacks.hpp"
+#include "attacks/launch_attacks.hpp"
+#include "attacks/scheduling_attack.hpp"
+#include "attacks/thrashing_attack.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace mtr;
+  const double scale = 0.25;
+
+  core::ExperimentConfig cfg;
+  cfg.kind = workloads::WorkloadKind::kWhetstone;
+  cfg.workload.scale = scale;
+
+  // Customer-side reference: she replays her own job on her own machine and
+  // records the witness (the paper's §III-B verification premise).
+  const auto reference = core::run_experiment(cfg);
+
+  attacks::SchedulingAttackParams sched;
+  sched.nice = Nice{-20};
+  sched.total_forks = static_cast<std::uint64_t>(150'000 * scale);
+
+  std::vector<std::unique_ptr<attacks::Attack>> arsenal;
+  arsenal.push_back(std::make_unique<attacks::ShellAttack>(
+      seconds_to_cycles(34.0 * scale, CpuHz{})));
+  arsenal.push_back(
+      std::make_unique<attacks::LibraryInterpositionAttack>(Cycles{5'000'000}));
+  arsenal.push_back(std::make_unique<attacks::SchedulingAttack>(sched));
+  arsenal.push_back(std::make_unique<attacks::ThrashingAttack>());
+  arsenal.push_back(std::make_unique<attacks::InterruptFloodAttack>(60'000.0));
+
+  std::cout << "Reference run: " << fmt_double(reference.true_seconds)
+            << "s true CPU; witness " << crypto::to_hex(reference.witness).substr(0, 16)
+            << "…\n\n";
+
+  TextTable table({"attack", "jiffy_bill(s)", "pais_bill(s)", "src_integrity",
+                   "witness_match", "verdict"});
+  table.add_row({"(none)", fmt_double(reference.billed_seconds),
+                 fmt_double(reference.pais_seconds), "clean", "match",
+                 "bill accepted"});
+  for (auto& attack : arsenal) {
+    const auto r = core::run_experiment(cfg, attack.get());
+    const bool src_ok = r.source_verdict.ok;
+    const bool wit_ok = r.witness == reference.witness;
+    // The trusted bill: process-aware fine-grained metering, accepted only
+    // with clean integrity evidence.
+    std::string verdict;
+    if (!src_ok || !wit_ok) {
+      verdict = "REJECTED (tampering)";
+    } else if (r.billed_seconds > r.pais_seconds * 1.02) {
+      verdict = "pay PAIS bill (jiffy inflated)";
+    } else {
+      verdict = "bill accepted";
+    }
+    table.add_row({attack->name(), fmt_double(r.billed_seconds),
+                   fmt_double(r.pais_seconds), src_ok ? "clean" : "VIOLATION",
+                   wit_ok ? "match" : "DIVERGED", verdict});
+  }
+  table.render(std::cout);
+  std::cout
+      << "\nReading: the launch-time attacks are caught by the measurement "
+         "log (source\nintegrity) and the witness; the runtime attacks "
+         "cannot move the process-aware\nfine-grained bill — together the "
+         "paper's three properties close every lane.\n";
+  return 0;
+}

@@ -1,0 +1,5 @@
+#include "attacks/attack.hpp"
+
+// Interface-only translation unit; anchors the Attack vtable.
+
+namespace mtr::attacks {}

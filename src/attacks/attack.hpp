@@ -1,0 +1,62 @@
+// Attack interface.
+//
+// Each attack from §IV of the paper is a small object with three phases
+// aligned with the process life cycle it exploits:
+//
+//   prepare()    — before the victim launches: tamper with the shell,
+//                  plant LD_PRELOAD libraries (launch-time attacks);
+//   engage()     — once the victim process exists: spawn attacker
+//                  processes, start floods (runtime attacks);
+//   disengage()  — when the victim has exited: stop floods, kill
+//                  attacker processes, report attacker-side usage.
+//
+// The experiment runner drives the phases; attacks never touch the victim's
+// program or the kernel's metering code, matching the paper's threat model.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace mtr::attacks {
+
+/// Runtime handle on the victim, passed to engage()/disengage().
+struct AttackContext {
+  sim::Simulation& sim;
+  Pid victim_pid;     // PT, the process running the user's program T
+  Tgid victim_tgid;   // PT's thread group (Brute workers included)
+  VAddr victim_hot_addr;  // the victim's hot variable (thrashing target)
+};
+
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Which phase of the process life span the attack exploits (Fig. 1).
+  virtual std::string phase() const = 0;
+
+  /// Launch-time tampering; default: nothing.
+  virtual void prepare(sim::Simulation& sim, sim::LaunchOptions& opts) {
+    (void)sim;
+    (void)opts;
+  }
+
+  /// Runtime engagement; default: nothing.
+  virtual void engage(AttackContext& ctx) { (void)ctx; }
+
+  /// Tear-down after the victim exits; default: nothing.
+  virtual void disengage(AttackContext& ctx) { (void)ctx; }
+
+  /// Pids of attacker-side processes (for side-effect accounting); filled
+  /// by engage() where applicable.
+  const std::vector<Pid>& attacker_pids() const { return attacker_pids_; }
+
+ protected:
+  std::vector<Pid> attacker_pids_;
+};
+
+}  // namespace mtr::attacks

@@ -1,0 +1,63 @@
+#include "attacks/flooding_attacks.hpp"
+
+#include <memory>
+
+#include "exec/program_base.hpp"
+
+namespace mtr::attacks {
+
+void InterruptFloodAttack::engage(AttackContext& ctx) {
+  kernel::Kernel& k = ctx.sim.kernel();
+  k.nic().start_flood(k.now(), rate_, k.rng());
+}
+
+void InterruptFloodAttack::disengage(AttackContext& ctx) {
+  ctx.sim.kernel().nic().stop_flood();
+}
+
+namespace {
+
+/// The hog: mmap a huge region, then continuously write and re-read it so
+/// the kernel must keep (re)allocating frames.
+exec::ProgramFactory make_hog(ExceptionFloodAttack::Params params) {
+  struct State {
+    bool mapped = false;
+  };
+  auto state = std::make_shared<State>();
+
+  kernel::MemoryProfile profile;
+  profile.pages.reserve(params.hog_pages);
+  // Hog heap placed far above workload data (workloads use pages < 0x1000).
+  for (std::uint64_t i = 0; i < params.hog_pages; ++i)
+    profile.pages.push_back(PageId{0x100'000 + i});
+  profile.touch_period = params.touch_period;
+
+  return exec::make_generator(
+      "memhog",
+      [state, params, profile](
+          kernel::ProcessContext&) -> std::optional<kernel::Step> {
+        if (!state->mapped) {
+          state->mapped = true;
+          return exec::syscall(kernel::SysMmap{params.hog_pages});
+        }
+        // One second of scan work per step; runs until killed.
+        return exec::compute_mem(Cycles{2'530'000'000}, profile, "memhog.scan");
+      });
+}
+
+}  // namespace
+
+void ExceptionFloodAttack::engage(AttackContext& ctx) {
+  kernel::SpawnSpec spec;
+  spec.name = "memhog";
+  spec.program = make_hog(params_);
+  spec.nice = params_.nice;
+  hog_ = ctx.sim.spawn(std::move(spec));
+  attacker_pids_.push_back(hog_);
+}
+
+void ExceptionFloodAttack::disengage(AttackContext& ctx) {
+  if (hog_.valid()) ctx.sim.kernel().force_kill(hog_);
+}
+
+}  // namespace mtr::attacks

@@ -1,0 +1,69 @@
+// Launch-time attacks (§IV-A): shell code injection and the two shared-
+// library attacks (constructor payload, function substitution).
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace mtr::attacks {
+
+/// §IV-A1 / Fig. 4 — the server patches bash, injecting a CPU-bound payload
+/// between fork() and execve(). The payload runs inside PT before main()
+/// and is billed to PT's user time. The paper's payload is a ~2^34-iteration
+/// loop worth ~34 s; `payload_cycles` sets the equivalent here.
+class ShellAttack final : public Attack {
+ public:
+  explicit ShellAttack(Cycles payload_cycles) : payload_(payload_cycles) {}
+
+  std::string name() const override { return "shell"; }
+  std::string phase() const override { return "launch"; }
+
+  void prepare(sim::Simulation& sim, sim::LaunchOptions& opts) override;
+
+  static constexpr const char* kTamperedShellTag = "bash#4.0-tampered";
+
+ private:
+  Cycles payload_;
+};
+
+/// §IV-A2 / Fig. 5 — an LD_PRELOADed library whose
+/// __attribute__((constructor)) runs the payload before main() (and whose
+/// destructor runs after exit), inside PT's account.
+class LibraryCtorAttack final : public Attack {
+ public:
+  LibraryCtorAttack(Cycles ctor_payload_cycles, Cycles dtor_payload_cycles = Cycles{0})
+      : ctor_payload_(ctor_payload_cycles), dtor_payload_(dtor_payload_cycles) {}
+
+  std::string name() const override { return "library-ctor"; }
+  std::string phase() const override { return "launch"; }
+
+  void prepare(sim::Simulation& sim, sim::LaunchOptions& opts) override;
+
+  static constexpr const char* kEvilLibName = "ldpre_evil";
+  static constexpr const char* kEvilLibTag = "ldpre_evil#1";
+
+ private:
+  Cycles ctor_payload_;
+  Cycles dtor_payload_;
+};
+
+/// §IV-A2 / Fig. 6 — LD_PRELOAD substitution of malloc() and sqrt(): the
+/// fake runs the payload, then calls the genuine function. The effect is
+/// amplified by the victim's own call frequency.
+class LibraryInterpositionAttack final : public Attack {
+ public:
+  explicit LibraryInterpositionAttack(Cycles per_call_payload)
+      : per_call_payload_(per_call_payload) {}
+
+  std::string name() const override { return "library-substitution"; }
+  std::string phase() const override { return "runtime"; }
+
+  void prepare(sim::Simulation& sim, sim::LaunchOptions& opts) override;
+
+  static constexpr const char* kEvilLibName = "ldpre_wrap";
+  static constexpr const char* kEvilLibTag = "ldpre_wrap#1";
+
+ private:
+  Cycles per_call_payload_;
+};
+
+}  // namespace mtr::attacks

@@ -1,0 +1,62 @@
+// Error handling primitives for the metertrust library.
+//
+// Simulation code is deterministic and single-threaded; invariant violations
+// indicate programming errors or malformed configurations, so we fail loudly
+// with a typed exception carrying the offending expression and location.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mtr {
+
+/// Base exception for all metertrust failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a simulation invariant is violated.
+class InvariantError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised when a user-supplied configuration is rejected.
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_ensure_failure(const char* expr, const char* file,
+                                              int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MTR_ENSURE failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace mtr
+
+/// Checks a simulation invariant; throws mtr::InvariantError on failure.
+/// Always enabled — the simulator's correctness argument depends on it.
+#define MTR_ENSURE(expr)                                                     \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::mtr::detail::throw_ensure_failure(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+/// MTR_ENSURE with a human-readable context message (streamed).
+#define MTR_ENSURE_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream mtr_ensure_os_;                                     \
+      mtr_ensure_os_ << msg;                                                 \
+      ::mtr::detail::throw_ensure_failure(#expr, __FILE__, __LINE__,         \
+                                          mtr_ensure_os_.str());             \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,52 @@
+#include "common/format.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace mtr {
+
+std::string fmt_seconds(Cycles c, CpuHz hz, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << cycles_to_seconds(c, hz) << 's';
+  return os.str();
+}
+
+std::string fmt_ticks(Ticks t, TimerHz hz, int precision) {
+  std::ostringstream os;
+  os << t.v << " ticks (" << std::fixed << std::setprecision(precision)
+     << ticks_to_seconds(t, hz) << "s @" << hz.v << "HZ)";
+  return os.str();
+}
+
+std::string fmt_cycles(Cycles c) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  if (c.v >= 1'000'000'000ULL) {
+    os << static_cast<double>(c.v) / 1e9 << " Gcy";
+  } else if (c.v >= 1'000'000ULL) {
+    os << static_cast<double>(c.v) / 1e6 << " Mcy";
+  } else if (c.v >= 1'000ULL) {
+    os << static_cast<double>(c.v) / 1e3 << " kcy";
+  } else {
+    os << c.v << " cy";
+  }
+  return os.str();
+}
+
+std::string fmt_usage(const CpuUsageTicks& u, TimerHz hz, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision)
+     << "u=" << ticks_to_seconds(u.utime, hz) << "s s=" << ticks_to_seconds(u.stime, hz)
+     << 's';
+  return os.str();
+}
+
+std::string fmt_usage(const CpuUsageCycles& u, CpuHz hz, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision)
+     << "u=" << cycles_to_seconds(u.user, hz) << "s s=" << cycles_to_seconds(u.system, hz)
+     << 's';
+  return os.str();
+}
+
+}  // namespace mtr

@@ -1,0 +1,71 @@
+// Small statistics helpers for experiment analysis: running moments,
+// percentiles over collected samples, and fixed-width histograms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mtr {
+
+/// Welford running mean / variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Sample collection with exact percentile queries (nearest-rank).
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); sorted_ = false; }
+  std::size_t count() const { return xs_.size(); }
+  double mean() const;
+  /// p in [0,100]; nearest-rank percentile. Requires at least one sample.
+  double percentile(double p) const;
+  double min() const { return percentile(0); }
+  double max() const { return percentile(100); }
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
+/// edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::uint64_t bucket_count(std::size_t i) const;
+  std::size_t buckets() const { return counts_.size(); }
+  std::uint64_t total() const { return total_; }
+  /// Renders a compact ASCII sparkline of the distribution.
+  std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mtr

@@ -1,0 +1,68 @@
+#include "core/auditor.hpp"
+
+#include <cmath>
+
+#include "common/table.hpp"
+
+namespace mtr::core {
+
+void AuditReport::add(std::string check, bool ok, std::string detail) {
+  accepted = accepted && ok;
+  findings.push_back({std::move(check), ok, std::move(detail)});
+}
+
+AuditReport Auditor::audit(const SignedUsageReport& report,
+                           const SourceIntegrityMonitor::Verdict& source_verdict,
+                           const crypto::Digest32& witness, double tick_seconds,
+                           double fine_seconds, double stime_share,
+                           double major_faults_per_second) const {
+  AuditReport out;
+
+  // 1. Quote authenticity and freshness.
+  const bool sig_ok = TpmMock::verify(report.quote, exp_.tpm_key);
+  out.add("tpm-signature", sig_ok, sig_ok ? "quote verifies" : "bad MAC");
+  const bool nonce_ok = report.nonce == exp_.nonce && report.quote.nonce == exp_.nonce;
+  out.add("nonce-freshness", nonce_ok,
+          nonce_ok ? "nonce matches" : "stale or replayed report");
+
+  // 2. Source integrity.
+  std::string src_detail = "measurement log clean";
+  if (!source_verdict.ok) {
+    src_detail = "unexpected code: ";
+    for (std::size_t i = 0; i < source_verdict.violations.size(); ++i) {
+      if (i) src_detail += ", ";
+      src_detail += source_verdict.violations[i];
+    }
+  }
+  out.add("source-integrity", source_verdict.ok, std::move(src_detail));
+
+  // 3. Execution integrity vs the customer's reference replay.
+  if (exp_.reference_witness) {
+    const bool match = witness == *exp_.reference_witness;
+    out.add("execution-integrity", match,
+            match ? "witness matches reference run"
+                  : "control-flow witness diverges from reference");
+  }
+
+  // 4. Cross-meter consistency (scheduling-attack screen).
+  const double base = std::max(fine_seconds, 1e-9);
+  const double divergence = std::abs(tick_seconds - fine_seconds) / base;
+  const bool meters_ok = divergence <= exp_.meter_divergence_tolerance;
+  out.add("meter-consistency", meters_ok,
+          "tick vs fine-grained divergence " + fmt_percent_delta(divergence * 100.0));
+
+  // 5. Anomaly screens.
+  const bool stime_ok = stime_share <= exp_.stime_share_threshold;
+  out.add("stime-share", stime_ok,
+          "system-time share " + fmt_percent_delta(stime_share * 100.0) +
+              (stime_ok ? "" : " — thrashing/flooding suspected"));
+  const bool fault_ok =
+      major_faults_per_second <= exp_.major_faults_per_second_threshold;
+  out.add("major-fault-rate", fault_ok,
+          fmt_double(major_faults_per_second, 1) + " major faults/cpu-s" +
+              (fault_ok ? "" : " — memory pressure attack suspected"));
+
+  return out;
+}
+
+}  // namespace mtr::core

@@ -1,0 +1,71 @@
+// Customer-side auditing of a provider's usage report.
+//
+// Models the verification the paper argues a user needs: check the TPM
+// quote, check source integrity against the expected code closure, check
+// the execution witness against a reference run (the user can replay her
+// own program on her own platform, §III-B), and cross-check the meters —
+// a jiffy bill that diverges from the fine-grained bill beyond tick-
+// quantization error is evidence of a scheduling-class attack.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/billing.hpp"
+#include "core/integrity.hpp"
+#include "core/meters.hpp"
+
+namespace mtr::core {
+
+struct AuditExpectations {
+  /// TPM verification key, provisioned out of band.
+  std::string tpm_key;
+  /// The nonce the customer supplied for this report.
+  std::uint64_t nonce = 0;
+  /// Reference execution witness from the customer's own replay (empty =
+  /// skip the check).
+  std::optional<crypto::Digest32> reference_witness;
+  /// Tolerated relative gap between the tick bill and fine-grained bill;
+  /// jiffy quantization alone stays well under this on multi-second jobs.
+  double meter_divergence_tolerance = 0.05;
+  /// System-time share above this fraction is anomalous for a CPU-bound
+  /// job (thrashing / flooding indicator).
+  double stime_share_threshold = 0.20;
+  /// Major faults per metered CPU-second above this are anomalous
+  /// (exception-flooding indicator).
+  double major_faults_per_second_threshold = 20.0;
+};
+
+struct AuditFinding {
+  std::string check;
+  bool ok;
+  std::string detail;
+};
+
+struct AuditReport {
+  std::vector<AuditFinding> findings;
+  bool accepted = true;
+
+  void add(std::string check, bool ok, std::string detail);
+};
+
+class Auditor {
+ public:
+  explicit Auditor(AuditExpectations expectations)
+      : exp_(std::move(expectations)) {}
+
+  /// Full audit: quote, integrity evidence, cross-meter consistency and
+  /// anomaly screens. `tick_seconds`/`fine_seconds` are the two bills;
+  /// the structural witnesses come from the report payload's monitors.
+  AuditReport audit(const SignedUsageReport& report,
+                    const SourceIntegrityMonitor::Verdict& source_verdict,
+                    const crypto::Digest32& witness, double tick_seconds,
+                    double fine_seconds, double stime_share,
+                    double major_faults_per_second) const;
+
+ private:
+  AuditExpectations exp_;
+};
+
+}  // namespace mtr::core

@@ -1,0 +1,37 @@
+#include "core/billing.hpp"
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace mtr::core {
+
+Invoice BillingEngine::priced(double user_s, double system_s, std::string meter) const {
+  Invoice inv;
+  inv.meter = std::move(meter);
+  inv.user_seconds = user_s;
+  inv.system_seconds = system_s;
+  inv.cpu_seconds = user_s + system_s;
+  inv.amount_dollars = inv.cpu_seconds / 3600.0 * tariff_.dollars_per_cpu_hour;
+  return inv;
+}
+
+Invoice BillingEngine::invoice(const CpuUsageTicks& usage, std::string meter) const {
+  return priced(ticks_to_seconds(usage.utime, hz_), ticks_to_seconds(usage.stime, hz_),
+                std::move(meter));
+}
+
+Invoice BillingEngine::invoice(const CpuUsageCycles& usage, std::string meter) const {
+  return priced(cycles_to_seconds(usage.user, cpu_),
+                cycles_to_seconds(usage.system, cpu_), std::move(meter));
+}
+
+std::string BillingEngine::payload_of(const Invoice& inv) {
+  std::ostringstream os;
+  os << "meter=" << inv.meter << ";user_s=" << fmt_double(inv.user_seconds, 6)
+     << ";sys_s=" << fmt_double(inv.system_seconds, 6)
+     << ";usd=" << fmt_double(inv.amount_dollars, 6);
+  return os.str();
+}
+
+}  // namespace mtr::core

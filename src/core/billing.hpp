@@ -1,0 +1,60 @@
+// Billing: tariffs, invoices, and signed usage reports.
+//
+// The utility-computing business loop the paper motivates: the provider
+// meters a job, prices it, and (in the trustworthy variant) binds the bill
+// to the platform measurement via a TPM quote the customer can verify.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "core/tpm.hpp"
+
+namespace mtr::core {
+
+struct Tariff {
+  /// EC2-era pricing: dollars per CPU-hour of metered time.
+  double dollars_per_cpu_hour = 0.40;
+};
+
+struct Invoice {
+  std::string meter;     // which scheme produced the reading
+  double cpu_seconds = 0.0;
+  double user_seconds = 0.0;
+  double system_seconds = 0.0;
+  double amount_dollars = 0.0;
+};
+
+/// An invoice bound to the job's measurement log via a TPM quote.
+struct SignedUsageReport {
+  Invoice invoice;
+  std::uint64_t nonce = 0;
+  TpmMock::Quote quote;
+};
+
+class BillingEngine {
+ public:
+  BillingEngine(Tariff tariff, CpuHz cpu, TimerHz hz)
+      : tariff_(tariff), cpu_(cpu), hz_(hz) {}
+
+  /// Invoice from a jiffy-meter reading (the commodity bill).
+  Invoice invoice(const CpuUsageTicks& usage, std::string meter = "tick") const;
+
+  /// Invoice from a cycle-exact reading (TSC / PAIS bill).
+  Invoice invoice(const CpuUsageCycles& usage, std::string meter = "tsc") const;
+
+  const Tariff& tariff() const { return tariff_; }
+
+  /// Serializes an invoice into the quote payload format.
+  static std::string payload_of(const Invoice& inv);
+
+ private:
+  Invoice priced(double user_s, double system_s, std::string meter) const;
+
+  Tariff tariff_;
+  CpuHz cpu_;
+  TimerHz hz_;
+};
+
+}  // namespace mtr::core

@@ -1,0 +1,100 @@
+#include "core/experiment.hpp"
+
+#include "common/ensure.hpp"
+#include "workloads/stdlibs.hpp"
+
+namespace mtr::core {
+
+std::vector<std::string> expected_code_tags(workloads::WorkloadKind kind) {
+  std::vector<std::string> tags = {
+      workloads::kLibcTag,
+      workloads::kLibmTag,
+      workloads::kLibpthreadTag,
+      workloads::kBashTag,
+  };
+  const workloads::WorkloadInfo info = workloads::make_workload(kind);
+  tags.push_back(info.image.content_tag);
+  return tags;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                attacks::Attack* attack) {
+  sim::Simulation sim(config.sim);
+  kernel::Kernel& kernel = sim.kernel();
+
+  TrustedMeteringService service(config.tariff, config.sim.kernel.cpu,
+                                 config.sim.kernel.hz);
+  for (auto& tag : expected_code_tags(config.kind)) service.allow_code(std::move(tag));
+  service.attach(kernel);
+
+  const workloads::WorkloadInfo info =
+      workloads::make_workload(config.kind, config.workload);
+
+  sim::LaunchOptions opts;
+  if (attack != nullptr) attack->prepare(sim, opts);
+
+  const Pid victim = sim.launch(info.image, std::move(opts));
+  const Tgid victim_tg = kernel.process(victim).tgid;
+
+  attacks::AttackContext ctx{sim, victim, victim_tg, info.hot_addr};
+  if (attack != nullptr) attack->engage(ctx);
+
+  const bool exited = sim.run_until_exit(victim, config.run_limit);
+
+  if (attack != nullptr) attack->disengage(ctx);
+  sim.run_all(config.drain);
+
+  // --- collect -------------------------------------------------------------
+  ExperimentResult r;
+  r.kind = config.kind;
+  r.attack_name = attack != nullptr ? attack->name() : "";
+  r.victim_pid = victim;
+  r.victim_tgid = victim_tg;
+  r.victim_exited = exited;
+  r.wall_seconds = cycles_to_seconds(kernel.now(), config.sim.kernel.cpu);
+
+  const CpuHz cpu = config.sim.kernel.cpu;
+  const TimerHz hz = config.sim.kernel.hz;
+
+  const kernel::GroupUsage usage = kernel.group_usage(victim_tg);
+  r.billed_ticks = usage.ticks;
+  r.billed_user_seconds = ticks_to_seconds(usage.ticks.utime, hz);
+  r.billed_system_seconds = ticks_to_seconds(usage.ticks.stime, hz);
+  r.billed_seconds = r.billed_user_seconds + r.billed_system_seconds;
+
+  r.true_cycles = usage.true_cycles;
+  r.true_seconds = cycles_to_seconds(usage.true_cycles.total(), cpu);
+  r.tsc_cycles = service.tsc_meter().usage(victim_tg);
+  r.tsc_seconds = cycles_to_seconds(r.tsc_cycles.total(), cpu);
+  r.pais_cycles = service.pais_meter().usage(victim_tg);
+  r.pais_seconds = cycles_to_seconds(r.pais_cycles.total(), cpu);
+  r.overcharge = r.true_seconds > 0.0 ? r.billed_seconds / r.true_seconds : 1.0;
+
+  r.source_verdict = service.source_monitor().verify(victim_tg);
+  r.witness = service.execution_monitor().witness(victim_tg);
+  r.witness_steps = service.execution_monitor().step_count(victim_tg);
+
+  r.minor_faults = usage.minor_faults;
+  r.major_faults = usage.major_faults;
+  r.debug_exceptions = usage.debug_exceptions;
+  r.voluntary_switches = usage.voluntary_switches;
+  r.involuntary_switches = usage.involuntary_switches;
+  r.nic_packets = kernel.nic().packets_delivered();
+
+  if (attack != nullptr && !attack->attacker_pids().empty()) {
+    r.has_attacker = true;
+    for (const Pid apid : attack->attacker_pids()) {
+      const kernel::GroupUsage au =
+          kernel.group_usage(kernel.process(apid).tgid);
+      r.attacker_ticks += au.ticks;
+      r.attacker_true_cycles += au.true_cycles;
+    }
+    r.attacker_billed_seconds = ticks_to_seconds(r.attacker_ticks.utime, hz) +
+                                ticks_to_seconds(r.attacker_ticks.stime, hz);
+    r.attacker_true_seconds =
+        cycles_to_seconds(r.attacker_true_cycles.total(), cpu);
+  }
+  return r;
+}
+
+}  // namespace mtr::core

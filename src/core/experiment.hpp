@@ -1,0 +1,85 @@
+// Experiment orchestration: one victim workload, optionally one attack,
+// every meter attached — the harness behind each figure reproduction.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "attacks/attack.hpp"
+#include "core/trusted_metering.hpp"
+#include "sim/simulation.hpp"
+#include "workloads/workloads.hpp"
+
+namespace mtr::core {
+
+struct ExperimentConfig {
+  workloads::WorkloadKind kind = workloads::WorkloadKind::kOurs;
+  workloads::WorkloadParams workload{};
+  sim::SimConfig sim{};
+  Tariff tariff{};
+  /// Hard cap on simulated time (safety net against runaway scenarios).
+  Cycles run_limit{12'000'000'000'000};  // ~79 virtual minutes at 2.53 GHz
+  /// Extra drain time after the victim exits (attacker teardown, reaping).
+  Cycles drain{1'000'000'000};
+};
+
+struct ExperimentResult {
+  workloads::WorkloadKind kind{};
+  std::string attack_name;  // empty = baseline
+
+  Pid victim_pid{};
+  Tgid victim_tgid{};
+  bool victim_exited = false;
+  double wall_seconds = 0.0;
+
+  // What the commodity kernel bills (the paper's figures plot this).
+  CpuUsageTicks billed_ticks;
+  double billed_user_seconds = 0.0;
+  double billed_system_seconds = 0.0;
+  double billed_seconds = 0.0;
+
+  // Ground truth and alternative meters.
+  CpuUsageCycles true_cycles;  // cycle-exact on-CPU time of the group
+  double true_seconds = 0.0;
+  CpuUsageCycles tsc_cycles;
+  double tsc_seconds = 0.0;
+  CpuUsageCycles pais_cycles;
+  double pais_seconds = 0.0;
+
+  /// billed_seconds / true_seconds — the provider's overcharge factor.
+  double overcharge = 1.0;
+
+  // Integrity evidence.
+  SourceIntegrityMonitor::Verdict source_verdict;
+  crypto::Digest32 witness{};
+  std::uint64_t witness_steps = 0;
+
+  // Side statistics.
+  std::uint64_t minor_faults = 0;
+  std::uint64_t major_faults = 0;
+  std::uint64_t debug_exceptions = 0;
+  std::uint64_t voluntary_switches = 0;
+  std::uint64_t involuntary_switches = 0;
+  std::uint64_t nic_packets = 0;
+
+  // Attacker-side usage (scheduling attack reports both bars).
+  bool has_attacker = false;
+  CpuUsageTicks attacker_ticks;
+  double attacker_billed_seconds = 0.0;
+  CpuUsageCycles attacker_true_cycles;
+  double attacker_true_seconds = 0.0;
+};
+
+/// Runs one victim (with `attack`, or baseline when null) to completion and
+/// collects every meter's verdict. Each call builds a fresh Simulation with
+/// a fresh TrustedMeteringService, so runs are independent and
+/// deterministic.
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                attacks::Attack* attack = nullptr);
+
+/// The whitelist a clean launch of `kind` expects: genuine libraries, the
+/// genuine shell, and the workload image itself.
+std::vector<std::string> expected_code_tags(workloads::WorkloadKind kind);
+
+}  // namespace mtr::core

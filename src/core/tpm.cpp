@@ -1,0 +1,60 @@
+#include "core/tpm.hpp"
+
+#include "common/ensure.hpp"
+#include "common/rng.hpp"
+#include "crypto/digest.hpp"
+
+namespace mtr::core {
+
+TpmMock::TpmMock(std::uint64_t seed) {
+  SplitMix64 sm(seed ^ 0x7450'4d4d'4f43'4bULL);
+  std::uint8_t raw[32];
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t w = sm.next();
+    for (int b = 0; b < 8; ++b) raw[i * 8 + b] = static_cast<std::uint8_t>(w >> (8 * b));
+  }
+  key_ = "tpmk:" + crypto::to_hex(raw, sizeof(raw));
+}
+
+void TpmMock::extend(int pcr_index, const crypto::Digest32& measurement) {
+  MTR_ENSURE(pcr_index >= 0 && pcr_index < kPcrCount);
+  crypto::Digest32& pcr = pcrs_[static_cast<std::size_t>(pcr_index)];
+  crypto::Sha256 h;
+  h.update(pcr.bytes.data(), pcr.size());
+  h.update(measurement.bytes.data(), measurement.size());
+  pcr = h.finish();
+}
+
+crypto::Digest32 TpmMock::pcr(int pcr_index) const {
+  MTR_ENSURE(pcr_index >= 0 && pcr_index < kPcrCount);
+  return pcrs_[static_cast<std::size_t>(pcr_index)];
+}
+
+std::string TpmMock::quote_message(const Quote& q) {
+  std::string msg = "MTR-QUOTE-V1\x1f";
+  msg += std::to_string(q.pcr_index);
+  msg += '\x1f';
+  msg += crypto::to_hex(q.pcr_value);
+  msg += '\x1f';
+  msg += std::to_string(q.nonce);
+  msg += '\x1f';
+  msg += q.payload;
+  return msg;
+}
+
+TpmMock::Quote TpmMock::quote(int pcr_index, std::uint64_t nonce,
+                              std::string payload) const {
+  Quote q;
+  q.pcr_index = pcr_index;
+  q.pcr_value = pcr(pcr_index);
+  q.nonce = nonce;
+  q.payload = std::move(payload);
+  q.mac = crypto::hmac_sha256(key_, quote_message(q));
+  return q;
+}
+
+bool TpmMock::verify(const Quote& q, const std::string& verification_key) {
+  return crypto::hmac_sha256(verification_key, quote_message(q)) == q.mac;
+}
+
+}  // namespace mtr::core

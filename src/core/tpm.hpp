@@ -1,0 +1,56 @@
+// TPM mock: platform configuration registers and HMAC-based quotes.
+//
+// Stands in for the TPM 1.2 attestation the paper leans on ("the
+// measurement result is signed by the TPM on the kernel's request and the
+// signature is then verified by the user", §III-B). The asymmetric
+// signature is modelled by HMAC-SHA256 under a key sealed in the mock; the
+// verifier holds the verification key out of band.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace mtr::core {
+
+class TpmMock {
+ public:
+  static constexpr int kPcrCount = 8;
+
+  /// Derives the sealed quote key from the seed (the mock's "EK burn-in").
+  explicit TpmMock(std::uint64_t seed);
+
+  /// PCR extend: pcr[i] = H(pcr[i] || measurement).
+  void extend(int pcr_index, const crypto::Digest32& measurement);
+
+  crypto::Digest32 pcr(int pcr_index) const;
+
+  struct Quote {
+    int pcr_index = 0;
+    crypto::Digest32 pcr_value{};
+    std::uint64_t nonce = 0;
+    std::string payload;        // application data bound into the quote
+    crypto::Digest32 mac{};     // HMAC over (pcr_index‖pcr‖nonce‖payload)
+  };
+
+  /// Produces a quote binding `payload` and the caller's freshness nonce to
+  /// the current PCR value.
+  Quote quote(int pcr_index, std::uint64_t nonce, std::string payload) const;
+
+  /// The verification key a customer provisions out of band.
+  const std::string& verification_key() const { return key_; }
+
+  /// Verifies a quote against a verification key.
+  static bool verify(const Quote& q, const std::string& verification_key);
+
+ private:
+  static std::string quote_message(const Quote& q);
+
+  std::string key_;
+  std::array<crypto::Digest32, kPcrCount> pcrs_{};
+};
+
+}  // namespace mtr::core

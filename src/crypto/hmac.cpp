@@ -1,0 +1,51 @@
+#include "crypto/hmac.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+
+namespace mtr::crypto {
+
+namespace {
+constexpr std::size_t kBlock = 64;
+
+Digest32 hmac_sha256_raw(const std::uint8_t* key, std::size_t key_len,
+                         std::string_view message) {
+  std::array<std::uint8_t, kBlock> k0{};
+  if (key_len > kBlock) {
+    const Digest32 kd = sha256(key, key_len);
+    std::memcpy(k0.data(), kd.bytes.data(), kd.size());
+  } else {
+    std::memcpy(k0.data(), key, key_len);
+  }
+
+  std::array<std::uint8_t, kBlock> ipad{};
+  std::array<std::uint8_t, kBlock> opad{};
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad.data(), kBlock);
+  inner.update(message);
+  const Digest32 inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad.data(), kBlock);
+  outer.update(inner_digest.bytes.data(), inner_digest.size());
+  return outer.finish();
+}
+}  // namespace
+
+Digest32 hmac_sha256(std::string_view key, std::string_view message) {
+  return hmac_sha256_raw(reinterpret_cast<const std::uint8_t*>(key.data()), key.size(),
+                         message);
+}
+
+Digest32 hmac_sha256(const std::vector<std::uint8_t>& key, std::string_view message) {
+  return hmac_sha256_raw(key.data(), key.size(), message);
+}
+
+}  // namespace mtr::crypto

@@ -1,0 +1,16 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1). Signs the TPM-mock usage quotes.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "crypto/digest.hpp"
+
+namespace mtr::crypto {
+
+/// Computes HMAC-SHA256(key, message).
+Digest32 hmac_sha256(std::string_view key, std::string_view message);
+Digest32 hmac_sha256(const std::vector<std::uint8_t>& key, std::string_view message);
+
+}  // namespace mtr::crypto

@@ -1,0 +1,148 @@
+#include "crypto/md5.hpp"
+
+#include <cstring>
+
+#include "common/ensure.hpp"
+
+namespace mtr::crypto {
+
+namespace {
+
+constexpr std::uint32_t rotl32(std::uint32_t x, int k) {
+  return (x << k) | (x >> (32 - k));
+}
+
+// Per-round shift amounts, RFC 1321.
+constexpr int kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// K[i] = floor(2^32 * |sin(i+1)|), RFC 1321.
+constexpr std::uint32_t kSine[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void store_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void store_le64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+}  // namespace
+
+Md5::Md5() {
+  state_[0] = 0x67452301;
+  state_[1] = 0xefcdab89;
+  state_[2] = 0x98badcfe;
+  state_[3] = 0x10325476;
+}
+
+void Md5::process_block(const std::uint8_t block[64]) {
+  std::uint32_t m[16];
+  for (int i = 0; i < 16; ++i) m[i] = load_le32(block + 4 * i);
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    const std::uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + rotl32(a + f + kSine[i] + m[g], kShift[i]);
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md5::update(const std::uint8_t* data, std::size_t len) {
+  MTR_ENSURE_MSG(!finished_, "Md5::update after finish");
+  total_len_ += len;
+  while (len > 0) {
+    if (buffered_ == 0 && len >= 64) {
+      process_block(data);
+      data += 64;
+      len -= 64;
+      continue;
+    }
+    const std::size_t take = std::min<std::size_t>(64 - buffered_, len);
+    std::memcpy(buffer_ + buffered_, data, take);
+    buffered_ += take;
+    data += take;
+    len -= take;
+    if (buffered_ == 64) {
+      process_block(buffer_);
+      buffered_ = 0;
+    }
+  }
+}
+
+void Md5::update(std::string_view s) {
+  update(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+Digest16 Md5::finish() {
+  MTR_ENSURE_MSG(!finished_, "Md5::finish called twice");
+  finished_ = true;
+  const std::uint64_t bit_len = total_len_ * 8;
+
+  std::uint8_t pad[72] = {0x80};
+  // Pad to 56 mod 64, then append the 64-bit little-endian bit length.
+  const std::size_t pad_len = (buffered_ < 56) ? (56 - buffered_) : (120 - buffered_);
+  finished_ = false;  // allow the padding updates below
+  update(pad, pad_len);
+  std::uint8_t len_bytes[8];
+  store_le64(len_bytes, bit_len);
+  total_len_ -= pad_len;  // padding is not message content
+  update(len_bytes, 8);
+  finished_ = true;
+  MTR_ENSURE(buffered_ == 0);
+
+  Digest16 d;
+  for (int i = 0; i < 4; ++i) store_le32(d.bytes.data() + 4 * i, state_[i]);
+  return d;
+}
+
+Digest16 md5(std::string_view s) {
+  Md5 ctx;
+  ctx.update(s);
+  return ctx.finish();
+}
+
+}  // namespace mtr::crypto

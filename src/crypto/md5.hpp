@@ -1,0 +1,37 @@
+// MD5 (RFC 1321). Used only as the brute-force workload target, mirroring the
+// paper's Brute test program; not for new security designs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "crypto/digest.hpp"
+
+namespace mtr::crypto {
+
+/// Incremental MD5 context.
+class Md5 {
+ public:
+  Md5();
+
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(std::string_view s);
+
+  /// Finalizes and returns the digest; the context must not be reused after.
+  Digest16 finish();
+
+ private:
+  void process_block(const std::uint8_t block[64]);
+
+  std::uint32_t state_[4];
+  std::uint64_t total_len_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+  bool finished_ = false;
+};
+
+/// One-shot convenience.
+Digest16 md5(std::string_view s);
+
+}  // namespace mtr::crypto

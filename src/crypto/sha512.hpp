@@ -1,0 +1,37 @@
+// SHA-512 (FIPS 180-4). Included because the paper's Brute program cracks
+// MD5, SHA-256 and SHA-512; the brute workload can target any of the three.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "crypto/digest.hpp"
+
+namespace mtr::crypto {
+
+/// Incremental SHA-512 context.
+class Sha512 {
+ public:
+  Sha512();
+
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(std::string_view s);
+
+  /// Finalizes and returns the digest; the context must not be reused after.
+  Digest64 finish();
+
+ private:
+  void process_block(const std::uint8_t block[128]);
+
+  std::uint64_t state_[8];
+  std::uint64_t total_len_ = 0;  // bytes; fine below 2^61 bytes of input
+  std::uint8_t buffer_[128];
+  std::size_t buffered_ = 0;
+  bool finished_ = false;
+};
+
+/// One-shot convenience.
+Digest64 sha512(std::string_view s);
+
+}  // namespace mtr::crypto

@@ -1,0 +1,86 @@
+#include "exec/library.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace mtr::exec {
+
+void SymbolTable::define(std::string symbol, std::vector<Step> body) {
+  table_[std::move(symbol)] = std::move(body);
+}
+
+const std::vector<Step>& SymbolTable::call(std::string_view symbol) const {
+  const auto it = table_.find(std::string(symbol));
+  if (it == table_.end())
+    throw ConfigError("undefined symbol: " + std::string(symbol));
+  return it->second;
+}
+
+bool SymbolTable::defined(std::string_view symbol) const {
+  return table_.contains(std::string(symbol));
+}
+
+void LibraryRegistry::add(SharedLibrary lib) {
+  MTR_ENSURE_MSG(!lib.name.empty(), "library needs a name");
+  const auto [it, inserted] = libs_.emplace(lib.name, std::move(lib));
+  if (!inserted) throw ConfigError("duplicate library: " + it->first);
+}
+
+void LibraryRegistry::preload(const std::string& name) {
+  if (!has(name)) throw ConfigError("LD_PRELOAD of unknown library: " + name);
+  preloads_.push_back(name);
+}
+
+bool LibraryRegistry::has(std::string_view name) const {
+  return libs_.find(name) != libs_.end();
+}
+
+const SharedLibrary& LibraryRegistry::get(std::string_view name) const {
+  const auto it = libs_.find(name);
+  if (it == libs_.end()) throw ConfigError("unknown library: " + std::string(name));
+  return it->second;
+}
+
+std::vector<std::string> LibraryRegistry::link_order(
+    const std::vector<std::string>& needed) const {
+  std::vector<std::string> order;
+  const auto push_unique = [&order](const std::string& n) {
+    if (std::find(order.begin(), order.end(), n) == order.end()) order.push_back(n);
+  };
+  for (const auto& n : preloads_) push_unique(n);
+  for (const auto& n : needed) push_unique(n);
+  for (const auto& n : order) {
+    if (!has(n)) throw ConfigError("link order references unknown library: " + n);
+  }
+  return order;
+}
+
+std::vector<Step> LibraryRegistry::resolve(
+    std::string_view symbol, const std::vector<std::string>& needed) const {
+  const std::vector<std::string> order = link_order(needed);
+  std::vector<Step> out;
+  bool found = false;
+  bool forwarding = true;
+  for (const auto& lib_name : order) {
+    if (!forwarding) break;
+    const SharedLibrary& lib = get(lib_name);
+    const auto it = lib.symbols.find(std::string(symbol));
+    if (it == lib.symbols.end()) continue;
+    found = true;
+    out.insert(out.end(), it->second.body.begin(), it->second.body.end());
+    forwarding = it->second.forwards;
+  }
+  if (!found) throw ConfigError("unresolved symbol: " + std::string(symbol));
+  return out;
+}
+
+SymbolTable LibraryRegistry::resolve_all(
+    const std::vector<std::string>& imports,
+    const std::vector<std::string>& needed) const {
+  SymbolTable table;
+  for (const auto& sym : imports) table.define(sym, resolve(sym, needed));
+  return table;
+}
+
+}  // namespace mtr::exec

@@ -1,0 +1,27 @@
+#include "exec/shell.hpp"
+
+#include "common/ensure.hpp"
+
+namespace mtr::exec {
+
+ProgramFactory make_shell_program(ShellLaunchSpec spec) {
+  MTR_ENSURE_MSG(spec.image != nullptr, "shell launch needs an image");
+
+  // The child: inherits the shell image (measured!), runs the injected
+  // hooks, then execs the target. All of it is on the child's meter.
+  std::vector<Step> child_steps;
+  child_steps.push_back(syscall(kernel::SysMapCode{kernel::CodeMapping{
+      "bash", spec.shell_content_tag, spec.shell_code_pages}}));
+  for (const auto& s : spec.preexec_hooks) child_steps.push_back(s);
+  child_steps.push_back(syscall(kernel::SysExecve{spec.image, spec.path}));
+  // Unreachable after a successful execve; ChainProgram-compatible filler.
+  ProgramFactory child =
+      make_step_list("sh -c " + spec.path, std::move(child_steps));
+
+  std::vector<Step> shell_steps;
+  shell_steps.push_back(syscall(kernel::SysFork{std::move(child)}));
+  shell_steps.push_back(syscall(kernel::SysWait{}));
+  return make_step_list("bash", std::move(shell_steps));
+}
+
+}  // namespace mtr::exec

@@ -1,0 +1,35 @@
+// Shell model.
+//
+// Launching T through the shell is fork() → [anything the shell does
+// before exec] → execve(T). The kernel starts metering the child at
+// fork(); the window between fork and exec belongs to the child's bill.
+// The paper's shell attack (§IV-A1) patches bash to inject a CPU-bound
+// payload into exactly that window; `preexec_hooks` is that injection
+// point, and `shell_content_tag` is what a source-integrity measurement of
+// the shell image reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exec/program_base.hpp"
+
+namespace mtr::exec {
+
+struct ShellLaunchSpec {
+  ProgramFactory image;    // built by Loader::build_image
+  std::string path;        // target executable path (becomes process name)
+  /// Steps the (possibly tampered) shell executes in the child between
+  /// fork() and execve() — charged to the child.
+  std::vector<Step> preexec_hooks;
+  /// Identity of the shell image the child inherits; a patched bash
+  /// measures differently.
+  std::string shell_content_tag = "bash#4.0";
+  std::uint64_t shell_code_pages = 24;
+};
+
+/// Returns the shell program: forks the child (hooks + execve), waits for
+/// it, exits. Spawn it via Kernel::spawn / sim::Simulation.
+ProgramFactory make_shell_program(ShellLaunchSpec spec);
+
+}  // namespace mtr::exec

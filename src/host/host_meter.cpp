@@ -1,0 +1,57 @@
+#include "host/host_meter.hpp"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+namespace mtr::host {
+
+HostCpuUsage rusage_self() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  HostCpuUsage u;
+  u.user_seconds = static_cast<double>(ru.ru_utime.tv_sec) +
+                   static_cast<double>(ru.ru_utime.tv_usec) / 1e6;
+  u.system_seconds = static_cast<double>(ru.ru_stime.tv_sec) +
+                     static_cast<double>(ru.ru_stime.tv_usec) / 1e6;
+  return u;
+}
+
+std::optional<ProcStat> read_proc_self_stat() {
+  std::ifstream f("/proc/self/stat");
+  if (!f) return std::nullopt;
+  std::string line;
+  std::getline(f, line);
+  // Field 2 (comm) may contain spaces; skip past the closing paren.
+  const auto paren = line.rfind(')');
+  if (paren == std::string::npos) return std::nullopt;
+  std::istringstream rest(line.substr(paren + 1));
+  // Fields 3..13 precede utime (field 14) and stime (field 15).
+  std::string skip;
+  for (int i = 3; i <= 13; ++i) rest >> skip;
+  ProcStat ps;
+  rest >> ps.utime_jiffies >> ps.stime_jiffies;
+  if (!rest) return std::nullopt;
+  ps.jiffies_per_second = sysconf(_SC_CLK_TCK);
+  if (ps.jiffies_per_second <= 0) ps.jiffies_per_second = 100;
+  return ps;
+}
+
+std::uint64_t burn_cpu_seconds(double seconds) {
+  using clock = std::chrono::steady_clock;
+  const auto deadline =
+      clock::now() + std::chrono::duration_cast<clock::duration>(
+                         std::chrono::duration<double>(seconds));
+  volatile std::uint64_t sink = 1;
+  std::uint64_t iters = 0;
+  while (clock::now() < deadline) {
+    for (int i = 0; i < 10'000; ++i) sink = sink * 2862933555777941757ULL + 3037000493ULL;
+    iters += 10'000;
+  }
+  return iters + (sink & 1);
+}
+
+}  // namespace mtr::host

@@ -1,0 +1,43 @@
+// Live-host CPU-usage readings: getrusage() deltas (what the paper's test
+// programs log at exit) and /proc/self/stat jiffy counters (the raw
+// utime/stime the kernel accounts at tick granularity).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mtr::host {
+
+struct HostCpuUsage {
+  double user_seconds = 0.0;
+  double system_seconds = 0.0;
+
+  double total() const { return user_seconds + system_seconds; }
+};
+
+/// getrusage(RUSAGE_SELF) snapshot.
+HostCpuUsage rusage_self();
+
+/// Parsed utime/stime jiffies of /proc/self/stat, plus the kernel's clock
+/// tick (sysconf(_SC_CLK_TCK)); nullopt where procfs is unavailable.
+struct ProcStat {
+  std::uint64_t utime_jiffies = 0;
+  std::uint64_t stime_jiffies = 0;
+  long jiffies_per_second = 100;
+
+  double user_seconds() const {
+    return static_cast<double>(utime_jiffies) / static_cast<double>(jiffies_per_second);
+  }
+  double system_seconds() const {
+    return static_cast<double>(stime_jiffies) / static_cast<double>(jiffies_per_second);
+  }
+};
+
+std::optional<ProcStat> read_proc_self_stat();
+
+/// Burns roughly `seconds` of user CPU (calibration-free spin); returns the
+/// iteration count so the optimizer cannot drop the loop.
+std::uint64_t burn_cpu_seconds(double seconds);
+
+}  // namespace mtr::host

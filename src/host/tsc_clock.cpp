@@ -1,0 +1,57 @@
+#include "host/tsc_clock.hpp"
+
+#include <ctime>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#define MTR_HAS_RDTSC 1
+#else
+#define MTR_HAS_RDTSC 0
+#endif
+
+namespace mtr::host {
+
+namespace {
+std::uint64_t monotonic_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+}  // namespace
+
+bool tsc_supported() { return MTR_HAS_RDTSC != 0; }
+
+std::uint64_t read_tsc(bool serialize) {
+#if MTR_HAS_RDTSC
+  if (serialize) {
+    unsigned aux = 0;
+    return __rdtscp(&aux);
+  }
+  return __rdtsc();
+#else
+  (void)serialize;
+  return monotonic_ns();
+#endif
+}
+
+double calibrate_tsc_hz(unsigned sample_ms) {
+#if MTR_HAS_RDTSC
+  const std::uint64_t ns0 = monotonic_ns();
+  const std::uint64_t t0 = read_tsc(true);
+  const std::uint64_t target = ns0 + static_cast<std::uint64_t>(sample_ms) * 1'000'000ULL;
+  while (monotonic_ns() < target) {
+    // busy-wait: calibration needs real elapsed cycles
+  }
+  const std::uint64_t t1 = read_tsc(true);
+  const std::uint64_t ns1 = monotonic_ns();
+  const double elapsed_s = static_cast<double>(ns1 - ns0) / 1e9;
+  if (elapsed_s <= 0.0) return 1e9;
+  return static_cast<double>(t1 - t0) / elapsed_s;
+#else
+  (void)sample_ms;
+  return 1e9;  // the fallback clock counts nanoseconds
+#endif
+}
+
+}  // namespace mtr::host

@@ -1,0 +1,38 @@
+// Live-host fine-grained time: the rdtsc/rdtscp intrinsics the paper points
+// to for TSC-based metering (§VI-B), with runtime calibration against
+// CLOCK_MONOTONIC. Falls back to clock_gettime on non-x86 builds so the
+// examples degrade gracefully.
+#pragma once
+
+#include <cstdint>
+
+namespace mtr::host {
+
+/// True when the build has real rdtsc support (x86/x86-64).
+bool tsc_supported();
+
+/// Raw time-stamp counter read (serialize=false → rdtsc, true → rdtscp).
+/// On unsupported targets returns a nanosecond monotonic clock instead.
+std::uint64_t read_tsc(bool serialize = false);
+
+/// Calibrates TSC frequency against CLOCK_MONOTONIC over `sample_ms`.
+/// Returns estimated counts per second (ns-clock fallback returns 1e9).
+double calibrate_tsc_hz(unsigned sample_ms = 50);
+
+/// A started stopwatch over the TSC.
+class TscStopwatch {
+ public:
+  TscStopwatch() : start_(read_tsc(true)) {}
+
+  std::uint64_t elapsed_counts() const { return read_tsc(true) - start_; }
+
+  /// Seconds at the given calibrated frequency.
+  double elapsed_seconds(double tsc_hz) const {
+    return static_cast<double>(elapsed_counts()) / tsc_hz;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace mtr::host

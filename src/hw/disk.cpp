@@ -1,0 +1,35 @@
+#include "hw/disk.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace mtr::hw {
+
+DiskModel::DiskModel(Cycles service_latency) : latency_(service_latency) {
+  MTR_ENSURE_MSG(latency_.v > 0, "disk latency must be nonzero");
+}
+
+Cycles DiskModel::submit(Cycles now, Pid waiter) {
+  const Cycles start = std::max(now, last_done_);
+  const Cycles done = start + latency_;
+  last_done_ = done;
+  queue_.push_back({waiter, done});
+  return done;
+}
+
+std::optional<Cycles> DiskModel::next_completion() const {
+  if (queue_.empty()) return std::nullopt;
+  return queue_.front().done_at;
+}
+
+DiskCompletion DiskModel::acknowledge(Cycles now) {
+  MTR_ENSURE(!queue_.empty());
+  MTR_ENSURE_MSG(queue_.front().done_at == now, "disk completion at wrong time");
+  const Pending p = queue_.front();
+  queue_.pop_front();
+  ++completed_;
+  return {p.waiter, p.done_at};
+}
+
+}  // namespace mtr::hw

@@ -1,0 +1,50 @@
+// Single-queue disk model used by the swap path. Requests are serviced FIFO
+// with a fixed latency each; the completion raises a disk interrupt. The
+// paper's exception-flooding attack drives this device hard: every major
+// page fault costs a swap-in.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace mtr::hw {
+
+/// A completed disk request: which process was waiting on it.
+struct DiskCompletion {
+  Pid waiter;
+  Cycles at;
+};
+
+class DiskModel {
+ public:
+  explicit DiskModel(Cycles service_latency);
+
+  /// Enqueues a request on behalf of `waiter` at time `now`; returns the
+  /// predicted completion time (FIFO behind earlier requests).
+  Cycles submit(Cycles now, Pid waiter);
+
+  /// Time of the next completion interrupt, if any request is in flight.
+  std::optional<Cycles> next_completion() const;
+
+  /// Pops the completion due at `now`.
+  DiskCompletion acknowledge(Cycles now);
+
+  std::uint64_t requests_completed() const { return completed_; }
+  std::size_t in_flight() const { return queue_.size(); }
+
+ private:
+  struct Pending {
+    Pid waiter;
+    Cycles done_at;
+  };
+
+  Cycles latency_;
+  Cycles last_done_{0};
+  std::deque<Pending> queue_;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace mtr::hw

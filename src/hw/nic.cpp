@@ -1,0 +1,37 @@
+#include "hw/nic.hpp"
+
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace mtr::hw {
+
+NicModel::NicModel(CpuHz cpu) : cpu_(cpu) {}
+
+void NicModel::start_flood(Cycles now, double packets_per_second, Xoshiro256& rng) {
+  MTR_ENSURE_MSG(packets_per_second > 0.0, "flood rate must be positive");
+  mean_gap_cycles_ = static_cast<double>(cpu_.v) / packets_per_second;
+  schedule_next(now, rng);
+}
+
+void NicModel::stop_flood() {
+  mean_gap_cycles_ = 0.0;
+  next_.reset();
+}
+
+std::optional<Cycles> NicModel::next_arrival() const { return next_; }
+
+void NicModel::acknowledge(Cycles now, Xoshiro256& rng) {
+  MTR_ENSURE(next_.has_value() && *next_ == now);
+  ++delivered_;
+  schedule_next(now, rng);
+}
+
+void NicModel::schedule_next(Cycles now, Xoshiro256& rng) {
+  const double gap = rng.next_exponential(mean_gap_cycles_);
+  // Arrivals are at least one cycle apart to keep the event loop advancing.
+  const auto gap_cycles = static_cast<std::uint64_t>(std::max(1.0, std::ceil(gap)));
+  next_ = now + Cycles{gap_cycles};
+}
+
+}  // namespace mtr::hw

@@ -1,0 +1,46 @@
+// Network interface model. In the paper's interrupt-flooding attack (§IV-B3)
+// a second PC sprays junk IP packets at the victim host; every arrival
+// raises an interrupt whose handler time is billed to whatever process is
+// currently running. Here the flood is a Poisson arrival process with a
+// configurable rate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace mtr::hw {
+
+class NicModel {
+ public:
+  explicit NicModel(CpuHz cpu);
+
+  /// Starts a junk-packet flood of `packets_per_second` (> 0) beginning at
+  /// `now`. Replaces any flood in progress.
+  void start_flood(Cycles now, double packets_per_second, Xoshiro256& rng);
+
+  /// Stops the flood; no further arrivals are generated.
+  void stop_flood();
+
+  bool flooding() const { return mean_gap_cycles_ > 0.0; }
+
+  /// Cycle time of the next packet arrival, if a flood is active.
+  std::optional<Cycles> next_arrival() const;
+
+  /// Acknowledges the arrival at `now` and draws the next interarrival gap.
+  void acknowledge(Cycles now, Xoshiro256& rng);
+
+  std::uint64_t packets_delivered() const { return delivered_; }
+
+ private:
+  void schedule_next(Cycles now, Xoshiro256& rng);
+
+  CpuHz cpu_;
+  double mean_gap_cycles_ = 0.0;
+  std::optional<Cycles> next_;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace mtr::hw

@@ -1,0 +1,21 @@
+#include "hw/timer.hpp"
+
+#include "common/ensure.hpp"
+
+namespace mtr::hw {
+
+TimerDevice::TimerDevice(CpuHz cpu, TimerHz hz)
+    : period_(tick_length(cpu, hz)), next_fire_(period_) {
+  MTR_ENSURE_MSG(period_.v > 0, "timer period must be nonzero");
+}
+
+void TimerDevice::acknowledge(Cycles now) {
+  // Dispatch may run late (interrupts are serviced serially), but never
+  // early, and ticks are never lost: the fire grid stays periodic and any
+  // backlog is delivered on the next event-loop iterations.
+  MTR_ENSURE_MSG(now >= next_fire_, "tick acknowledged before it fired");
+  next_fire_ += period_;
+  ++fired_;
+}
+
+}  // namespace mtr::hw

@@ -1,0 +1,31 @@
+// Programmable interval timer: fires the periodic tick interrupt that drives
+// jiffy accounting — the heart of the vulnerability the paper studies.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace mtr::hw {
+
+class TimerDevice {
+ public:
+  TimerDevice(CpuHz cpu, TimerHz hz);
+
+  /// Cycle time of the next tick interrupt (strictly after program start).
+  Cycles next_fire() const { return next_fire_; }
+
+  /// Length of one tick in cycles.
+  Cycles period() const { return period_; }
+
+  /// Acknowledges the tick at `now` and schedules the next one.
+  void acknowledge(Cycles now);
+
+  /// Total ticks fired since boot.
+  std::uint64_t ticks_fired() const { return fired_; }
+
+ private:
+  Cycles period_;
+  Cycles next_fire_;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace mtr::hw

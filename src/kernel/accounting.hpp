@@ -1,0 +1,110 @@
+// Accounting instrumentation.
+//
+// The kernel publishes every accounting-relevant event through the
+// AccountingHook interface. The commodity tick meter, the fine-grained TSC
+// meter, the process-aware (PAIS) meter and the integrity monitors are all
+// observers of the same stream, so one simulated run yields every meter's
+// verdict simultaneously — the experiments compare them directly.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "kernel/step.hpp"
+
+namespace mtr::kernel {
+
+/// What a slice of CPU time was spent doing. `kUserCompute` runs in user
+/// mode; everything else is kernel-mode work.
+enum class WorkKind : std::uint8_t {
+  kUserCompute,
+  kSyscallEntry,
+  kSyscallBody,
+  kSyscallExit,
+  kTimerIrq,
+  kDeviceIrq,
+  kContextSwitch,
+  kSignalGenerate,
+  kSignalDeliver,
+  kPageFaultMinor,
+  kPageFaultMajor,
+  kDebugException,
+  kIdle,
+};
+
+const char* to_string(WorkKind k);
+
+inline constexpr CpuMode mode_of(WorkKind k) {
+  return k == WorkKind::kUserCompute ? CpuMode::kUser : CpuMode::kKernel;
+}
+
+/// Observer of kernel accounting events. Default implementations ignore
+/// everything; meters override what they need. Hooks must not mutate kernel
+/// state.
+class AccountingHook {
+ public:
+  virtual ~AccountingHook() = default;
+
+  /// `amount` cycles were consumed while `current` was the running context.
+  /// `beneficiary` is the process the work actually served: equal to
+  /// `current` for its own compute/syscalls/faults, the I/O owner for disk
+  /// completions, and invalid (system) for unsolicited work such as junk-
+  /// packet interrupts. The distinction is exactly what separates the
+  /// commodity accounting policy from process-aware accounting.
+  virtual void on_cycles(Cycles now, Pid current, Tgid current_tg, WorkKind kind,
+                         Cycles amount, Pid beneficiary) {
+    (void)now; (void)current; (void)current_tg; (void)kind; (void)amount;
+    (void)beneficiary;
+  }
+
+  /// A timer tick fired while `current` ran in `mode` — the commodity
+  /// kernel charges one whole jiffy to `current` on this event.
+  virtual void on_tick(Cycles now, Pid current, Tgid current_tg, CpuMode mode) {
+    (void)now; (void)current; (void)current_tg; (void)mode;
+  }
+
+  virtual void on_context_switch(Cycles now, Pid from, Pid to) {
+    (void)now; (void)from; (void)to;
+  }
+
+  /// A code object was mapped into `space` (execve image, shared library,
+  /// injected payload…). Source-integrity raw material.
+  virtual void on_code_mapped(Cycles now, Tgid space, const CodeMapping& mapping) {
+    (void)now; (void)space; (void)mapping;
+  }
+
+  /// A process began a new program step; `tag` names compute regions (empty
+  /// for untagged), `kind_name` is "compute"/"syscall:<name>"/"exit".
+  /// Execution-integrity raw material.
+  virtual void on_step_begin(Cycles now, Pid pid, Tgid tgid, std::string_view kind_name,
+                             std::string_view tag) {
+    (void)now; (void)pid; (void)tgid; (void)kind_name; (void)tag;
+  }
+
+  /// Process lifecycle, for report boundaries.
+  virtual void on_process_created(Cycles now, Pid pid, Tgid tgid, Pid parent,
+                                  std::string_view program_name) {
+    (void)now; (void)pid; (void)tgid; (void)parent; (void)program_name;
+  }
+  virtual void on_process_exited(Cycles now, Pid pid, Tgid tgid, int code) {
+    (void)now; (void)pid; (void)tgid; (void)code;
+  }
+};
+
+/// Fan-out list of hooks owned by the kernel.
+class HookList final {
+ public:
+  void add(AccountingHook* hook) { hooks_.push_back(hook); }
+
+  template <typename F>
+  void each(F&& f) const {
+    for (AccountingHook* h : hooks_) f(*h);
+  }
+
+ private:
+  std::vector<AccountingHook*> hooks_;
+};
+
+}  // namespace mtr::kernel

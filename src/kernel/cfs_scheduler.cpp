@@ -1,0 +1,92 @@
+#include "kernel/cfs_scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace mtr::kernel {
+
+namespace {
+// Linux kernel prio_to_weight[] — nice -20 .. 19.
+constexpr std::uint32_t kWeights[40] = {
+    88761, 71755, 56483, 46273, 36291, 29154, 23254, 18705, 14949, 11916,
+    9548,  7620,  6100,  4904,  3906,  3121,  2501,  1991,  1586,  1277,
+    1024,  820,   655,   526,   423,   335,   272,   215,   172,   137,
+    110,   87,    70,    56,    45,    36,    29,    23,    18,    15};
+constexpr std::uint32_t kNice0Weight = 1024;
+}  // namespace
+
+std::uint32_t CfsScheduler::weight_of(Nice n) {
+  return kWeights[static_cast<std::size_t>(n.v + 20)];
+}
+
+CfsScheduler::CfsScheduler(CpuHz cpu)
+    : cpu_(cpu),
+      // 20 ms latency, 4 ms minimum granularity (desktop defaults of the era).
+      sched_latency_{cpu.v / 50},
+      min_granularity_{cpu.v / 250} {}
+
+Cycles CfsScheduler::min_vruntime() const {
+  if (tree_.empty()) return floor_;
+  return std::max(floor_, (*tree_.begin())->sched.vruntime);
+}
+
+void CfsScheduler::enqueue(Process& p, Cycles now, bool preempted) {
+  (void)now;
+  MTR_ENSURE_MSG(!p.sched.queued, "double enqueue of " << p.pid);
+  // Wakeup placement: don't let a long sleeper hoard credit — clamp to the
+  // current floor minus half a latency window. Preempted tasks keep their
+  // vruntime untouched (they were not sleeping).
+  if (!preempted) {
+    const Cycles base = min_vruntime();
+    const Cycles bonus = Cycles{sched_latency_.v / 2};
+    const Cycles floor_adjusted = base.v > bonus.v ? base - bonus : Cycles{0};
+    p.sched.vruntime = std::max(p.sched.vruntime, floor_adjusted);
+  }
+  const auto [it, inserted] = tree_.insert(&p);
+  MTR_ENSURE(inserted);
+  p.sched.queued = true;
+}
+
+void CfsScheduler::dequeue(Process& p) {
+  if (!p.sched.queued) return;
+  const auto erased = tree_.erase(&p);
+  MTR_ENSURE_MSG(erased == 1, "queued process missing from CFS tree");
+  p.sched.queued = false;
+}
+
+Process* CfsScheduler::pick_next(Cycles now) {
+  (void)now;
+  if (tree_.empty()) return nullptr;
+  Process* p = *tree_.begin();
+  tree_.erase(tree_.begin());
+  p->sched.queued = false;
+  floor_ = std::max(floor_, p->sched.vruntime);
+  return p;
+}
+
+void CfsScheduler::on_ran(Process& current, Cycles ran) {
+  // vruntime advances inversely with weight: delta * 1024 / weight.
+  const std::uint64_t scaled =
+      ran.v * kNice0Weight / weight_of(current.nice);
+  current.sched.vruntime += Cycles{std::max<std::uint64_t>(scaled, 1)};
+}
+
+bool CfsScheduler::on_tick(Process& current, Cycles now) {
+  (void)now;
+  if (tree_.empty()) return false;
+  const Process* leftmost = *tree_.begin();
+  // Preempt when the current task has out-run the leftmost by more than the
+  // minimum granularity.
+  return current.sched.vruntime >
+         leftmost->sched.vruntime + min_granularity_;
+}
+
+bool CfsScheduler::should_preempt(const Process& current,
+                                  const Process& woken) const {
+  // Wakeup preemption: the woken task must undercut the current vruntime by
+  // the wakeup granularity (approximated with min_granularity_).
+  return woken.sched.vruntime + min_granularity_ < current.sched.vruntime;
+}
+
+}  // namespace mtr::kernel

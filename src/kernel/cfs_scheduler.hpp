@@ -1,0 +1,49 @@
+// A CFS-like completely fair scheduler: weighted virtual runtime, red-black-
+// tree order (std::set here), sched-latency based preemption. Included
+// because the paper remarks that the 2.6.23+ Completely Fair Scheduler still
+// updates CPU time from the timer tick — the metering vulnerability is
+// independent of the scheduling policy. `bench/tab_scheduler_ablation`
+// quantifies that claim.
+#pragma once
+
+#include <set>
+
+#include "kernel/scheduler.hpp"
+
+namespace mtr::kernel {
+
+class CfsScheduler final : public Scheduler {
+ public:
+  explicit CfsScheduler(CpuHz cpu);
+
+  void enqueue(Process& p, Cycles now, bool preempted = false) override;
+  void dequeue(Process& p) override;
+  Process* pick_next(Cycles now) override;
+  bool on_tick(Process& current, Cycles now) override;
+  void on_ran(Process& current, Cycles ran) override;
+  bool should_preempt(const Process& current, const Process& woken) const override;
+  std::string name() const override { return "cfs"; }
+
+  /// Load weight for a nice level (Linux prio_to_weight table).
+  static std::uint32_t weight_of(Nice n);
+
+ private:
+  struct Order {
+    bool operator()(const Process* a, const Process* b) const {
+      if (a->sched.vruntime != b->sched.vruntime)
+        return a->sched.vruntime < b->sched.vruntime;
+      return a->pid < b->pid;
+    }
+  };
+
+  Cycles min_vruntime() const;
+
+  CpuHz cpu_;
+  Cycles sched_latency_;      // target period over all runnable tasks
+  Cycles min_granularity_;    // floor on preemption interval
+  std::set<Process*, Order> tree_;
+  Process* last_min_ = nullptr;  // cached floor for wakeup placement
+  Cycles floor_{0};              // monotonically advancing min vruntime
+};
+
+}  // namespace mtr::kernel

@@ -1,0 +1,796 @@
+#include "kernel/kernel.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace mtr::kernel {
+
+const char* to_string(WorkKind k) {
+  switch (k) {
+    case WorkKind::kUserCompute: return "user";
+    case WorkKind::kSyscallEntry: return "sys-entry";
+    case WorkKind::kSyscallBody: return "sys-body";
+    case WorkKind::kSyscallExit: return "sys-exit";
+    case WorkKind::kTimerIrq: return "timer-irq";
+    case WorkKind::kDeviceIrq: return "device-irq";
+    case WorkKind::kContextSwitch: return "ctx-switch";
+    case WorkKind::kSignalGenerate: return "sig-gen";
+    case WorkKind::kSignalDeliver: return "sig-deliver";
+    case WorkKind::kPageFaultMinor: return "fault-minor";
+    case WorkKind::kPageFaultMajor: return "fault-major";
+    case WorkKind::kDebugException: return "debug-exc";
+    case WorkKind::kIdle: return "idle";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Program-visible context.
+// ---------------------------------------------------------------------------
+
+class KernelProcessContext final : public ProcessContext {
+ public:
+  KernelProcessContext(Kernel& k, Process& p) : kernel_(k), proc_(p) {}
+
+  Pid pid() const override { return proc_.pid; }
+  Tgid tgid() const override { return proc_.tgid; }
+  std::int64_t last_result() const override { return proc_.last_syscall_result; }
+  Cycles now() const override { return kernel_.now_; }
+  Xoshiro256& rng() override { return proc_.rng; }
+
+ private:
+  Kernel& kernel_;
+  Process& proc_;
+};
+
+// ---------------------------------------------------------------------------
+// Construction and setup.
+// ---------------------------------------------------------------------------
+
+Kernel::Kernel(KernelConfig config, std::unique_ptr<Scheduler> scheduler)
+    : config_(config),
+      scheduler_(std::move(scheduler)),
+      mm_(config.ram_frames, config.reclaim_batch, config.swap_readahead),
+      timer_(config.cpu, config.hz),
+      nic_(config.cpu),
+      disk_(config.costs.disk_latency),
+      rng_(config.seed) {
+  MTR_ENSURE_MSG(scheduler_ != nullptr, "kernel requires a scheduler");
+}
+
+Kernel::~Kernel() = default;
+
+Pid Kernel::allocate_pid() { return Pid{next_pid_++}; }
+
+Process& Kernel::create_process(std::string name, std::unique_ptr<Program> program,
+                                Pid parent, Tgid tgid, Nice nice, bool privileged) {
+  MTR_ENSURE_MSG(program != nullptr, "process needs a program");
+  const Pid pid = allocate_pid();
+  const Tgid group = tgid.valid() ? tgid : Tgid{pid.v};
+  auto proc = std::make_unique<Process>(pid, group, parent, std::move(name),
+                                        std::move(program), nice,
+                                        SplitMix64(config_.seed ^ static_cast<std::uint64_t>(pid.v)).next());
+  proc->privileged = privileged;
+  if (!tgid.valid()) mm_.create_space(group);
+  Process& ref = *proc;
+  procs_.emplace(pid, std::move(proc));
+  creation_order_.push_back(pid);
+  ++alive_count_;
+  hooks_.each([&](AccountingHook& h) {
+    h.on_process_created(now_, pid, group, parent, ref.program->name());
+  });
+  return ref;
+}
+
+Pid Kernel::spawn(SpawnSpec spec) {
+  MTR_ENSURE_MSG(spec.program, "spawn needs a program factory");
+  Process& p = create_process(spec.name, spec.program(), Pid{}, Tgid{}, spec.nice,
+                              spec.privileged);
+  p.state = ProcState::kReady;
+  scheduler_->enqueue(p, now_);
+  if (current_ != nullptr && scheduler_->should_preempt(*current_, p))
+    need_resched_ = true;
+  return p.pid;
+}
+
+Process& Kernel::process(Pid pid) {
+  const auto it = procs_.find(pid);
+  MTR_ENSURE_MSG(it != procs_.end(), "unknown " << pid);
+  return *it->second;
+}
+
+const Process& Kernel::process(Pid pid) const {
+  const auto it = procs_.find(pid);
+  MTR_ENSURE_MSG(it != procs_.end(), "unknown " << pid);
+  return *it->second;
+}
+
+GroupUsage Kernel::group_usage(Tgid tg) const {
+  GroupUsage u;
+  bool any = false;
+  for (const auto& [pid, proc] : procs_) {
+    if (proc->tgid != tg) continue;
+    any = true;
+    u.ticks += proc->tick_usage;
+    u.true_cycles += proc->true_usage;
+    u.voluntary_switches += proc->voluntary_switches;
+    u.involuntary_switches += proc->involuntary_switches;
+    u.minor_faults += proc->minor_faults;
+    u.major_faults += proc->major_faults;
+    u.signals_received += proc->signals_received;
+    u.debug_exceptions += proc->debug_exceptions;
+  }
+  MTR_ENSURE_MSG(any, "no processes in thread group " << tg.v);
+  return u;
+}
+
+void Kernel::set_nice(Pid pid, Nice nice) {
+  Process& p = process(pid);
+  const Nice clamped{std::clamp<std::int8_t>(nice.v, kNiceMin.v, kNiceMax.v)};
+  const bool queued = p.sched.queued;
+  if (queued) scheduler_->dequeue(p);  // leave the old priority level first
+  p.nice = clamped;
+  p.sched.quantum_ticks_left = 0;  // timeslice re-derived from the new level
+  if (queued) scheduler_->enqueue(p, now_);
+  if (current_ != nullptr && p.runnable() && &p != current_ &&
+      scheduler_->should_preempt(*current_, p)) {
+    need_resched_ = true;
+  }
+}
+
+void Kernel::force_kill(Pid pid) {
+  if (!has_process(pid)) return;
+  Process& p = process(pid);
+  if (!p.alive()) return;
+  p.pending_signals.push_back(PendingSignal{Signal::kKill, Pid{}});
+  if (p.state == ProcState::kSleeping || p.state == ProcState::kStopped) {
+    wake_process(p);
+  }
+}
+
+bool Kernel::all_work_done() const { return alive_count_ == 0; }
+
+// ---------------------------------------------------------------------------
+// Accounting primitives.
+// ---------------------------------------------------------------------------
+
+void Kernel::charge(Process* p, WorkKind kind, Cycles amount, Pid beneficiary) {
+  if (amount.v == 0) return;
+  now_ += amount;
+  if (p != nullptr) {
+    if (mode_of(kind) == CpuMode::kUser) {
+      p->true_usage.user += amount;
+    } else {
+      p->true_usage.system += amount;
+    }
+    scheduler_->on_ran(*p, amount);
+    const Pid pid = p->pid;
+    const Tgid tg = p->tgid;
+    hooks_.each([&](AccountingHook& h) {
+      h.on_cycles(now_, pid, tg, kind, amount, beneficiary);
+    });
+  } else {
+    if (mode_of(kind) == CpuMode::kUser) {
+      idle_cycles_.user += amount;
+    } else {
+      idle_cycles_.system += amount;
+    }
+    hooks_.each([&](AccountingHook& h) {
+      h.on_cycles(now_, kIdlePid, Tgid{0}, kind, amount, beneficiary);
+    });
+  }
+}
+
+void Kernel::charge_idle(Cycles amount) {
+  charge(nullptr, WorkKind::kIdle, amount, Pid{});
+}
+
+void Kernel::push_kwork(Process& p, Cycles cost, WorkKind kind, KernelAction action,
+                        Pid beneficiary) {
+  p.kwork.push_back(KernelWork{cost, static_cast<std::uint8_t>(kind),
+                               static_cast<int>(action), beneficiary});
+}
+
+CpuMode Kernel::current_mode(const Process& p) const {
+  if (!p.kwork.empty()) return CpuMode::kKernel;
+  if (p.user.active) return CpuMode::kUser;
+  // Between steps: the kernel is fetching work on the process's behalf.
+  return CpuMode::kKernel;
+}
+
+// ---------------------------------------------------------------------------
+// Main loop.
+// ---------------------------------------------------------------------------
+
+std::optional<Cycles> Kernel::next_external_event() const {
+  std::optional<Cycles> next = timer_.next_fire();
+  const auto consider = [&next](std::optional<Cycles> t) {
+    if (t && (!next || *t < *next)) next = t;
+  };
+  consider(nic_.next_arrival());
+  consider(disk_.next_completion());
+  if (!sleepers_.empty()) consider(sleepers_.top().first);
+  return next;
+}
+
+Cycles Kernel::run(Cycles limit) {
+  while (now_ < limit) {
+    // Deliver any events that are already due (late interrupts fire first).
+    while (auto evt = next_external_event()) {
+      if (*evt > now_) break;
+      dispatch_external();
+      if (current_ != nullptr && !current_->runnable()) stop_current_and_switch();
+    }
+
+    if (current_ == nullptr || need_resched_) {
+      if (current_ != nullptr) {
+        preempt_current();
+      }
+      Process* next = scheduler_->pick_next(now_);
+      if (next != nullptr) context_switch_in(*next);
+    }
+
+    if (current_ == nullptr) {
+      // Idle: fast-forward to the next event, if any work can still arrive.
+      if (all_work_done()) break;
+      const auto evt = next_external_event();
+      MTR_ENSURE_MSG(evt.has_value(), "sleepers exist but no wake event");
+      if (*evt >= limit) {
+        charge_idle(limit - now_);
+        break;
+      }
+      if (*evt > now_) charge_idle(*evt - now_);
+      dispatch_external();
+      continue;
+    }
+
+    // Run the current process up to the next external event (or the limit).
+    // A context-switch charge above may have advanced past a due event; the
+    // clamped boundary makes run_current a no-op and the event dispatches.
+    Cycles boundary = limit;
+    if (const auto evt = next_external_event()) boundary = std::min(boundary, *evt);
+    boundary = std::max(boundary, now_);
+
+    const RunStop stop = run_current(boundary);
+    switch (stop) {
+      case RunStop::kBoundary: {
+        // An interrupt is due (or the limit was reached).
+        const auto evt = next_external_event();
+        if (evt && *evt <= now_) dispatch_external();
+        break;
+      }
+      case RunStop::kBlocked:
+        stop_current_and_switch();
+        break;
+      case RunStop::kResched:
+        // Loop top performs the preemption.
+        break;
+    }
+    if (current_ != nullptr && !current_->runnable()) stop_current_and_switch();
+  }
+  return now_;
+}
+
+// ---------------------------------------------------------------------------
+// Current-process execution.
+// ---------------------------------------------------------------------------
+
+RunStop Kernel::run_current(Cycles boundary) {
+  MTR_ENSURE(current_ != nullptr);
+  while (now_ < boundary) {
+    Process& p = *current_;
+
+    if (!p.kwork.empty()) {
+      if (!run_kernel_work(boundary)) return RunStop::kBoundary;
+      if (!p.runnable()) return RunStop::kBlocked;
+      if (need_resched_) return RunStop::kResched;
+      continue;
+    }
+
+    if (!p.pending_signals.empty()) {
+      if (process_one_signal(p)) continue;
+    }
+
+    if (!p.user.active) {
+      if (!fetch_next_step(p)) {
+        // Process exited synchronously while fetching (exit step pushes
+        // kernel work, so this only happens on runnable-state change).
+        if (!p.runnable()) return RunStop::kBlocked;
+        continue;
+      }
+      continue;
+    }
+
+    run_user_compute(boundary);
+    if (!p.runnable()) return RunStop::kBlocked;
+    if (need_resched_) return RunStop::kResched;
+  }
+  return RunStop::kBoundary;
+}
+
+bool Kernel::run_kernel_work(Cycles boundary) {
+  Process& p = *current_;
+  MTR_ENSURE(!p.kwork.empty());
+  KernelWork& w = p.kwork.front();
+  const Cycles budget = boundary - now_;
+  if (budget.v == 0) return false;
+
+  const Cycles slice = std::min(w.remaining, budget);
+  charge(&p, static_cast<WorkKind>(w.kind), slice,
+         w.beneficiary.valid() ? w.beneficiary : p.pid);
+  w.remaining -= slice;
+  if (w.remaining.v > 0) return false;  // boundary reached mid-work
+
+  const auto action = static_cast<KernelAction>(w.action);
+  p.kwork.pop_front();
+  apply_action(action);
+  return true;
+}
+
+bool Kernel::fetch_next_step(Process& p) {
+  KernelProcessContext ctx(*this, p);
+  Step step = p.program->next(ctx);
+
+  struct Visitor {
+    Kernel& k;
+    Process& p;
+
+    void operator()(ComputeStep& s) {
+      k.hooks_.each([&](AccountingHook& h) {
+        h.on_step_begin(k.now_, p.pid, p.tgid, "compute", s.tag);
+      });
+      k.begin_user_step(p, std::move(s));
+    }
+    void operator()(SyscallStep& s) {
+      k.hooks_.each([&](AccountingHook& h) {
+        h.on_step_begin(k.now_, p.pid, p.tgid, syscall_name(s.req), "");
+      });
+      p.pending_syscall = std::move(s.req);
+      k.push_kwork(p, k.config_.costs.syscall_entry, WorkKind::kSyscallEntry,
+                   KernelAction::kNone);
+      Cycles body = k.config_.costs.generic_syscall;
+      const SyscallRequest& req = *p.pending_syscall;
+      if (std::holds_alternative<SysFork>(req) || std::holds_alternative<SysClone>(req)) {
+        body = k.config_.costs.fork_base;
+      } else if (std::holds_alternative<SysExecve>(req)) {
+        body = k.config_.costs.execve_base;
+      } else if (std::holds_alternative<SysWait>(req)) {
+        body = k.config_.costs.wait_base;
+      } else if (std::holds_alternative<SysPtrace>(req)) {
+        body = k.config_.costs.ptrace_base;
+      } else if (std::holds_alternative<SysKill>(req)) {
+        body = k.config_.costs.signal_generate;
+      } else if (const auto* gen = std::get_if<SysGeneric>(&req)) {
+        body = gen->body_cost;
+      }
+      k.push_kwork(p, body, WorkKind::kSyscallBody, KernelAction::kApplySyscall);
+    }
+    void operator()(ExitStep& s) {
+      k.hooks_.each([&](AccountingHook& h) {
+        h.on_step_begin(k.now_, p.pid, p.tgid, "exit", "");
+      });
+      p.exit_code = s.code;
+      k.push_kwork(p, k.config_.costs.exit_base, WorkKind::kSyscallBody,
+                   KernelAction::kFinishExit);
+    }
+  };
+  std::visit(Visitor{*this, p}, step);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// User compute with memory touches and hot (breakpoint) accesses.
+// ---------------------------------------------------------------------------
+
+void Kernel::begin_user_step(Process& p, ComputeStep step) {
+  UserWork& u = p.user;
+  u.step = std::move(step);
+  u.remaining = u.step.cycles;
+  u.until_next_touch = u.step.mem.touches_memory() ? u.step.mem.touch_period : Cycles{0};
+  u.active = u.remaining.v > 0;
+  refresh_hot_schedule(p);
+  if (!u.active) return;
+}
+
+void Kernel::refresh_hot_schedule(Process& p) {
+  UserWork& u = p.user;
+  u.until_hot.assign(u.step.mem.hot.size(), Cycles{0});
+  for (std::size_t i = 0; i < u.step.mem.hot.size(); ++i) {
+    // Hot accesses only cost engine events while a matching debug register
+    // is armed; otherwise they are ordinary loads inside the compute slab.
+    if (p.dregs.any_armed() && p.dregs.match(u.step.mem.hot[i].addr)) {
+      u.until_hot[i] = u.step.mem.hot[i].period;
+    } else {
+      u.until_hot[i] = Cycles{UINT64_MAX};
+    }
+  }
+}
+
+void Kernel::run_user_compute(Cycles boundary) {
+  Process& p = *current_;
+  UserWork& u = p.user;
+  MTR_ENSURE(u.active);
+
+  while (now_ < boundary && u.active && p.kwork.empty() && !need_resched_) {
+    // The next micro-event: step end, page touch, hot access, or boundary.
+    Cycles slice = std::min(u.remaining, boundary - now_);
+    bool is_touch = false;
+    std::size_t hot_idx = SIZE_MAX;
+    if (u.step.mem.touches_memory() && u.until_next_touch < slice) {
+      slice = u.until_next_touch;
+      is_touch = true;
+    }
+    for (std::size_t i = 0; i < u.until_hot.size(); ++i) {
+      if (u.until_hot[i] < slice || (u.until_hot[i] == slice && is_touch)) {
+        // Hot accesses win ties so breakpoints fire deterministically.
+        if (u.until_hot[i] <= slice) {
+          slice = u.until_hot[i];
+          is_touch = false;
+          hot_idx = i;
+        }
+      }
+    }
+
+    if (slice.v > 0) {
+      charge(&p, WorkKind::kUserCompute, slice, p.pid);
+      u.remaining -= slice;
+      if (u.step.mem.touches_memory()) u.until_next_touch -= slice;
+      for (auto& h : u.until_hot) {
+        if (h.v != UINT64_MAX) h -= slice;
+      }
+    }
+
+    if (u.remaining.v == 0) {
+      u.active = false;
+      return;
+    }
+    if (hot_idx != SIZE_MAX && u.until_hot[hot_idx].v == 0) {
+      u.until_hot[hot_idx] = u.step.mem.hot[hot_idx].period;
+      hot_access(p, hot_idx);
+      return;  // exception processing takes over
+    }
+    if (is_touch && u.until_next_touch.v == 0) {
+      u.until_next_touch = u.step.mem.touch_period;
+      touch_memory(p);
+      if (!p.kwork.empty()) return;  // fault handling takes over
+    }
+    if (slice.v == 0 && !is_touch && hot_idx == SIZE_MAX) {
+      return;  // boundary exactly at now_
+    }
+  }
+}
+
+void Kernel::touch_memory(Process& p) {
+  UserWork& u = p.user;
+  const auto& pages = u.step.mem.pages;
+  MTR_ENSURE(!pages.empty());
+  const PageId page = pages[p.mem_cursor % pages.size()];
+  ++p.mem_cursor;
+
+  const mm::TouchResult r = mm_.touch(p.tgid, page);
+  // Direct reclaim: the allocating process pays the LRU scan for the frames
+  // the reclaimer had to free on its behalf.
+  const Cycles reclaim_cost =
+      config_.costs.direct_reclaim_per_page * std::uint64_t{r.evictions};
+  switch (r.fault) {
+    case mm::FaultKind::kNone:
+      return;
+    case mm::FaultKind::kMinor:
+      ++p.minor_faults;
+      push_kwork(p, config_.costs.page_fault_minor + reclaim_cost,
+                 WorkKind::kPageFaultMinor, KernelAction::kNone);
+      return;
+    case mm::FaultKind::kMajor:
+      ++p.major_faults;
+      push_kwork(p, config_.costs.page_fault_major + reclaim_cost,
+                 WorkKind::kPageFaultMajor, KernelAction::kBlockOnDisk);
+      return;
+  }
+}
+
+void Kernel::hot_access(Process& p, std::size_t hot_index) {
+  (void)hot_index;
+  ++p.debug_exceptions;
+  // #DB dispatch runs in the tracee's kernel context, then a SIGTRAP trace
+  // stop is delivered — precisely the thrashing attack's cost vehicle. The
+  // true beneficiary of all of it is the tracer who armed the breakpoint.
+  push_kwork(p, config_.costs.debug_exception, WorkKind::kDebugException,
+             KernelAction::kNone, p.tracer);
+  p.pending_signals.push_back(PendingSignal{Signal::kTrap, p.tracer});
+}
+
+// ---------------------------------------------------------------------------
+// Signals.
+// ---------------------------------------------------------------------------
+
+bool Kernel::process_one_signal(Process& p) {
+  MTR_ENSURE(!p.pending_signals.empty());
+  const PendingSignal pending = p.pending_signals.front();
+  p.pending_signals.pop_front();
+  ++p.signals_received;
+  const Signal sig = pending.sig;
+  // Delivery work serves whoever raised the signal (process-aware meters
+  // re-attribute on this).
+  const Pid beneficiary = pending.sender;
+
+  switch (sig) {
+    case Signal::kChld:
+    case Signal::kCont:
+    case Signal::kUsr1:
+      return false;  // default action: ignore (no kernel work)
+    case Signal::kStop:
+      push_kwork(p, config_.costs.signal_deliver, WorkKind::kSignalDeliver,
+                 KernelAction::kStopSelf, beneficiary);
+      return true;
+    case Signal::kTrap:
+      if (p.traced()) {
+        push_kwork(p, config_.costs.signal_deliver, WorkKind::kSignalDeliver,
+                   KernelAction::kStopSelf, beneficiary);
+      } else {
+        p.exit_code = 128 + 5;
+        push_kwork(p, config_.costs.signal_deliver, WorkKind::kSignalDeliver,
+                   KernelAction::kFinishExit, beneficiary);
+      }
+      return true;
+    case Signal::kKill:
+      p.exit_code = 128 + 9;
+      push_kwork(p, config_.costs.signal_deliver, WorkKind::kSignalDeliver,
+                 KernelAction::kFinishExit, beneficiary);
+      return true;
+    case Signal::kSegv:
+      p.exit_code = 128 + 11;
+      push_kwork(p, config_.costs.signal_deliver, WorkKind::kSignalDeliver,
+                 KernelAction::kFinishExit, beneficiary);
+      return true;
+  }
+  return false;
+}
+
+void Kernel::send_signal(Process& target, Signal sig) {
+  if (!target.alive()) return;
+  charge(current_, WorkKind::kSignalGenerate, config_.costs.signal_generate,
+         current_ != nullptr ? current_->pid : Pid{});
+  target.pending_signals.push_back(
+      PendingSignal{sig, current_ != nullptr ? current_->pid : Pid{}});
+
+  if (sig == Signal::kCont && target.state == ProcState::kStopped) {
+    target.trace_stopped = false;
+    wake_process(target);
+    return;
+  }
+  if (target.state == ProcState::kSleeping &&
+      target.sleep_reason != SleepReason::kDiskIo) {
+    wake_process(target);  // interruptible sleep broken by any signal
+    return;
+  }
+  if ((sig == Signal::kKill) && target.state == ProcState::kStopped) {
+    wake_process(target);  // SIGKILL cannot be blocked by a stop
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wakeups, switches, notifications.
+// ---------------------------------------------------------------------------
+
+void Kernel::wake_process(Process& p) {
+  MTR_ENSURE(p.alive());
+  if (p.runnable()) return;
+  // Waking from a blocking sleep earns the interactivity credit the O(1)
+  // policy turns into a dynamic-priority bonus.
+  if (p.state == ProcState::kSleeping) {
+    p.sched.wake_boost = true;
+    p.sched.cpu_hog = false;  // it slept: no longer a hog
+  }
+  p.state = ProcState::kReady;
+  p.sleep_reason = SleepReason::kNone;
+  scheduler_->enqueue(p, now_);
+  if (current_ != nullptr && scheduler_->should_preempt(*current_, p))
+    need_resched_ = true;
+}
+
+void Kernel::preempt_current() {
+  MTR_ENSURE(current_ != nullptr);
+  Process& out = *current_;
+  need_resched_ = false;
+  charge(&out, WorkKind::kContextSwitch, config_.costs.context_switch, out.pid);
+  if (out.runnable()) {
+    out.state = ProcState::kReady;
+    ++out.involuntary_switches;
+    scheduler_->enqueue(out, now_, /*preempted=*/true);
+  }
+  hooks_.each([&](AccountingHook& h) { h.on_context_switch(now_, out.pid, Pid{}); });
+  current_ = nullptr;
+}
+
+void Kernel::stop_current_and_switch() {
+  MTR_ENSURE(current_ != nullptr);
+  Process& out = *current_;
+  charge(&out, WorkKind::kContextSwitch, config_.costs.context_switch, out.pid);
+  ++out.voluntary_switches;
+  hooks_.each([&](AccountingHook& h) { h.on_context_switch(now_, out.pid, Pid{}); });
+  current_ = nullptr;
+}
+
+void Kernel::context_switch_in(Process& next) {
+  MTR_ENSURE(current_ == nullptr);
+  MTR_ENSURE_MSG(next.state == ProcState::kReady, "picked process not ready");
+  next.state = ProcState::kRunning;
+  current_ = &next;
+  // Re-derive the hot-access schedule: debug registers may have been armed
+  // while the process was stopped.
+  if (next.user.active) refresh_hot_schedule(next);
+  hooks_.each([&](AccountingHook& h) { h.on_context_switch(now_, Pid{}, next.pid); });
+}
+
+void Kernel::notify_stop(Process& stopped) {
+  const Pid target_pid = stopped.traced() ? stopped.tracer : stopped.parent;
+  if (!target_pid.valid() || !has_process(target_pid)) return;
+  Process& target = process(target_pid);
+  if (!target.alive()) return;
+  target.stop_notifications.push_back(stopped.pid);
+  if (target.state == ProcState::kSleeping &&
+      target.sleep_reason == SleepReason::kWaitChild) {
+    wake_process(target);
+  }
+}
+
+void Kernel::notify_exit(Process& dead) {
+  const Pid target_pid = dead.traced() ? dead.tracer : dead.parent;
+  if (!target_pid.valid() || !has_process(target_pid) ||
+      !process(target_pid).alive()) {
+    dead.state = ProcState::kReaped;  // no one to wait: auto-reap
+    return;
+  }
+  Process& target = process(target_pid);
+  target.zombies_to_reap.push_back(dead.pid);
+  send_signal(target, Signal::kChld);
+  if (target.state == ProcState::kSleeping &&
+      target.sleep_reason == SleepReason::kWaitChild) {
+    wake_process(target);
+  }
+}
+
+void Kernel::reap(Process& parent, Process& child) {
+  child.state = ProcState::kReaped;
+  const auto it = std::find(parent.children.begin(), parent.children.end(), child.pid);
+  if (it != parent.children.end()) parent.children.erase(it);
+
+  // A tracer reaping a tracee releases the trace link...
+  if (child.traced() && has_process(child.tracer)) {
+    Process& tracer = process(child.tracer);
+    const auto tit = std::find(tracer.tracees.begin(), tracer.tracees.end(), child.pid);
+    if (tit != tracer.tracees.end()) tracer.tracees.erase(tit);
+  }
+  // ...and the real parent, if it is someone else, finally gets its own
+  // wait() satisfied (the tracer held the zombie until now).
+  if (child.traced() && child.parent.valid() && child.parent != parent.pid &&
+      has_process(child.parent)) {
+    Process& real_parent = process(child.parent);
+    if (real_parent.alive()) {
+      real_parent.zombies_to_reap.push_back(child.pid);
+      if (real_parent.state == ProcState::kSleeping &&
+          real_parent.sleep_reason == SleepReason::kWaitChild) {
+        wake_process(real_parent);
+      }
+    }
+  }
+  child.tracer = Pid{};
+}
+
+// ---------------------------------------------------------------------------
+// External events.
+// ---------------------------------------------------------------------------
+
+void Kernel::dispatch_external() {
+  const auto evt = next_external_event();
+  MTR_ENSURE(evt.has_value());
+
+  // Priority at equal timestamps: timer, disk, nic, sleepers.
+  if (timer_.next_fire() == *evt) {
+    handle_timer_tick();
+    return;
+  }
+  if (disk_.next_completion() && *disk_.next_completion() == *evt) {
+    handle_disk_completion();
+    return;
+  }
+  if (nic_.next_arrival() && *nic_.next_arrival() == *evt) {
+    handle_nic_arrival();
+    return;
+  }
+  handle_sleep_expiries();
+}
+
+void Kernel::handle_timer_tick() {
+  const Cycles due = timer_.next_fire();
+  if (now_ < due) {
+    // The CPU was idle up to the tick (running paths dispatch on time).
+    charge_idle(due - now_);
+  }
+  timer_.acknowledge(now_ < due ? due : now_);
+
+  // Jiffy accounting — the commodity scheme the paper attacks. One whole
+  // tick lands on whichever context is current, by its mode at the
+  // interrupt, regardless of how little of the tick it actually ran.
+  // A late dispatch means the tick was due while an uninterruptible kernel
+  // window ran (interrupt handler, context switch): kernel mode.
+  if (current_ != nullptr) {
+    Process& p = *current_;
+    const CpuMode mode = (now_ > due) ? CpuMode::kKernel : current_mode(p);
+    if (mode == CpuMode::kUser) {
+      p.tick_usage.utime += Ticks{1};
+    } else {
+      p.tick_usage.stime += Ticks{1};
+    }
+    const Pid pid = p.pid;
+    const Tgid tg = p.tgid;
+    hooks_.each([&](AccountingHook& h) { h.on_tick(now_, pid, tg, mode); });
+  } else {
+    idle_ticks_ += Ticks{1};
+    hooks_.each([&](AccountingHook& h) {
+      h.on_tick(now_, kIdlePid, Tgid{0}, CpuMode::kKernel);
+    });
+  }
+
+  // The tick handler itself costs CPU, billed to the interrupted context.
+  charge(current_, WorkKind::kTimerIrq,
+         config_.costs.interrupt_entry + config_.costs.timer_handler +
+             config_.costs.interrupt_exit,
+         current_ != nullptr ? current_->pid : Pid{});
+
+  // Scheduler tick: quantum/fairness bookkeeping.
+  if (current_ != nullptr && scheduler_->on_tick(*current_, now_)) {
+    need_resched_ = true;
+  }
+}
+
+void Kernel::handle_nic_arrival() {
+  const Cycles due = *nic_.next_arrival();
+  if (now_ < due) charge_idle(due - now_);
+  nic_.acknowledge(due, rng_);
+  // Junk packet: the handler runs in whatever context was interrupted and
+  // benefits nobody — the commodity policy still bills the current process.
+  charge(current_, WorkKind::kDeviceIrq,
+         config_.costs.interrupt_entry + config_.costs.nic_handler +
+             config_.costs.interrupt_exit,
+         Pid{});
+}
+
+void Kernel::handle_disk_completion() {
+  const Cycles due = *disk_.next_completion();
+  if (now_ < due) charge_idle(due - now_);
+  const hw::DiskCompletion done = disk_.acknowledge(due);
+  // Completion handler billed to the interrupted context; the true
+  // beneficiary is the process that was waiting for the I/O.
+  charge(current_, WorkKind::kDeviceIrq,
+         config_.costs.interrupt_entry + config_.costs.disk_handler +
+             config_.costs.interrupt_exit,
+         done.waiter);
+  if (has_process(done.waiter)) {
+    Process& w = process(done.waiter);
+    if (w.alive() && w.state == ProcState::kSleeping &&
+        w.sleep_reason == SleepReason::kDiskIo) {
+      wake_process(w);
+    }
+  }
+}
+
+void Kernel::handle_sleep_expiries() {
+  MTR_ENSURE(!sleepers_.empty());
+  const auto [due, pid] = sleepers_.top();
+  if (now_ < due) charge_idle(due - now_);
+  sleepers_.pop();
+  if (!has_process(pid)) return;
+  Process& p = process(pid);
+  if (p.alive() && p.state == ProcState::kSleeping &&
+      p.sleep_reason == SleepReason::kNanosleep && p.wake_at == due) {
+    // Expiry work rides the timer infrastructure, billed to the current
+    // context like any interrupt.
+    charge(current_, WorkKind::kTimerIrq, config_.costs.interrupt_entry,
+           current_ != nullptr ? current_->pid : Pid{});
+    wake_process(p);
+  }
+}
+
+}  // namespace mtr::kernel

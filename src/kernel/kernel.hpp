@@ -1,0 +1,240 @@
+// The simulated uniprocessor kernel.
+//
+// A discrete-event engine that reproduces the accounting-relevant behaviour
+// of a commodity Linux 2.6-era kernel on one core:
+//
+//  * processes run user compute and interruptible kernel work under a
+//    pluggable scheduler with wakeup preemption;
+//  * a periodic timer interrupt performs jiffy accounting: one whole tick
+//    is charged to whichever process is current, utime or stime by the mode
+//    at the interrupt (the paper's central vulnerability);
+//  * device interrupt handlers (NIC, disk) are billed to the interrupted
+//    process's system time (the interrupt-flooding vulnerability);
+//  * page-fault handling is billed to the faulting process, with major
+//    faults blocking on a swap disk (the exception-flooding vulnerability);
+//  * ptrace with hardware debug registers generates trace stops whose
+//    kernel costs land on the tracee (the thrashing vulnerability);
+//  * fork/execve start metering at process creation, before the target
+//    program's first instruction (the shell/library vulnerability).
+//
+// Alongside the commodity jiffy counters the engine keeps cycle-exact
+// ground truth per process and publishes every event through AccountingHook,
+// so alternative meters observe the same run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "hw/cost_model.hpp"
+#include "hw/disk.hpp"
+#include "hw/nic.hpp"
+#include "hw/timer.hpp"
+#include "kernel/accounting.hpp"
+#include "kernel/process.hpp"
+#include "kernel/scheduler.hpp"
+#include "mm/memory_manager.hpp"
+
+namespace mtr::kernel {
+
+/// LSM-style policy gate on ptrace, modelling the paper's remark that the
+/// thrashing attack needs privileges controlled by the security modules.
+enum class PtracePolicy : std::uint8_t { kAllowAll, kPrivilegedOnly };
+
+struct KernelConfig {
+  CpuHz cpu{};
+  TimerHz hz{};
+  std::uint32_t ram_frames = 16 * 1024;  // 64 MiB at 4 KiB pages
+  std::uint32_t reclaim_batch = 256;     // kswapd-style batch reclaim size
+  std::uint32_t swap_readahead = 8;      // pages clustered per swap read
+  hw::CostModel costs{};
+  PtracePolicy ptrace_policy = PtracePolicy::kAllowAll;
+  /// Timer sleeps (nanosleep) expire on jiffy boundaries, as on kernels
+  /// where timeouts ride the tick (schedule_timeout). This quantization is
+  /// load-bearing for the scheduling attack: the attacker's wakeups align
+  /// just after the tick, so its bursts systematically dodge the next tick.
+  bool jiffy_resolution_timers = true;
+  std::uint64_t seed = 42;
+};
+
+struct SpawnSpec {
+  std::string name;
+  ProgramFactory program;
+  Nice nice{0};
+  bool privileged = true;
+};
+
+/// Aggregated usage for a thread group, as getrusage(RUSAGE_SELF) would
+/// report it (jiffy counters) next to the simulator's ground truth.
+struct GroupUsage {
+  CpuUsageTicks ticks;       // the commodity kernel's answer
+  CpuUsageCycles true_cycles;  // cycle-exact time the group was on-CPU
+  std::uint64_t minor_faults = 0;
+  std::uint64_t major_faults = 0;
+  std::uint64_t voluntary_switches = 0;
+  std::uint64_t involuntary_switches = 0;
+  std::uint64_t signals_received = 0;
+  std::uint64_t debug_exceptions = 0;
+};
+
+class Kernel final {
+ public:
+  Kernel(KernelConfig config, std::unique_ptr<Scheduler> scheduler);
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // --- setup --------------------------------------------------------------
+
+  /// Registers an accounting observer (not owned; must outlive the kernel).
+  void add_hook(AccountingHook* hook) { hooks_.add(hook); }
+
+  /// Creates a top-level process (own thread group / address space).
+  Pid spawn(SpawnSpec spec);
+
+  // --- execution ----------------------------------------------------------
+
+  /// Runs until no runnable or sleeping work remains, or `limit` is reached.
+  /// Returns the cycle time at stop.
+  Cycles run(Cycles limit = Cycles{UINT64_MAX});
+
+  bool all_work_done() const;
+
+  // --- inspection ---------------------------------------------------------
+
+  Cycles now() const { return now_; }
+  const KernelConfig& config() const { return config_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  mm::MemoryManager& memory() { return mm_; }
+  hw::NicModel& nic() { return nic_; }
+  hw::DiskModel& disk() { return disk_; }
+  const hw::TimerDevice& timer() const { return timer_; }
+  Xoshiro256& rng() { return rng_; }
+
+  /// Looks up a process (alive, zombie, or reaped record). Throws if the
+  /// pid was never issued.
+  Process& process(Pid pid);
+  const Process& process(Pid pid) const;
+  bool has_process(Pid pid) const { return procs_.contains(pid); }
+
+  /// All pids ever created, in creation order.
+  const std::vector<Pid>& all_pids() const { return creation_order_; }
+
+  /// Sum of usage over every process in the thread group (living and dead),
+  /// i.e. what the billed customer is charged for the job.
+  GroupUsage group_usage(Tgid tg) const;
+
+  /// Ticks charged to the idle context (CPU unclaimed at a tick).
+  Ticks idle_ticks() const { return idle_ticks_; }
+  CpuUsageCycles idle_cycles() const { return idle_cycles_; }
+
+  /// Administrative SIGKILL from outside the simulation (experiment
+  /// tear-down). Queues the signal and breaks any interruptible sleep.
+  void force_kill(Pid pid);
+
+  /// Renices a process, repositioning it in the run queue if needed. Used
+  /// by the setpriority syscall and by experiment setup.
+  void set_nice(Pid pid, Nice nice);
+
+ private:
+  friend class KernelProcessContext;
+
+  enum class KernelAction : int {
+    kNone = 0,
+    kApplySyscall,   // run pending_syscall semantics, then syscall-exit work
+    kReturnToUser,   // syscall epilogue finished
+    kFinishExit,     // tear the process down
+    kStopSelf,       // signal-induced stop (SIGSTOP / trace SIGTRAP)
+    kBlockOnDisk,    // submit one swap request for self and sleep on it
+  };
+
+  // Engine phases.
+  RunStop run_current(Cycles boundary);
+  void dispatch_external();
+  std::optional<Cycles> next_external_event() const;
+  void handle_timer_tick();
+  void handle_nic_arrival();
+  void handle_disk_completion();
+  void handle_sleep_expiries();
+
+  // Current-process micro-execution.
+  bool run_kernel_work(Cycles boundary);   // true if progress was made
+  bool process_one_signal(Process& p);     // true if a signal was consumed
+  bool fetch_next_step(Process& p);        // true if a step was installed
+  void run_user_compute(Cycles boundary);
+  void begin_user_step(Process& p, ComputeStep step);
+  void refresh_hot_schedule(Process& p);
+  void touch_memory(Process& p);
+  void hot_access(Process& p, std::size_t hot_index);
+
+  // Actions and syscalls.
+  void apply_action(KernelAction action);
+  void apply_syscall(Process& p);
+  void finish_syscall(Process& p);
+  void do_fork(Process& parent, const SysFork& req);
+  void do_clone(Process& parent, const SysClone& req);
+  void do_execve(Process& p, const SysExecve& req);
+  void do_wait(Process& p);
+  void do_kill(Process& sender, const SysKill& req);
+  void do_ptrace(Process& p, const SysPtrace& req);
+  void do_exit(Process& p);
+
+  // Process management.
+  Pid allocate_pid();
+  Process& create_process(std::string name, std::unique_ptr<Program> program,
+                          Pid parent, Tgid tgid, Nice nice, bool privileged);
+  void wake_process(Process& p);
+  void send_signal(Process& target, Signal sig);
+  void notify_stop(Process& stopped);
+  void notify_exit(Process& dead);
+  void reap(Process& parent, Process& child);
+  void stop_current_and_switch();   // after block/stop/exit of current
+  void preempt_current();
+  void context_switch_in(Process& next);
+
+  // Accounting.
+  void charge(Process* p, WorkKind kind, Cycles amount, Pid beneficiary);
+  void charge_idle(Cycles amount);
+  void push_kwork(Process& p, Cycles cost, WorkKind kind, KernelAction action,
+                  Pid beneficiary = Pid{});
+  CpuMode current_mode(const Process& p) const;
+
+  KernelConfig config_;
+  std::unique_ptr<Scheduler> scheduler_;
+  mm::MemoryManager mm_;
+  hw::TimerDevice timer_;
+  hw::NicModel nic_;
+  hw::DiskModel disk_;
+  Xoshiro256 rng_;
+  HookList hooks_;
+
+  Cycles now_{0};
+  Process* current_ = nullptr;
+  bool need_resched_ = false;
+
+  std::unordered_map<Pid, std::unique_ptr<Process>> procs_;
+  std::vector<Pid> creation_order_;
+  std::int32_t next_pid_ = 1;
+  std::uint64_t alive_count_ = 0;
+
+  // nanosleep expiry queue: (wake_at, pid), earliest first.
+  using SleepEntry = std::pair<Cycles, Pid>;
+  struct SleepLater {
+    bool operator()(const SleepEntry& a, const SleepEntry& b) const {
+      return a.first > b.first || (a.first == b.first && a.second.v > b.second.v);
+    }
+  };
+  std::priority_queue<SleepEntry, std::vector<SleepEntry>, SleepLater> sleepers_;
+
+  Ticks idle_ticks_{};
+  CpuUsageCycles idle_cycles_{};
+};
+
+}  // namespace mtr::kernel

@@ -1,0 +1,96 @@
+#include "kernel/o1_scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace mtr::kernel {
+
+O1PriorityScheduler::O1PriorityScheduler(TimerHz hz) : hz_(hz) {}
+
+std::uint32_t O1PriorityScheduler::timeslice_ticks(Nice nice) const {
+  // Linux 2.6 O(1): static_prio = 120 + nice; slices scale from 5 ms at
+  // nice 19 through 100 ms at nice 0 up to 800 ms at nice -20.
+  const int static_prio = 120 + nice.v;
+  const int ms = (static_prio < 120) ? (140 - static_prio) * 20 : (140 - static_prio) * 5;
+  const std::uint32_t ticks = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(ms) *
+                                    static_cast<std::int64_t>(hz_.v) / 1000));
+  return ticks;
+}
+
+std::int8_t O1PriorityScheduler::effective_nice(const Process& p) {
+  int eff = p.nice.v;
+  if (p.sched.wake_boost) eff -= kInteractivityBonus;   // sleeper reward
+  if (p.sched.cpu_hog) eff += kInteractivityBonus;      // CPU-hog malus
+  return static_cast<std::int8_t>(std::clamp<int>(eff, kNiceMin.v, kNiceMax.v));
+}
+
+void O1PriorityScheduler::enqueue(Process& p, Cycles now, bool preempted) {
+  (void)now;
+  MTR_ENSURE_MSG(!p.sched.queued, "double enqueue of " << p.pid);
+  // A task preempted with timeslice remaining resumes before same-priority
+  // newcomers (O(1) requeue behaviour); quantum expiry means round-robin to
+  // the back of the level. Decide before refilling the slice.
+  const bool resume_front = preempted && p.sched.quantum_ticks_left > 0;
+  if (p.sched.quantum_ticks_left == 0)
+    p.sched.quantum_ticks_left = timeslice_ticks(p.nice);
+  p.sched.queued_level = effective_nice(p);
+  auto& q = queues_[level_of(p.sched.queued_level)];
+  if (resume_front) {
+    q.push_front(&p);
+  } else {
+    q.push_back(&p);
+  }
+  p.sched.queued = true;
+}
+
+void O1PriorityScheduler::dequeue(Process& p) {
+  if (!p.sched.queued) return;
+  auto& q = queues_[level_of(p.sched.queued_level)];
+  const auto it = std::find(q.begin(), q.end(), &p);
+  MTR_ENSURE_MSG(it != q.end(), "queued process missing from its level");
+  q.erase(it);
+  p.sched.queued = false;
+}
+
+Process* O1PriorityScheduler::pick_next(Cycles now) {
+  (void)now;
+  for (auto& q : queues_) {
+    if (q.empty()) continue;
+    Process* p = q.front();
+    q.pop_front();
+    p->sched.queued = false;
+    if (p->sched.quantum_ticks_left == 0)
+      p->sched.quantum_ticks_left = timeslice_ticks(p->nice);
+    return p;
+  }
+  return nullptr;
+}
+
+bool O1PriorityScheduler::on_tick(Process& current, Cycles now) {
+  (void)now;
+  // A full tick of CPU exhausts the interactivity credit.
+  current.sched.wake_boost = false;
+  if (current.sched.quantum_ticks_left > 0) --current.sched.quantum_ticks_left;
+  if (current.sched.quantum_ticks_left == 0) {
+    current.sched.cpu_hog = true;  // burned the whole slice: CPU-bound
+    return true;                   // round-robin to the back of the level
+  }
+  return false;
+}
+
+void O1PriorityScheduler::on_ran(Process& current, Cycles ran) {
+  (void)current;
+  (void)ran;  // the O(1) policy accounts in ticks only
+}
+
+bool O1PriorityScheduler::should_preempt(const Process& current,
+                                         const Process& woken) const {
+  // Strictly higher dynamic priority wins the CPU; the wake boost is what
+  // lets sleep-heavy tasks (interactive jobs — or the fork-storm and
+  // memory-hog attackers) preempt a CPU-bound victim at equal nice.
+  return effective_nice(woken) < effective_nice(current);
+}
+
+}  // namespace mtr::kernel

@@ -1,0 +1,45 @@
+// The Linux 2.6 O(1)-style priority scheduler: 40 nice levels, per-level
+// FIFO queues, static timeslices that grow with priority, and wakeup
+// preemption of lower-priority tasks. This is the policy running on the
+// paper's Ubuntu 8.10 testbed generation and the one Fig. 7/8 sweeps `nice`
+// against.
+#pragma once
+
+#include <array>
+#include <deque>
+
+#include "kernel/scheduler.hpp"
+
+namespace mtr::kernel {
+
+class O1PriorityScheduler final : public Scheduler {
+ public:
+  explicit O1PriorityScheduler(TimerHz hz);
+
+  void enqueue(Process& p, Cycles now, bool preempted = false) override;
+  void dequeue(Process& p) override;
+  Process* pick_next(Cycles now) override;
+  bool on_tick(Process& current, Cycles now) override;
+  void on_ran(Process& current, Cycles ran) override;
+  bool should_preempt(const Process& current, const Process& woken) const override;
+  std::string name() const override { return "o1"; }
+
+  /// Linux 2.6 task_timeslice(): higher priority ⇒ longer slice, in ticks.
+  std::uint32_t timeslice_ticks(Nice nice) const;
+
+  /// Dynamic priority: static nice, improved by the interactivity bonus
+  /// while the task's wake_boost is set (sleepers preempt CPU hogs).
+  static std::int8_t effective_nice(const Process& p);
+
+ private:
+  static std::size_t level_of(std::int8_t effective) {
+    return static_cast<std::size_t>(effective + 20);
+  }
+
+  static constexpr std::int8_t kInteractivityBonus = 5;
+
+  TimerHz hz_;
+  std::array<std::deque<Process*>, 40> queues_;
+};
+
+}  // namespace mtr::kernel

@@ -1,0 +1,61 @@
+#include "kernel/process.hpp"
+
+namespace mtr::kernel {
+
+const char* to_string(ProcState s) {
+  switch (s) {
+    case ProcState::kReady: return "ready";
+    case ProcState::kRunning: return "running";
+    case ProcState::kSleeping: return "sleeping";
+    case ProcState::kStopped: return "stopped";
+    case ProcState::kZombie: return "zombie";
+    case ProcState::kReaped: return "reaped";
+  }
+  return "?";
+}
+
+const char* to_string(Signal s) {
+  switch (s) {
+    case Signal::kChld: return "SIGCHLD";
+    case Signal::kStop: return "SIGSTOP";
+    case Signal::kCont: return "SIGCONT";
+    case Signal::kKill: return "SIGKILL";
+    case Signal::kTrap: return "SIGTRAP";
+    case Signal::kSegv: return "SIGSEGV";
+    case Signal::kUsr1: return "SIGUSR1";
+  }
+  return "?";
+}
+
+const char* syscall_name(const SyscallRequest& req) {
+  struct Namer {
+    const char* operator()(const SysFork&) const { return "fork"; }
+    const char* operator()(const SysClone&) const { return "clone"; }
+    const char* operator()(const SysExecve&) const { return "execve"; }
+    const char* operator()(const SysWait&) const { return "wait"; }
+    const char* operator()(const SysKill&) const { return "kill"; }
+    const char* operator()(const SysPtrace&) const { return "ptrace"; }
+    const char* operator()(const SysSetPriority&) const { return "setpriority"; }
+    const char* operator()(const SysYield&) const { return "sched_yield"; }
+    const char* operator()(const SysNanosleep&) const { return "nanosleep"; }
+    const char* operator()(const SysMmap&) const { return "mmap"; }
+    const char* operator()(const SysDiskIo&) const { return "disk_io"; }
+    const char* operator()(const SysGetRusage&) const { return "getrusage"; }
+    const char* operator()(const SysMapCode&) const { return "map_code"; }
+    const char* operator()(const SysGeneric&) const { return "generic"; }
+  };
+  return std::visit(Namer{}, req);
+}
+
+Process::Process(Pid pid_in, Tgid tgid_in, Pid parent_in, std::string name_in,
+                 std::unique_ptr<Program> program_in, Nice nice_in,
+                 std::uint64_t rng_seed)
+    : pid(pid_in),
+      tgid(tgid_in),
+      parent(parent_in),
+      name(std::move(name_in)),
+      program(std::move(program_in)),
+      nice(nice_in),
+      rng(rng_seed) {}
+
+}  // namespace mtr::kernel

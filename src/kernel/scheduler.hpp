@@ -1,0 +1,49 @@
+// Scheduler policy interface.
+//
+// The engine owns process state transitions; the scheduler owns run-queue
+// order, timeslices and preemption decisions. Two policies are provided:
+// the O(1) priority scheduler of the paper's kernel era, and a CFS-like
+// fair scheduler (the paper notes that 2.6.23+ CFS still accounts by timer
+// tick, so the metering flaw is policy-independent — an ablation verifies
+// this).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "kernel/process.hpp"
+
+namespace mtr::kernel {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Adds a runnable process to the queue. `preempted` marks a task that
+  /// lost the CPU involuntarily: it resumes ahead of same-priority
+  /// newcomers (it still owns the rest of its timeslice).
+  virtual void enqueue(Process& p, Cycles now, bool preempted = false) = 0;
+
+  /// Removes a queued process (it blocked, was stopped, or exited while
+  /// queued). No-op if not queued.
+  virtual void dequeue(Process& p) = 0;
+
+  /// Picks and removes the next process to run; nullptr when idle.
+  virtual Process* pick_next(Cycles now) = 0;
+
+  /// Timer tick fired while `current` ran. Returns true if the current
+  /// process should be preempted (quantum exhausted / fairness breach).
+  virtual bool on_tick(Process& current, Cycles now) = 0;
+
+  /// `current` ran for `ran` cycles since the last report (CFS bookkeeping).
+  virtual void on_ran(Process& current, Cycles ran) = 0;
+
+  /// `woken` just became runnable while `current` runs: preempt now?
+  /// The wakeup-preemption path is what lets the scheduling attack's
+  /// high-priority Fork process snatch the CPU mid-jiffy.
+  virtual bool should_preempt(const Process& current, const Process& woken) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace mtr::kernel

@@ -1,0 +1,22 @@
+#include "mm/address_space.hpp"
+
+#include "common/ensure.hpp"
+
+namespace mtr::mm {
+
+const PageEntry* AddressSpace::find(PageId page) const {
+  const auto it = pages_.find(page);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+PageEntry* AddressSpace::find(PageId page) {
+  const auto it = pages_.find(page);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+void AddressSpace::note_made_nonresident() {
+  MTR_ENSURE(resident_ > 0);
+  --resident_;
+}
+
+}  // namespace mtr::mm

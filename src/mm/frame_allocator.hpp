@@ -1,0 +1,32 @@
+// Physical frame allocator over a fixed-size RAM.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mtr::mm {
+
+class FrameAllocator {
+ public:
+  explicit FrameAllocator(std::uint32_t total_frames);
+
+  /// Allocates a free frame; nullopt when RAM is exhausted (caller evicts).
+  std::optional<FrameId> allocate();
+
+  /// Returns a frame to the free pool.
+  void release(FrameId f);
+
+  std::uint32_t total() const { return total_; }
+  std::uint32_t used() const { return total_ - static_cast<std::uint32_t>(free_.size()); }
+  std::uint32_t available() const { return static_cast<std::uint32_t>(free_.size()); }
+
+ private:
+  std::uint32_t total_;
+  std::vector<FrameId> free_;
+  std::vector<bool> allocated_;  // guards double-release
+};
+
+}  // namespace mtr::mm

@@ -1,0 +1,21 @@
+// The platform's genuine shared libraries (libc, libm, libpthread) as
+// behaviour models, and the registry the loader links workloads against.
+// Per-call costs are order-of-magnitude calibrated to a 2.5 GHz x86.
+#pragma once
+
+#include "exec/library.hpp"
+
+namespace mtr::workloads {
+
+/// Content tags of the genuine libraries (what an untampered measurement
+/// reports). Exposed so integrity whitelists can be built from them.
+inline constexpr const char* kLibcTag = "libc#2.8-genuine";
+inline constexpr const char* kLibmTag = "libm#2.8-genuine";
+inline constexpr const char* kLibpthreadTag = "libpthread#2.8-genuine";
+inline constexpr const char* kBashTag = "bash#4.0";
+
+/// Builds a registry holding genuine libc (malloc/free/memcpy/rand),
+/// libm (sqrt/exp/sin/log) and libpthread (pthread_create/join).
+exec::LibraryRegistry standard_registry();
+
+}  // namespace mtr::workloads

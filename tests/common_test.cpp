@@ -1,0 +1,243 @@
+// Unit tests for mtr_common: strong types, RNG determinism and
+// distributions, statistics, table/chart rendering, formatting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/ensure.hpp"
+#include "common/format.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+namespace mtr {
+namespace {
+
+// --- types -------------------------------------------------------------------
+
+TEST(Types, CycleArithmetic) {
+  Cycles a{100};
+  Cycles b{40};
+  EXPECT_EQ((a + b).v, 140u);
+  EXPECT_EQ((a - b).v, 60u);
+  EXPECT_EQ((a * 3).v, 300u);
+  EXPECT_EQ(a / b, 2u);
+  EXPECT_EQ((a % b).v, 20u);
+  a += b;
+  EXPECT_EQ(a.v, 140u);
+  EXPECT_LT(b, a);
+}
+
+TEST(Types, TickLengthMatchesHz) {
+  const CpuHz cpu{2'530'000'000};
+  const TimerHz hz{250};
+  EXPECT_EQ(tick_length(cpu, hz).v, 10'120'000u);
+  EXPECT_DOUBLE_EQ(ticks_to_seconds(Ticks{250}, hz), 1.0);
+}
+
+TEST(Types, SecondsCyclesRoundTrip) {
+  const CpuHz cpu{1'000'000'000};
+  EXPECT_EQ(seconds_to_cycles(2.5, cpu).v, 2'500'000'000u);
+  EXPECT_DOUBLE_EQ(cycles_to_seconds(Cycles{500'000'000}, cpu), 0.5);
+}
+
+TEST(Types, PageMapping) {
+  EXPECT_EQ(page_of(VAddr{0}).v, 0u);
+  EXPECT_EQ(page_of(VAddr{4095}).v, 0u);
+  EXPECT_EQ(page_of(VAddr{4096}).v, 1u);
+  EXPECT_EQ(page_base(PageId{3}).v, 3u * 4096u);
+}
+
+TEST(Types, PidValidity) {
+  EXPECT_FALSE(Pid{}.valid());
+  EXPECT_TRUE(Pid{0}.valid());
+  EXPECT_TRUE(Pid{7}.valid());
+  EXPECT_EQ(kIdlePid, Pid{0});
+}
+
+TEST(Types, UsageAccumulation) {
+  CpuUsageCycles a{Cycles{10}, Cycles{5}};
+  const CpuUsageCycles b{Cycles{1}, Cycles{2}};
+  a += b;
+  EXPECT_EQ(a.user.v, 11u);
+  EXPECT_EQ(a.system.v, 7u);
+  EXPECT_EQ(a.total().v, 18u);
+}
+
+// --- ensure --------------------------------------------------------------------
+
+TEST(Ensure, ThrowsWithContext) {
+  try {
+    MTR_ENSURE_MSG(1 == 2, "custom " << 42);
+    FAIL() << "should have thrown";
+  } catch (const InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Ensure, PassesSilently) {
+  MTR_ENSURE(2 + 2 == 4);  // must not throw
+}
+
+// --- rng ----------------------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BoundedDrawsInRange) {
+  Xoshiro256 r(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+    const auto v = r.next_in(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Xoshiro256 r(9);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Xoshiro256 r(11);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += r.next_exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Xoshiro256 r(13);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) hits += r.next_bool(0.3);
+  EXPECT_NEAR(hits / 100'000.0, 0.3, 0.01);
+}
+
+// --- stats -----------------------------------------------------------------------
+
+TEST(Stats, RunningMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Stats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(Stats, PercentileOfEmptyThrows) {
+  Samples s;
+  EXPECT_THROW(s.percentile(50), InvariantError);
+}
+
+TEST(Stats, HistogramBucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(-3.0);   // clamps to first bucket
+  h.add(100.0);  // clamps to last bucket
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(5), 1u);
+  EXPECT_EQ(h.bucket_count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_FALSE(h.render().empty());
+}
+
+// --- table ------------------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.render(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvariantError);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  TextTable t({"x"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  std::ostringstream os;
+  t.render_csv(os);
+  EXPECT_NE(os.str().find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(BarChartTest, RendersStackedBars) {
+  BarChart chart("Fig. X", "s");
+  chart.add({"O normal", 10.0, 0.5});
+  chart.add({"O attacked", 14.0, 0.5});
+  chart.add_gap();
+  chart.add({"P normal", 9.0, 0.1});
+  std::ostringstream os;
+  chart.render(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Fig. X"), std::string::npos);
+  EXPECT_NE(out.find("O attacked"), std::string::npos);
+  EXPECT_NE(out.find('U'), std::string::npos);  // user-time bar segment
+  EXPECT_NE(out.find('S'), std::string::npos);  // system-time bar segment
+}
+
+TEST(Format, Helpers) {
+  EXPECT_EQ(fmt_double(1.2345, 2), "1.23");
+  EXPECT_EQ(fmt_ratio(1.5), "1.50x");
+  EXPECT_EQ(fmt_percent_delta(12.3), "+12.3%");
+  EXPECT_EQ(fmt_percent_delta(-3.21), "-3.2%");
+
+  const CpuHz cpu{1'000'000'000};
+  EXPECT_EQ(fmt_seconds(Cycles{1'500'000'000}, cpu), "1.500s");
+  EXPECT_EQ(fmt_cycles(Cycles{1'500'000'000}), "1.50 Gcy");
+  EXPECT_EQ(fmt_cycles(Cycles{999}), "999 cy");
+  EXPECT_EQ(fmt_ticks(Ticks{250}, TimerHz{250}), "250 ticks (1.000s @250HZ)");
+}
+
+}  // namespace
+}  // namespace mtr

@@ -1,0 +1,31 @@
+// Shared fixtures for the metertrust test suite: small, fast configurations
+// of the simulated machine and the experiment harness.
+#pragma once
+
+#include "core/experiment.hpp"
+#include "sim/simulation.hpp"
+
+namespace mtr::test {
+
+/// A small machine: 2.53 GHz, 250 HZ, 16k frames — the defaults, explicit.
+inline sim::SimConfig small_machine(sim::SchedulerKind sched = sim::SchedulerKind::kO1,
+                                    std::uint64_t seed = 42) {
+  sim::SimConfig cfg;
+  cfg.scheduler = sched;
+  cfg.kernel.seed = seed;
+  return cfg;
+}
+
+/// Experiment config with a workload scaled to well under a virtual second
+/// per run, so the full suite stays fast.
+inline core::ExperimentConfig quick_experiment(
+    workloads::WorkloadKind kind, double scale = 0.02,
+    sim::SchedulerKind sched = sim::SchedulerKind::kO1) {
+  core::ExperimentConfig cfg;
+  cfg.kind = kind;
+  cfg.workload.scale = scale;
+  cfg.sim = small_machine(sched);
+  return cfg;
+}
+
+}  // namespace mtr::test

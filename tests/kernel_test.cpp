@@ -1,0 +1,402 @@
+// Kernel engine tests: schedulers, process lifecycle, syscalls, signals,
+// ptrace, jiffy accounting identities and cycle-conservation invariants.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "exec/program_base.hpp"
+#include "kernel/cfs_scheduler.hpp"
+#include "kernel/kernel.hpp"
+#include "kernel/o1_scheduler.hpp"
+
+namespace mtr::kernel {
+namespace {
+
+using exec::compute;
+using exec::exit_step;
+using exec::make_generator;
+using exec::make_step_list;
+using exec::syscall;
+
+KernelConfig tiny_config() {
+  KernelConfig cfg;
+  cfg.seed = 7;
+  return cfg;
+}
+
+std::unique_ptr<Kernel> make_kernel(KernelConfig cfg = tiny_config()) {
+  return std::make_unique<Kernel>(cfg, std::make_unique<O1PriorityScheduler>(cfg.hz));
+}
+
+Cycles ms(double m) { return seconds_to_cycles(m / 1000.0, CpuHz{}); }
+
+// --- scheduler policy units ----------------------------------------------------
+
+TEST(O1Scheduler, TimesliceGrowsWithPriority) {
+  O1PriorityScheduler s(TimerHz{250});
+  // Linux 2.6: 100 ms at nice 0, 5 ms at nice 19, 800 ms at nice -20.
+  EXPECT_EQ(s.timeslice_ticks(Nice{0}), 25u);
+  EXPECT_EQ(s.timeslice_ticks(Nice{19}), 1u);  // 5 ms → 1.25 ticks → ≥1
+  EXPECT_EQ(s.timeslice_ticks(Nice{-20}), 200u);
+  EXPECT_GT(s.timeslice_ticks(Nice{-10}), s.timeslice_ticks(Nice{0}));
+}
+
+TEST(CfsScheduler, WeightTableMatchesLinux) {
+  EXPECT_EQ(CfsScheduler::weight_of(Nice{0}), 1024u);
+  EXPECT_EQ(CfsScheduler::weight_of(Nice{-20}), 88761u);
+  EXPECT_EQ(CfsScheduler::weight_of(Nice{19}), 15u);
+  EXPECT_GT(CfsScheduler::weight_of(Nice{-1}), CfsScheduler::weight_of(Nice{0}));
+}
+
+// --- lifecycle ---------------------------------------------------------------
+
+TEST(KernelLifecycle, RunSingleProcessToExit) {
+  auto k = make_kernel();
+  const Pid pid = k->spawn({"job", make_step_list("job", {compute(ms(25))}), Nice{0},
+                            true});
+  k->run();
+  const Process& p = k->process(pid);
+  EXPECT_FALSE(p.alive());
+  EXPECT_TRUE(k->all_work_done());
+  // 25 ms of user compute at 250 HZ → ~6 utime ticks.
+  EXPECT_NEAR(static_cast<double>(p.tick_usage.utime.v), 6.0, 1.0);
+  EXPECT_GE(p.true_usage.user.v, ms(25).v);
+}
+
+TEST(KernelLifecycle, MeteringStartsAtCreation) {
+  // The fork child burns CPU before execve; all of it lands on the child.
+  auto k = make_kernel();
+  exec::ProgramFactory child = make_step_list(
+      "child", {compute(ms(12)), syscall(SysExecve{make_step_list("target",
+                                                                  {compute(ms(4))}),
+                                                   "/bin/target"})});
+  const Pid parent = k->spawn(
+      {"parent", make_step_list("parent", {syscall(SysFork{child}), syscall(SysWait{})}),
+       Nice{0}, true});
+  k->run();
+  // Find the child record.
+  Pid child_pid{};
+  for (const Pid pid : k->all_pids()) {
+    if (k->process(pid).name == "/bin/target") child_pid = pid;
+  }
+  ASSERT_TRUE(child_pid.valid());
+  const Process& c = k->process(child_pid);
+  EXPECT_GE(c.true_usage.user.v, ms(16).v);  // 12 ms pre-exec + 4 ms post
+  EXPECT_FALSE(k->process(parent).alive());
+}
+
+TEST(KernelLifecycle, ThreadsShareGroupAndSpace) {
+  auto k = make_kernel();
+  exec::ProgramFactory worker = make_step_list("w", {compute(ms(8))});
+  const Pid main_pid = k->spawn(
+      {"main",
+       make_step_list("main", {syscall(SysClone{worker}), syscall(SysClone{worker}),
+                               syscall(SysWait{}), syscall(SysWait{})}),
+       Nice{0}, true});
+  k->run();
+  const Tgid tg = k->process(main_pid).tgid;
+  int members = 0;
+  for (const Pid pid : k->all_pids())
+    if (k->process(pid).tgid == tg) ++members;
+  EXPECT_EQ(members, 3);
+  const GroupUsage u = k->group_usage(tg);
+  EXPECT_GE(u.true_cycles.user.v, ms(16).v);  // both workers' compute summed
+}
+
+TEST(KernelLifecycle, OrphanZombiesAutoReap) {
+  auto k = make_kernel();
+  // Parent exits immediately without waiting; child becomes an orphan.
+  exec::ProgramFactory child = make_step_list("c", {compute(ms(10))});
+  (void)k->spawn({"p", make_step_list("p", {syscall(SysFork{child})}), Nice{0}, true});
+  k->run();
+  EXPECT_TRUE(k->all_work_done());
+  for (const Pid pid : k->all_pids())
+    EXPECT_EQ(k->process(pid).state, ProcState::kReaped) << pid.v;
+}
+
+// --- jiffy accounting identities ------------------------------------------------
+
+TEST(Accounting, TicksFiredEqualsChargedTicks) {
+  auto k = make_kernel();
+  (void)k->spawn({"a", make_step_list("a", {compute(ms(100))}), Nice{0}, true});
+  (void)k->spawn({"b", make_step_list("b", {compute(ms(60))}), Nice{0}, true});
+  k->run();
+  Ticks charged = k->idle_ticks();
+  for (const Pid pid : k->all_pids()) charged += k->process(pid).tick_usage.total();
+  EXPECT_EQ(charged.v, k->timer().ticks_fired());
+}
+
+TEST(Accounting, TrueCyclesConservation) {
+  auto k = make_kernel();
+  (void)k->spawn({"a", make_step_list("a", {compute(ms(40))}), Nice{0}, true});
+  (void)k->spawn({"b", make_step_list("b", {compute(ms(30))}), Nice{5}, true});
+  const Cycles end = k->run();
+  Cycles total = k->idle_cycles().total();
+  for (const Pid pid : k->all_pids()) total += k->process(pid).true_usage.total();
+  EXPECT_EQ(total.v, end.v);
+}
+
+TEST(Accounting, SyscallHeavyJobAccruesStime) {
+  auto k = make_kernel();
+  std::vector<Step> steps;
+  for (int i = 0; i < 200; ++i) {
+    steps.push_back(compute(Cycles{50'000}));
+    steps.push_back(syscall(SysGeneric{"io", Cycles{400'000}}));
+  }
+  const Pid pid = k->spawn({"sys-heavy", make_step_list("sys-heavy", steps), Nice{0},
+                            true});
+  k->run();
+  const Process& p = k->process(pid);
+  EXPECT_GT(p.true_usage.system.v, p.true_usage.user.v);
+  EXPECT_GT(p.tick_usage.stime.v, 0u);
+}
+
+// --- scheduling ---------------------------------------------------------------
+
+TEST(Scheduling, EqualNiceSharesRoughlyEqually) {
+  auto k = make_kernel();
+  const Pid a = k->spawn({"a", make_step_list("a", {compute(ms(400))}), Nice{0}, true});
+  const Pid b = k->spawn({"b", make_step_list("b", {compute(ms(400))}), Nice{0}, true});
+  // Run only half the total demand: both should have progressed similarly.
+  k->run(seconds_to_cycles(0.4, CpuHz{}));
+  const auto ua = k->process(a).true_usage.user.v;
+  const auto ub = k->process(b).true_usage.user.v;
+  EXPECT_GT(ua, 0u);
+  EXPECT_GT(ub, 0u);
+  EXPECT_NEAR(static_cast<double>(ua) / static_cast<double>(ua + ub), 0.5, 0.30);
+}
+
+TEST(Scheduling, HigherPriorityWinsTheCpu) {
+  auto k = make_kernel();
+  const Pid hi = k->spawn({"hi", make_step_list("hi", {compute(ms(300))}), Nice{-10},
+                           true});
+  const Pid lo = k->spawn({"lo", make_step_list("lo", {compute(ms(300))}), Nice{10},
+                           true});
+  k->run(seconds_to_cycles(0.25, CpuHz{}));
+  EXPECT_GT(k->process(hi).true_usage.user.v, 5 * k->process(lo).true_usage.user.v);
+}
+
+TEST(Scheduling, WakeupPreemptionByHigherPriority) {
+  auto k = make_kernel();
+  // Low-priority hog; high-priority sleeper that wakes mid-run.
+  const Pid hog = k->spawn({"hog", make_step_list("hog", {compute(ms(200))}), Nice{0},
+                            true});
+  const Pid napper = k->spawn(
+      {"napper",
+       make_step_list("napper", {syscall(SysNanosleep{ms(20)}), compute(ms(10))}),
+       Nice{-15}, true});
+  k->run();
+  const Process& n = k->process(napper);
+  const Process& h = k->process(hog);
+  EXPECT_FALSE(n.alive());
+  EXPECT_FALSE(h.alive());
+  // The hog was preempted at least once by the waking napper.
+  EXPECT_GE(h.involuntary_switches, 1u);
+}
+
+TEST(Scheduling, CfsFairWeightedSharing) {
+  KernelConfig cfg = tiny_config();
+  auto k = std::make_unique<Kernel>(cfg, std::make_unique<CfsScheduler>(cfg.cpu));
+  const Pid a = k->spawn({"a", make_step_list("a", {compute(ms(900))}), Nice{0}, true});
+  const Pid b = k->spawn({"b", make_step_list("b", {compute(ms(900))}), Nice{5}, true});
+  k->run(seconds_to_cycles(0.5, CpuHz{}));
+  const double ua = static_cast<double>(k->process(a).true_usage.user.v);
+  const double ub = static_cast<double>(k->process(b).true_usage.user.v);
+  // weight(0)/weight(5) = 1024/335 ≈ 3.06.
+  EXPECT_GT(ua / ub, 1.8);
+  EXPECT_LT(ua / ub, 5.0);
+}
+
+// --- syscalls ------------------------------------------------------------------
+
+TEST(Syscalls, NiceChangeRequiresPrivilege) {
+  auto k = make_kernel();
+  const Pid unpriv = k->spawn(
+      {"u", make_step_list("u", {syscall(SysSetPriority{Pid{}, Nice{-5}})}), Nice{0},
+       /*privileged=*/false});
+  const Pid priv = k->spawn(
+      {"p", make_step_list("p", {syscall(SysSetPriority{Pid{}, Nice{-5}})}), Nice{0},
+       /*privileged=*/true});
+  k->run();
+  EXPECT_EQ(k->process(unpriv).nice, Nice{0});   // EPERM
+  EXPECT_EQ(k->process(priv).nice, Nice{-5});
+}
+
+TEST(Syscalls, NanosleepWakesOnJiffyBoundary) {
+  auto k = make_kernel();
+  const Pid pid = k->spawn(
+      {"s", make_step_list("s", {syscall(SysNanosleep{Cycles{1'000}}), compute(ms(1))}),
+       Nice{0}, true});
+  k->run();
+  EXPECT_FALSE(k->process(pid).alive());
+  // A 1000-cycle sleep still consumed a whole jiffy of wall time.
+  EXPECT_GE(k->now().v, tick_length(CpuHz{}, TimerHz{}).v);
+}
+
+TEST(Syscalls, KillTerminatesTarget) {
+  auto k = make_kernel();
+  const Pid victim = k->spawn({"v", make_step_list("v", {compute(ms(500))}), Nice{5},
+                               true});
+  (void)k->spawn(
+      {"killer",
+       make_step_list("killer", {compute(ms(2)), syscall(SysKill{victim, Signal::kKill})}),
+       Nice{0}, true});
+  k->run();
+  const Process& v = k->process(victim);
+  EXPECT_TRUE(v.exited);
+  EXPECT_EQ(v.exit_code, 128 + 9);
+  // It died long before its 500 ms of work.
+  EXPECT_LT(v.true_usage.user.v, ms(400).v);
+}
+
+TEST(Syscalls, WaitWithNoChildrenReturnsError) {
+  auto k = make_kernel();
+  struct Probe {
+    std::int64_t wait_result = 42;
+  };
+  auto probe = std::make_shared<Probe>();
+  int stage = 0;
+  const Pid pid = k->spawn(
+      {"w", exec::make_generator("w",
+                                 [probe, stage](ProcessContext& ctx) mutable
+                                 -> std::optional<Step> {
+                                   if (stage == 0) {
+                                     ++stage;
+                                     return syscall(SysWait{});
+                                   }
+                                   probe->wait_result = ctx.last_result();
+                                   return std::nullopt;
+                                 }),
+       Nice{0}, true});
+  k->run();
+  EXPECT_FALSE(k->process(pid).alive());
+  EXPECT_EQ(probe->wait_result, -1);
+}
+
+TEST(Syscalls, DiskIoBlocksForServiceTime) {
+  auto k = make_kernel();
+  const Pid pid = k->spawn({"io", make_step_list("io", {syscall(SysDiskIo{})}), Nice{0},
+                            true});
+  k->run();
+  EXPECT_GE(k->now().v, tiny_config().costs.disk_latency.v);
+  EXPECT_FALSE(k->process(pid).alive());
+}
+
+// --- ptrace ---------------------------------------------------------------------
+
+TEST(Ptrace, AttachStopsTargetAndContResumes) {
+  auto k = make_kernel();
+  const Pid victim = k->spawn({"v", make_step_list("v", {compute(ms(30))}), Nice{5},
+                               true});
+  const Pid tracer = k->spawn(
+      {"t",
+       make_step_list("t", {syscall(SysPtrace{PtraceOp::kAttach, victim}),
+                            syscall(SysWait{}),
+                            syscall(SysPtrace{PtraceOp::kCont, victim}),
+                            syscall(SysPtrace{PtraceOp::kDetach, victim})}),
+       Nice{0}, true});
+  k->run();
+  EXPECT_FALSE(k->process(victim).alive());  // finished after resume
+  EXPECT_FALSE(k->process(tracer).alive());
+  EXPECT_GE(k->process(victim).signals_received, 1u);  // the attach SIGSTOP
+}
+
+TEST(Ptrace, LsmPolicyDeniesUnprivilegedAttach) {
+  KernelConfig cfg = tiny_config();
+  cfg.ptrace_policy = PtracePolicy::kPrivilegedOnly;
+  auto k = std::make_unique<Kernel>(cfg, std::make_unique<O1PriorityScheduler>(cfg.hz));
+  const Pid victim = k->spawn({"v", make_step_list("v", {compute(ms(10))}), Nice{5},
+                               true});
+  auto result = std::make_shared<std::int64_t>(42);
+  int stage = 0;
+  (void)k->spawn(
+      {"t", exec::make_generator(
+                "t",
+                [result, stage, victim](ProcessContext& ctx) mutable
+                -> std::optional<Step> {
+                  if (stage == 0) {
+                    ++stage;
+                    return syscall(SysPtrace{PtraceOp::kAttach, victim});
+                  }
+                  *result = ctx.last_result();
+                  return std::nullopt;
+                }),
+       Nice{0}, /*privileged=*/false});
+  k->run();
+  EXPECT_EQ(*result, -1);  // EPERM
+  EXPECT_FALSE(k->process(victim).traced());
+}
+
+TEST(Ptrace, DebugRegisterBreakpointGeneratesTrapCycle) {
+  auto k = make_kernel();
+  // Victim touches a hot address every 0.5 ms within 20 ms of compute.
+  ComputeStep body{ms(20), {}, "hot-loop"};
+  body.mem.hot.push_back(HotAccess{VAddr{0xbeef000}, ms(0.5)});
+  const Pid victim =
+      k->spawn({"v", make_step_list("v", {Step{body}}), Nice{5}, true});
+
+  // Tracer: attach, arm DR0, then cont/wait until the victim dies.
+  struct TracerState {
+    int stage = 0;
+  };
+  auto st = std::make_shared<TracerState>();
+  (void)k->spawn(
+      {"t", exec::make_generator(
+                "t",
+                [st, victim](ProcessContext& ctx) -> std::optional<Step> {
+                  switch (st->stage) {
+                    case 0:
+                      st->stage = 1;
+                      return syscall(SysPtrace{PtraceOp::kAttach, victim});
+                    case 1:
+                      st->stage = 2;
+                      return syscall(SysWait{});
+                    case 2:
+                      st->stage = 3;
+                      return syscall(
+                          SysPtrace{PtraceOp::kPokeUser, victim, 0, VAddr{0xbeef000}});
+                    case 3:
+                      st->stage = 4;
+                      return syscall(SysPtrace{PtraceOp::kCont, victim});
+                    case 4:
+                      if (ctx.last_result() < 0) return std::nullopt;
+                      st->stage = 3;
+                      return syscall(SysWait{});
+                  }
+                  return std::nullopt;
+                }),
+       Nice{0}, true});
+  k->run();
+  const Process& v = k->process(victim);
+  EXPECT_FALSE(v.alive());
+  // ~40 hot touches → roughly that many debug exceptions.
+  EXPECT_GE(v.debug_exceptions, 20u);
+  EXPECT_GT(v.true_usage.system.v, 0u);
+}
+
+// --- admin APIs ------------------------------------------------------------------
+
+TEST(Admin, ForceKillBreaksSleep) {
+  auto k = make_kernel();
+  const Pid pid = k->spawn(
+      {"sleeper", make_step_list("sleeper", {syscall(SysNanosleep{seconds_to_cycles(
+                                                 100.0, CpuHz{})})}),
+       Nice{0}, true});
+  k->run(seconds_to_cycles(0.01, CpuHz{}));
+  k->force_kill(pid);
+  k->run();
+  EXPECT_TRUE(k->process(pid).exited);
+  EXPECT_LT(cycles_to_seconds(k->now(), CpuHz{}), 1.0);
+}
+
+TEST(Admin, SetNiceRepositionsQueuedProcess) {
+  auto k = make_kernel();
+  const Pid a = k->spawn({"a", make_step_list("a", {compute(ms(100))}), Nice{0}, true});
+  const Pid b = k->spawn({"b", make_step_list("b", {compute(ms(100))}), Nice{0}, true});
+  k->set_nice(b, Nice{-10});
+  k->run(seconds_to_cycles(0.06, CpuHz{}));
+  EXPECT_GT(k->process(b).true_usage.user.v, k->process(a).true_usage.user.v);
+}
+
+}  // namespace
+}  // namespace mtr::kernel

@@ -1,0 +1,140 @@
+// Direct unit tests of the metering schemes against hand-crafted event
+// streams — attribution semantics pinned down independently of the
+// simulator (the sim-level suites cover the integrated behaviour).
+#include <gtest/gtest.h>
+
+#include "core/integrity.hpp"
+#include "core/meters.hpp"
+
+namespace mtr::core {
+namespace {
+
+using kernel::CodeMapping;
+using kernel::WorkKind;
+
+constexpr Pid kJob{5};
+constexpr Tgid kJobTg{5};
+constexpr Pid kOther{9};
+constexpr Tgid kOtherTg{9};
+
+TEST(TickMeterUnit, SplitsByModeAndSkipsIdle) {
+  TickMeter m;
+  m.on_tick(Cycles{100}, kJob, kJobTg, CpuMode::kUser);
+  m.on_tick(Cycles{200}, kJob, kJobTg, CpuMode::kUser);
+  m.on_tick(Cycles{300}, kJob, kJobTg, CpuMode::kKernel);
+  m.on_tick(Cycles{400}, kIdlePid, Tgid{0}, CpuMode::kKernel);
+  EXPECT_EQ(m.usage(kJobTg).utime.v, 2u);
+  EXPECT_EQ(m.usage(kJobTg).stime.v, 1u);
+  EXPECT_EQ(m.idle_ticks().v, 1u);
+  EXPECT_EQ(m.usage(kOtherTg).total().v, 0u);
+}
+
+TEST(TscMeterUnit, ChargesCurrentRegardlessOfBeneficiary) {
+  TscMeter m;
+  m.on_cycles(Cycles{0}, kJob, kJobTg, WorkKind::kUserCompute, Cycles{100}, kJob);
+  // A device interrupt that serves nobody still lands on the current
+  // process under the commodity attribution policy.
+  m.on_cycles(Cycles{0}, kJob, kJobTg, WorkKind::kDeviceIrq, Cycles{40}, Pid{});
+  // Debug exception caused by a tracer: TSC still bills the tracee.
+  m.on_cycles(Cycles{0}, kJob, kJobTg, WorkKind::kDebugException, Cycles{60}, kOther);
+  EXPECT_EQ(m.usage(kJobTg).user.v, 100u);
+  EXPECT_EQ(m.usage(kJobTg).system.v, 100u);
+  EXPECT_EQ(m.usage(kOtherTg).total().v, 0u);
+}
+
+TEST(PaisMeterUnit, ReattributesByResponsiblePrincipal) {
+  PaisMeter m;
+  m.on_process_created(Cycles{0}, kJob, kJobTg, Pid{}, "job");
+  m.on_process_created(Cycles{0}, kOther, kOtherTg, Pid{}, "tracer");
+
+  // Own compute: the job.
+  m.on_cycles(Cycles{0}, kJob, kJobTg, WorkKind::kUserCompute, Cycles{100}, kJob);
+  // Ownerless junk interrupt: system account.
+  m.on_cycles(Cycles{0}, kJob, kJobTg, WorkKind::kDeviceIrq, Cycles{40}, Pid{});
+  // Timer housekeeping: system account.
+  m.on_cycles(Cycles{0}, kJob, kJobTg, WorkKind::kTimerIrq, Cycles{10}, kJob);
+  // Disk completion owned by the job: the job's stime, even if another
+  // process was interrupted.
+  m.on_cycles(Cycles{0}, kOther, kOtherTg, WorkKind::kDeviceIrq, Cycles{25}, kJob);
+  // Debug exception in the job caused by the tracer: the tracer's bill.
+  m.on_cycles(Cycles{0}, kJob, kJobTg, WorkKind::kDebugException, Cycles{60}, kOther);
+
+  EXPECT_EQ(m.usage(kJobTg).user.v, 100u);
+  EXPECT_EQ(m.usage(kJobTg).system.v, 25u);
+  EXPECT_EQ(m.usage(kOtherTg).system.v, 60u);
+  EXPECT_EQ(m.system_cycles().v, 50u);
+}
+
+TEST(PaisMeterUnit, UnknownBeneficiaryFallsBackToCurrent) {
+  PaisMeter m;
+  m.on_process_created(Cycles{0}, kJob, kJobTg, Pid{}, "job");
+  // Beneficiary pid never registered: fall back to the current group.
+  m.on_cycles(Cycles{0}, kJob, kJobTg, WorkKind::kSyscallBody, Cycles{30}, Pid{77});
+  EXPECT_EQ(m.usage(kJobTg).system.v, 30u);
+}
+
+TEST(SourceIntegrityUnit, PcrChainsAndWhitelistChecks) {
+  SourceIntegrityMonitor m;
+  m.allow("libc#good");
+  m.on_code_mapped(Cycles{0}, kJobTg, CodeMapping{"/lib/libc.so", "libc#good", 4});
+  EXPECT_TRUE(m.verify(kJobTg).ok);
+  const auto pcr_before = m.pcr(kJobTg);
+
+  m.on_code_mapped(Cycles{0}, kJobTg, CodeMapping{"/tmp/evil.so", "evil#1", 1});
+  const auto verdict = m.verify(kJobTg);
+  EXPECT_FALSE(verdict.ok);
+  ASSERT_EQ(verdict.violations.size(), 1u);
+  EXPECT_NE(verdict.violations[0].find("evil#1"), std::string::npos);
+  EXPECT_NE(m.pcr(kJobTg), pcr_before);  // extend changed the PCR
+  EXPECT_EQ(m.log(kJobTg).size(), 2u);
+}
+
+TEST(SourceIntegrityUnit, EmptySpaceVerifiesClean) {
+  SourceIntegrityMonitor m;
+  EXPECT_TRUE(m.verify(Tgid{123}).ok);
+  EXPECT_EQ(m.pcr(Tgid{123}), crypto::Digest32{});
+  EXPECT_TRUE(m.log(Tgid{123}).empty());
+}
+
+TEST(ExecutionIntegrityUnit, WitnessIsOrderSensitivePerThread) {
+  ExecutionIntegrityMonitor a;
+  a.on_step_begin(Cycles{0}, kJob, kJobTg, "compute", "x");
+  a.on_step_begin(Cycles{0}, kJob, kJobTg, "compute", "y");
+  ExecutionIntegrityMonitor b;
+  b.on_step_begin(Cycles{0}, kJob, kJobTg, "compute", "y");
+  b.on_step_begin(Cycles{0}, kJob, kJobTg, "compute", "x");
+  EXPECT_NE(a.witness(kJobTg), b.witness(kJobTg));
+  EXPECT_EQ(a.step_count(kJobTg), 2u);
+}
+
+TEST(ExecutionIntegrityUnit, ThreadInterleavingInvariant) {
+  // Two threads of one group, steps interleaved differently: the combined
+  // witness must not depend on the global interleaving.
+  const Pid t1{11};
+  const Pid t2{12};
+  ExecutionIntegrityMonitor a;
+  a.on_step_begin(Cycles{0}, t1, kJobTg, "compute", "a1");
+  a.on_step_begin(Cycles{0}, t2, kJobTg, "compute", "b1");
+  a.on_step_begin(Cycles{0}, t1, kJobTg, "compute", "a2");
+
+  ExecutionIntegrityMonitor b;
+  b.on_step_begin(Cycles{0}, t2, kJobTg, "compute", "b1");
+  b.on_step_begin(Cycles{0}, t1, kJobTg, "compute", "a1");
+  b.on_step_begin(Cycles{0}, t1, kJobTg, "compute", "a2");
+
+  EXPECT_EQ(a.witness(kJobTg), b.witness(kJobTg));
+}
+
+TEST(ExecutionIntegrityUnit, TagAndKindBothBindTheChain) {
+  ExecutionIntegrityMonitor a;
+  a.on_step_begin(Cycles{0}, kJob, kJobTg, "compute", "x");
+  ExecutionIntegrityMonitor b;
+  b.on_step_begin(Cycles{0}, kJob, kJobTg, "syscall:fork", "x");
+  ExecutionIntegrityMonitor c;
+  c.on_step_begin(Cycles{0}, kJob, kJobTg, "compute", "z");
+  EXPECT_NE(a.witness(kJobTg), b.witness(kJobTg));
+  EXPECT_NE(a.witness(kJobTg), c.witness(kJobTg));
+}
+
+}  // namespace
+}  // namespace mtr::core

@@ -1,0 +1,141 @@
+// A rational dishonest provider does not pick one attack — it stacks them.
+// These scenarios combine attacks and check that effects compose, that the
+// trusted stack still catches everything, and that accounting invariants
+// survive the combined load.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "attacks/flooding_attacks.hpp"
+#include "attacks/launch_attacks.hpp"
+#include "attacks/scheduling_attack.hpp"
+#include "attacks/thrashing_attack.hpp"
+#include "helpers.hpp"
+
+namespace mtr {
+namespace {
+
+using workloads::WorkloadKind;
+
+/// Composite attack: applies every phase of its members in order.
+class StackedAttack final : public attacks::Attack {
+ public:
+  void add(std::unique_ptr<attacks::Attack> a) { members_.push_back(std::move(a)); }
+
+  std::string name() const override { return "stacked"; }
+  std::string phase() const override { return "launch+runtime"; }
+
+  void prepare(sim::Simulation& sim, sim::LaunchOptions& opts) override {
+    for (auto& a : members_) a->prepare(sim, opts);
+  }
+  void engage(attacks::AttackContext& ctx) override {
+    for (auto& a : members_) {
+      a->engage(ctx);
+      for (const Pid pid : a->attacker_pids()) attacker_pids_.push_back(pid);
+    }
+  }
+  void disengage(attacks::AttackContext& ctx) override {
+    for (auto& a : members_) a->disengage(ctx);
+  }
+
+ private:
+  std::vector<std::unique_ptr<attacks::Attack>> members_;
+};
+
+TEST(StackedAttacks, ShellPlusInterpositionDeltasCompose) {
+  auto cfg = test::quick_experiment(WorkloadKind::kWhetstone, 0.03);
+  const auto base = core::run_experiment(cfg);
+
+  attacks::ShellAttack shell_only(seconds_to_cycles(0.2, CpuHz{}));
+  const auto r_shell = core::run_experiment(cfg, &shell_only);
+  attacks::LibraryInterpositionAttack wrap_only(Cycles{300'000});
+  const auto r_wrap = core::run_experiment(cfg, &wrap_only);
+
+  StackedAttack stacked;
+  stacked.add(std::make_unique<attacks::ShellAttack>(seconds_to_cycles(0.2, CpuHz{})));
+  stacked.add(std::make_unique<attacks::LibraryInterpositionAttack>(Cycles{300'000}));
+  const auto r_both = core::run_experiment(cfg, &stacked);
+
+  const double d_shell = r_shell.billed_seconds - base.billed_seconds;
+  const double d_wrap = r_wrap.billed_seconds - base.billed_seconds;
+  const double d_both = r_both.billed_seconds - base.billed_seconds;
+  EXPECT_NEAR(d_both, d_shell + d_wrap, 0.05);
+  EXPECT_FALSE(r_both.source_verdict.ok);
+  // Both foreign objects appear in the violation list.
+  EXPECT_GE(r_both.source_verdict.violations.size(), 2u);
+}
+
+TEST(StackedAttacks, SchedulingPlusThrashingHitBothTimeComponents) {
+  auto cfg = test::quick_experiment(WorkloadKind::kWhetstone, 0.05);
+  const auto base = core::run_experiment(cfg);
+
+  attacks::SchedulingAttackParams sched;
+  sched.nice = Nice{-20};
+  sched.total_forks = 2000;
+  StackedAttack stacked;
+  stacked.add(std::make_unique<attacks::SchedulingAttack>(sched));
+  stacked.add(std::make_unique<attacks::ThrashingAttack>());
+  const auto hit = core::run_experiment(cfg, &stacked);
+
+  // utime inflated by the miscount, stime by the thrash.
+  EXPECT_GT(hit.billed_user_seconds, base.billed_user_seconds + 0.05);
+  EXPECT_GT(hit.billed_system_seconds, base.billed_system_seconds + 0.05);
+  // The process-aware fine-grained bill resists both at once.
+  EXPECT_NEAR(hit.pais_seconds, base.pais_seconds, 0.10);
+  // No foreign code: only the meters can tell.
+  EXPECT_TRUE(hit.source_verdict.ok);
+}
+
+TEST(StackedAttacks, FullArsenalStillConservesMachineTime) {
+  auto cfg = test::quick_experiment(WorkloadKind::kPi, 0.04);
+  attacks::SchedulingAttackParams sched;
+  sched.nice = Nice{-20};
+  sched.total_forks = 1000;
+
+  StackedAttack stacked;
+  stacked.add(std::make_unique<attacks::ShellAttack>(seconds_to_cycles(0.1, CpuHz{})));
+  stacked.add(std::make_unique<attacks::SchedulingAttack>(sched));
+  stacked.add(std::make_unique<attacks::InterruptFloodAttack>(30'000.0));
+
+  sim::Simulation sim(cfg.sim);
+  core::TscMeter tsc;
+  sim.kernel().add_hook(&tsc);
+
+  sim::LaunchOptions opts;
+  stacked.prepare(sim, opts);
+  const auto info = workloads::make_workload(cfg.kind, cfg.workload);
+  const Pid victim = sim.launch(info.image, std::move(opts));
+  attacks::AttackContext ctx{sim, victim, sim.kernel().process(victim).tgid,
+                             info.hot_addr};
+  stacked.engage(ctx);
+  ASSERT_TRUE(sim.run_until_exit(victim));
+  stacked.disengage(ctx);
+  sim.run_all(seconds_to_cycles(0.5, CpuHz{}));
+
+  // Machine-level conservation under the full stack: metered cycles
+  // (including idle) equal elapsed time exactly.
+  EXPECT_EQ(tsc.grand_total().v, sim.kernel().now().v);
+}
+
+TEST(StackedAttacks, DetectionSurvivesCombination) {
+  // Stacking a detectable attack with stealthy ones must not wash out the
+  // detection (no "cover traffic" effect).
+  auto cfg = test::quick_experiment(WorkloadKind::kOurs, 0.03);
+  const auto base = core::run_experiment(cfg);
+
+  attacks::SchedulingAttackParams sched;
+  sched.nice = Nice{-20};
+  sched.total_forks = 1000;
+  StackedAttack stacked;
+  stacked.add(std::make_unique<attacks::LibraryCtorAttack>(
+      seconds_to_cycles(0.05, CpuHz{})));
+  stacked.add(std::make_unique<attacks::SchedulingAttack>(sched));
+  const auto hit = core::run_experiment(cfg, &stacked);
+
+  EXPECT_FALSE(hit.source_verdict.ok);
+  EXPECT_NE(hit.witness, base.witness);
+}
+
+}  // namespace
+}  // namespace mtr

@@ -1,0 +1,133 @@
+// Workload model tests: the paper's four test programs behave as specified
+// (sizes, determinism, thread structure, library usage).
+#include <gtest/gtest.h>
+
+#include "common/ensure.hpp"
+#include "sim/simulation.hpp"
+#include "workloads/stdlibs.hpp"
+#include "workloads/workloads.hpp"
+
+namespace mtr::workloads {
+namespace {
+
+using Kind = WorkloadKind;
+
+TEST(Names, ShortAndLong) {
+  EXPECT_STREQ(short_name(Kind::kOurs), "O");
+  EXPECT_STREQ(short_name(Kind::kPi), "P");
+  EXPECT_STREQ(short_name(Kind::kWhetstone), "W");
+  EXPECT_STREQ(short_name(Kind::kBrute), "B");
+  EXPECT_STREQ(long_name(Kind::kBrute), "brute");
+}
+
+TEST(StandardRegistry, ProvidesCoreSymbols) {
+  const exec::LibraryRegistry reg = standard_registry();
+  EXPECT_TRUE(reg.has("libc"));
+  EXPECT_TRUE(reg.has("libm"));
+  EXPECT_TRUE(reg.has("libpthread"));
+  EXPECT_NO_THROW(reg.resolve("malloc", {"libc"}));
+  EXPECT_NO_THROW(reg.resolve("sqrt", {"libm"}));
+}
+
+TEST(MakeWorkload, RejectsNonPositiveScale) {
+  WorkloadParams p;
+  p.scale = 0.0;
+  EXPECT_THROW(make_workload(Kind::kOurs, p), mtr::InvariantError);
+}
+
+TEST(MakeWorkload, NominalCyclesScaleLinearly) {
+  WorkloadParams small;
+  small.scale = 0.1;
+  WorkloadParams big;
+  big.scale = 0.2;
+  for (Kind k : {Kind::kOurs, Kind::kPi, Kind::kWhetstone, Kind::kBrute}) {
+    const auto a = make_workload(k, small).nominal_cycles.v;
+    const auto b = make_workload(k, big).nominal_cycles.v;
+    EXPECT_NEAR(static_cast<double>(b) / static_cast<double>(a), 2.0, 0.1)
+        << long_name(k);
+  }
+}
+
+class WorkloadRunTest : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(WorkloadRunTest, RunsToCompletionWithExpectedShape) {
+  sim::Simulation s;
+  WorkloadParams params;
+  params.scale = 0.01;
+  params.brute_threads = 3;
+  const WorkloadInfo info = make_workload(GetParam(), params);
+  const Pid pid = s.launch(info.image);
+  ASSERT_TRUE(s.run_until_exit(pid));
+  const kernel::GroupUsage u = s.usage_of(pid);
+  // CPU-bound programs: utime dominates, stime marginal (paper §V-B1: the
+  // system time of O/P/W is "too little to be shown").
+  EXPECT_GT(u.true_cycles.user.v, 10 * u.true_cycles.system.v)
+      << long_name(GetParam());
+  // Billed time tracks truth within tick quantization on a clean machine.
+  const double billed = ticks_to_seconds(u.ticks.total(), TimerHz{});
+  const double truth = cycles_to_seconds(u.true_cycles.total(), CpuHz{});
+  EXPECT_NEAR(billed / truth, 1.0, 0.15) << long_name(GetParam());
+}
+
+TEST_P(WorkloadRunTest, DeterministicAcrossRuns) {
+  auto run_once = [&](std::uint64_t seed) {
+    sim::SimConfig cfg;
+    cfg.kernel.seed = seed;
+    sim::Simulation s(cfg);
+    WorkloadParams params;
+    params.scale = 0.01;
+    params.brute_threads = 2;
+    const WorkloadInfo info = make_workload(GetParam(), params);
+    const Pid pid = s.launch(info.image);
+    s.run_until_exit(pid);
+    const auto u = s.usage_of(pid);
+    return std::pair{u.true_cycles.total().v, u.ticks.total().v};
+  };
+  const auto a = run_once(42);
+  const auto b = run_once(42);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadRunTest,
+                         ::testing::Values(Kind::kOurs, Kind::kPi, Kind::kWhetstone,
+                                           Kind::kBrute),
+                         [](const auto& info) { return long_name(info.param); });
+
+TEST(Brute, SpawnsRequestedThreads) {
+  sim::Simulation s;
+  WorkloadParams params;
+  params.scale = 0.01;
+  params.brute_threads = 5;
+  const WorkloadInfo info = make_workload(Kind::kBrute, params);
+  const Pid pid = s.launch(info.image);
+  const Tgid tg = s.kernel().process(pid).tgid;
+  ASSERT_TRUE(s.run_until_exit(pid));
+  int group_members = 0;
+  for (const Pid other : s.kernel().all_pids())
+    if (s.kernel().process(other).tgid == tg) ++group_members;
+  EXPECT_EQ(group_members, 6);  // main + 5 workers
+}
+
+TEST(Brute, RealMd5VerificationPathRuns) {
+  sim::Simulation s;
+  WorkloadParams params;
+  params.scale = 0.005;
+  params.brute_threads = 2;
+  params.brute_verify_hashes = true;  // hash real candidates per batch
+  const WorkloadInfo info = make_workload(Kind::kBrute, params);
+  const Pid pid = s.launch(info.image);
+  EXPECT_TRUE(s.run_until_exit(pid));
+}
+
+TEST(Workloads, HotAddressesAreDistinct) {
+  const auto o = make_workload(Kind::kOurs).hot_addr;
+  const auto p = make_workload(Kind::kPi).hot_addr;
+  const auto w = make_workload(Kind::kWhetstone).hot_addr;
+  const auto b = make_workload(Kind::kBrute).hot_addr;
+  EXPECT_NE(o, p);
+  EXPECT_NE(p, w);
+  EXPECT_NE(w, b);
+}
+
+}  // namespace
+}  // namespace mtr::workloads
