@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "core/batch_runner.hpp"
 #include "core/experiment.hpp"
 
 namespace mtr::bench {
@@ -29,6 +30,36 @@ inline double env_scale(double fallback = 0.25) {
     if (v > 0.0) return v;
   }
   return fallback;
+}
+
+/// Worker-pool size for BatchRunner sweeps; 0 = hardware concurrency.
+inline unsigned env_threads() {
+  if (const char* s = std::getenv("MTR_BENCH_THREADS")) {
+    const long v = std::atol(s);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return 0;
+}
+
+/// Replicate seeds per grid cell: MTR_BENCH_SEEDS of them, consecutive from
+/// `first`. Results are means (+/- stddev) over these replicates.
+inline std::vector<std::uint64_t> env_seeds(std::size_t fallback = 3,
+                                            std::uint64_t first = 42) {
+  std::size_t n = fallback;
+  if (const char* s = std::getenv("MTR_BENCH_SEEDS")) {
+    const long v = std::atol(s);
+    if (v > 0) n = static_cast<std::size_t>(v);
+  }
+  std::vector<std::uint64_t> seeds(n);
+  for (std::size_t i = 0; i < n; ++i) seeds[i] = first + i;
+  return seeds;
+}
+
+/// "1.23 +/- 0.04" — a cell statistic rendered as mean and spread.
+inline std::string fmt_stat(const RunningStats& s, int precision = 3) {
+  std::string out = fmt_double(s.mean(), precision);
+  if (s.count() > 1) out += " +/- " + fmt_double(s.stddev(), precision);
+  return out;
 }
 
 inline core::ExperimentConfig base_config(workloads::WorkloadKind kind, double scale) {

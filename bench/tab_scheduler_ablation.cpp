@@ -1,9 +1,12 @@
 // Scheduler ablation (§III-A note on CFS): the paper observes that the
 // 2.6.23+ Completely Fair Scheduler still performs tick-based accounting,
-// so the metering flaw is scheduling-policy independent. This bench runs
-// the scheduling attack under both the O(1)-style priority scheduler and
-// the CFS-like fair scheduler and compares the victim's overcharge.
+// so the metering flaw is scheduling-policy independent. This bench fans a
+// BatchRunner grid — scheduling attack at three nice levels x both
+// schedulers x replicate seeds — across the worker pool and compares the
+// victim's mean overcharge under the O(1)-style priority scheduler and the
+// CFS-like fair scheduler.
 #include <iostream>
+#include <memory>
 
 #include "attacks/scheduling_attack.hpp"
 #include "bench/bench_util.hpp"
@@ -11,25 +14,41 @@
 int main() {
   using namespace mtr;
   const double scale = bench::env_scale();
+  const std::vector<int> nices = {0, -10, -20};
+
+  core::BatchGrid grid;
+  grid.base = bench::base_config(workloads::WorkloadKind::kWhetstone, scale);
+  grid.schedulers = {sim::SchedulerKind::kO1, sim::SchedulerKind::kCfs};
+  grid.seeds = bench::env_seeds();
+  for (const int nice : nices) {
+    grid.attacks.push_back(
+        {"nice" + std::to_string(nice), [nice, scale] {
+           attacks::SchedulingAttackParams params;
+           params.nice = Nice{static_cast<std::int8_t>(nice)};
+           params.total_forks = static_cast<std::uint64_t>(150'000 * scale);
+           return std::make_unique<attacks::SchedulingAttack>(params);
+         }});
+  }
+
+  core::BatchRunner runner(bench::env_threads());
+  const auto cells = runner.run(grid);
 
   std::cout << "==== Scheduler ablation — scheduling attack under O(1) vs CFS "
-               "====\n\n";
+               "====\n";
+  std::cout << "(mean over " << grid.seeds.size() << " seed(s))\n\n";
   TextTable table({"scheduler", "nice", "victim_true(s)", "tick_bill(s)",
                    "overcharge", "attacker_billed(s)", "attacker_true(s)"});
 
-  for (const auto sched : {sim::SchedulerKind::kO1, sim::SchedulerKind::kCfs}) {
-    for (const int nice : {0, -10, -20}) {
-      auto cfg = bench::base_config(workloads::WorkloadKind::kWhetstone, scale);
-      cfg.sim.scheduler = sched;
-      attacks::SchedulingAttackParams params;
-      params.nice = Nice{static_cast<std::int8_t>(nice)};
-      params.total_forks = static_cast<std::uint64_t>(150'000 * scale);
-      attacks::SchedulingAttack attack(params);
-      const auto r = core::run_experiment(cfg, &attack);
-      table.add_row({sim::to_string(sched), std::to_string(nice),
-                     fmt_double(r.true_seconds), fmt_double(r.billed_seconds),
-                     fmt_ratio(r.overcharge), fmt_double(r.attacker_billed_seconds),
-                     fmt_double(r.attacker_true_seconds)});
+  // Cells arrive attack-major; render scheduler-major to match the paper.
+  for (std::size_t sched_i = 0; sched_i < grid.schedulers.size(); ++sched_i) {
+    for (std::size_t nice_i = 0; nice_i < nices.size(); ++nice_i) {
+      const core::CellStats& c = cells[nice_i * grid.schedulers.size() + sched_i];
+      table.add_row({sim::to_string(c.scheduler), std::to_string(nices[nice_i]),
+                     fmt_double(c.true_seconds.mean()),
+                     fmt_double(c.billed_seconds.mean()),
+                     bench::fmt_stat(c.overcharge, 2) + "x",
+                     fmt_double(c.attacker_billed_seconds.mean()),
+                     fmt_double(c.attacker_true_seconds.mean())});
     }
   }
   table.render(std::cout);

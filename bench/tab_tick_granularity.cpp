@@ -2,8 +2,10 @@
 // scheduling attack's yield against the commodity meter as a function of
 // HZ, next to the TSC meter at every setting. The paper argues the attack
 // exploits the clock-tick resolution; finer ticks shrink it and TSC
-// metering eliminates it.
+// metering eliminates it. One BatchRunner grid — HZ x replicate seeds —
+// fans across the worker pool; rows report cell means.
 #include <iostream>
+#include <memory>
 
 #include "attacks/scheduling_attack.hpp"
 #include "bench/bench_util.hpp"
@@ -12,22 +14,35 @@ int main() {
   using namespace mtr;
   const double scale = bench::env_scale();
 
-  std::cout << "==== Tick-granularity ablation — scheduling attack vs HZ ====\n\n";
+  core::BatchGrid grid;
+  grid.base = bench::base_config(workloads::WorkloadKind::kWhetstone, scale);
+  grid.ticks = {TimerHz{100}, TimerHz{250}, TimerHz{1000}};
+  grid.seeds = bench::env_seeds();
+  grid.attacks.push_back({"scheduling", [scale] {
+                            attacks::SchedulingAttackParams params;
+                            params.nice = Nice{-20};
+                            params.total_forks =
+                                static_cast<std::uint64_t>(150'000 * scale);
+                            return std::make_unique<attacks::SchedulingAttack>(
+                                params);
+                          }});
+
+  core::BatchRunner runner(bench::env_threads());
+  const auto cells = runner.run(grid);
+
+  std::cout << "==== Tick-granularity ablation — scheduling attack vs HZ ====\n";
+  std::cout << "(mean over " << grid.seeds.size() << " seed(s))\n\n";
   TextTable table({"HZ", "tick(ms)", "victim_true(s)", "tick_bill(s)",
                    "tick_overcharge", "tsc_bill(s)", "tsc_overcharge"});
 
-  for (const std::uint64_t hz : {100u, 250u, 1000u}) {
-    auto cfg = bench::base_config(workloads::WorkloadKind::kWhetstone, scale);
-    cfg.sim.kernel.hz = TimerHz{hz};
-    attacks::SchedulingAttackParams params;
-    params.nice = Nice{-20};
-    params.total_forks = static_cast<std::uint64_t>(150'000 * scale);
-    attacks::SchedulingAttack attack(params);
-    const auto r = core::run_experiment(cfg, &attack);
-    table.add_row({std::to_string(hz), fmt_double(1000.0 / static_cast<double>(hz), 1),
-                   fmt_double(r.true_seconds), fmt_double(r.billed_seconds),
-                   fmt_ratio(r.overcharge), fmt_double(r.tsc_seconds),
-                   fmt_ratio(r.tsc_seconds / r.true_seconds, 4)});
+  for (const core::CellStats& c : cells) {
+    table.add_row({std::to_string(c.hz.v),
+                   fmt_double(1000.0 / static_cast<double>(c.hz.v), 1),
+                   fmt_double(c.true_seconds.mean()),
+                   fmt_double(c.billed_seconds.mean()),
+                   bench::fmt_stat(c.overcharge, 2) + "x",
+                   fmt_double(c.tsc_seconds.mean()),
+                   fmt_ratio(c.tsc_seconds.mean() / c.true_seconds.mean(), 4)});
   }
   table.render(std::cout);
   std::cout << "\n-- CSV --\n";

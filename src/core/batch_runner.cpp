@@ -1,0 +1,144 @@
+#include "core/batch_runner.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/ensure.hpp"
+
+namespace mtr::core {
+namespace {
+
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// The grid with empty dimensions replaced by their `base` defaults.
+BatchGrid normalized(const BatchGrid& grid) {
+  BatchGrid g = grid;
+  if (g.attacks.empty()) g.attacks.push_back({"baseline", nullptr});
+  if (g.schedulers.empty()) g.schedulers.push_back(g.base.sim.scheduler);
+  if (g.ticks.empty()) g.ticks.push_back(g.base.sim.kernel.hz);
+  if (g.seeds.empty()) g.seeds.push_back(g.base.sim.kernel.seed);
+  return g;
+}
+
+}  // namespace
+
+std::uint64_t cell_seed(std::uint64_t grid_seed, std::size_t attack_i,
+                        std::size_t scheduler_i, std::size_t tick_i) {
+  std::uint64_t h = splitmix64(grid_seed);
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(attack_i) + 1));
+  h = splitmix64(h ^ ((static_cast<std::uint64_t>(scheduler_i) + 1) << 20));
+  h = splitmix64(h ^ ((static_cast<std::uint64_t>(tick_i) + 1) << 40));
+  return h;
+}
+
+BatchRunner::BatchRunner(unsigned threads) : threads_(threads) {
+  if (threads_ == 0) threads_ = std::thread::hardware_concurrency();
+  if (threads_ == 0) threads_ = 1;
+}
+
+std::vector<CellStats> BatchRunner::run(const BatchGrid& grid) const {
+  const BatchGrid g = normalized(grid);
+
+  const std::size_t n_attacks = g.attacks.size();
+  const std::size_t n_scheds = g.schedulers.size();
+  const std::size_t n_ticks = g.ticks.size();
+  const std::size_t n_seeds = g.seeds.size();
+  const std::size_t n_cells = n_attacks * n_scheds * n_ticks;
+  const std::size_t n_runs = n_cells * n_seeds;
+
+  // One slot per run, filled by whichever worker claims the index; the
+  // aggregation below reads them in grid order regardless.
+  std::vector<ExperimentResult> results(n_runs);
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::size_t error_index = n_runs;
+  std::exception_ptr error;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t idx = next.fetch_add(1, std::memory_order_relaxed);
+      if (idx >= n_runs) return;
+      const std::size_t cell = idx / n_seeds;
+      const std::size_t seed_i = idx % n_seeds;
+      const std::size_t attack_i = cell / (n_scheds * n_ticks);
+      const std::size_t sched_i = (cell / n_ticks) % n_scheds;
+      const std::size_t tick_i = cell % n_ticks;
+
+      try {
+        ExperimentConfig cfg = g.base;
+        cfg.sim.scheduler = g.schedulers[sched_i];
+        cfg.sim.kernel.hz = g.ticks[tick_i];
+        cfg.sim.kernel.seed = cell_seed(g.seeds[seed_i], attack_i, sched_i, tick_i);
+        const AttackFactory& make = g.attacks[attack_i].make;
+        const std::unique_ptr<attacks::Attack> attack = make ? make() : nullptr;
+        results[idx] = run_experiment(cfg, attack.get());
+      } catch (...) {
+        // Keep the first failure in work order for a deterministic report.
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (idx < error_index) {
+          error_index = idx;
+          error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  const unsigned pool = static_cast<unsigned>(
+      std::min<std::size_t>(threads_, n_runs > 0 ? n_runs : 1));
+  if (pool <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    try {
+      for (unsigned i = 0; i < pool; ++i) threads.emplace_back(worker);
+    } catch (...) {
+      // Thread creation failed mid-spawn: drain the workers already
+      // running (they finish the queue) before propagating, so joinable
+      // threads are never destroyed.
+      for (auto& t : threads) t.join();
+      throw;
+    }
+    for (auto& t : threads) t.join();
+  }
+  if (error) std::rethrow_exception(error);
+
+  std::vector<CellStats> cells;
+  cells.reserve(n_cells);
+  for (std::size_t cell = 0; cell < n_cells; ++cell) {
+    const std::size_t attack_i = cell / (n_scheds * n_ticks);
+    const std::size_t sched_i = (cell / n_ticks) % n_scheds;
+    const std::size_t tick_i = cell % n_ticks;
+
+    CellStats s;
+    s.attack_label = g.attacks[attack_i].label;
+    s.scheduler = g.schedulers[sched_i];
+    s.hz = g.ticks[tick_i];
+    s.seeds = g.seeds;
+    s.runs.reserve(n_seeds);
+    for (std::size_t seed_i = 0; seed_i < n_seeds; ++seed_i) {
+      const ExperimentResult& r = results[cell * n_seeds + seed_i];
+      s.runs.push_back(r);
+      s.overcharge.add(r.overcharge);
+      s.billed_seconds.add(r.billed_seconds);
+      s.billed_user_seconds.add(r.billed_user_seconds);
+      s.billed_system_seconds.add(r.billed_system_seconds);
+      s.true_seconds.add(r.true_seconds);
+      s.tsc_seconds.add(r.tsc_seconds);
+      s.attacker_billed_seconds.add(r.attacker_billed_seconds);
+      s.attacker_true_seconds.add(r.attacker_true_seconds);
+    }
+    cells.push_back(std::move(s));
+  }
+  return cells;
+}
+
+}  // namespace mtr::core

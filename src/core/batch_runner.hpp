@@ -1,0 +1,89 @@
+// Parallel experiment sweeps.
+//
+// A BatchGrid names the four sweep dimensions of the paper's tables —
+// attack x scheduler x tick granularity x seed — and BatchRunner fans the
+// cross product across a std::thread pool. Each run builds its own
+// Simulation (run_experiment is self-contained), each cell derives its
+// kernel seeds deterministically from the grid seed and the cell
+// coordinates, and aggregation happens in grid order after all workers
+// join — so the output is bit-identical for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attacks/attack.hpp"
+#include "common/stats.hpp"
+#include "core/experiment.hpp"
+
+namespace mtr::core {
+
+/// Builds a fresh attack for one run. Attacks carry per-run state (attacker
+/// pids, planted libraries), so the runner constructs one per experiment;
+/// a null factory runs the baseline with no attack.
+using AttackFactory = std::function<std::unique_ptr<attacks::Attack>()>;
+
+struct AttackSpec {
+  std::string label;   // row label in tables; conventionally "baseline"
+  AttackFactory make;  // null => no attack
+};
+
+/// One sweep. Cells are the cross product attack x scheduler x hz; seeds
+/// are replicate runs within each cell. An empty dimension defaults to the
+/// corresponding value of `base` (one baseline attack, base scheduler,
+/// base HZ, base seed).
+struct BatchGrid {
+  ExperimentConfig base{};
+  std::vector<AttackSpec> attacks;
+  std::vector<sim::SchedulerKind> schedulers;
+  std::vector<TimerHz> ticks;
+  std::vector<std::uint64_t> seeds;
+};
+
+/// Aggregate for one (attack, scheduler, hz) cell across its seeds.
+struct CellStats {
+  std::string attack_label;
+  sim::SchedulerKind scheduler{};
+  TimerHz hz{};
+
+  std::vector<std::uint64_t> seeds;    // grid seeds, in grid order
+  std::vector<ExperimentResult> runs;  // one result per seed, same order
+
+  RunningStats overcharge;
+  RunningStats billed_seconds;
+  RunningStats billed_user_seconds;
+  RunningStats billed_system_seconds;
+  RunningStats true_seconds;
+  RunningStats tsc_seconds;
+  RunningStats attacker_billed_seconds;
+  RunningStats attacker_true_seconds;
+
+  const ExperimentResult& first_run() const { return runs.front(); }
+};
+
+/// Derives the kernel seed for one run: a splitmix64 mix of the grid seed
+/// with the cell coordinates, so the same grid seed decorrelates across
+/// cells while staying reproducible and independent of scheduling order.
+std::uint64_t cell_seed(std::uint64_t grid_seed, std::size_t attack_i,
+                        std::size_t scheduler_i, std::size_t tick_i);
+
+class BatchRunner {
+ public:
+  /// `threads` == 0 picks std::thread::hardware_concurrency().
+  explicit BatchRunner(unsigned threads = 0);
+
+  unsigned threads() const { return threads_; }
+
+  /// Runs the full grid; returns one CellStats per (attack, scheduler, hz)
+  /// combination in attack-major grid order. If any experiment throws, the
+  /// first exception (in work order) is rethrown after all workers join.
+  std::vector<CellStats> run(const BatchGrid& grid) const;
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace mtr::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/ensure.hpp"
+#include "kernel/syscalls.hpp"
 
 namespace mtr::kernel {
 

@@ -27,26 +27,6 @@ const char* to_string(Signal s) {
   return "?";
 }
 
-const char* syscall_name(const SyscallRequest& req) {
-  struct Namer {
-    const char* operator()(const SysFork&) const { return "fork"; }
-    const char* operator()(const SysClone&) const { return "clone"; }
-    const char* operator()(const SysExecve&) const { return "execve"; }
-    const char* operator()(const SysWait&) const { return "wait"; }
-    const char* operator()(const SysKill&) const { return "kill"; }
-    const char* operator()(const SysPtrace&) const { return "ptrace"; }
-    const char* operator()(const SysSetPriority&) const { return "setpriority"; }
-    const char* operator()(const SysYield&) const { return "sched_yield"; }
-    const char* operator()(const SysNanosleep&) const { return "nanosleep"; }
-    const char* operator()(const SysMmap&) const { return "mmap"; }
-    const char* operator()(const SysDiskIo&) const { return "disk_io"; }
-    const char* operator()(const SysGetRusage&) const { return "getrusage"; }
-    const char* operator()(const SysMapCode&) const { return "map_code"; }
-    const char* operator()(const SysGeneric&) const { return "generic"; }
-  };
-  return std::visit(Namer{}, req);
-}
-
 Process::Process(Pid pid_in, Tgid tgid_in, Pid parent_in, std::string name_in,
                  std::unique_ptr<Program> program_in, Nice nice_in,
                  std::uint64_t rng_seed)

@@ -157,9 +157,6 @@ using SyscallRequest =
                  SysSetPriority, SysYield, SysNanosleep, SysMmap, SysDiskIo,
                  SysGetRusage, SysMapCode, SysGeneric>;
 
-/// Stable name of the request alternative ("fork", "ptrace", ...).
-const char* syscall_name(const SyscallRequest& req);
-
 // ---------------------------------------------------------------------------
 // Steps.
 // ---------------------------------------------------------------------------

@@ -1,0 +1,17 @@
+// System-call semantics (header for syscalls.cpp).
+//
+// The request types themselves live in kernel/step.hpp with the rest of the
+// guest program vocabulary; this header carries the free-function surface of
+// the syscall layer. The Kernel member functions that implement each call
+// (do_fork, do_ptrace, ...) are declared on Kernel in kernel/kernel.hpp and
+// defined in syscalls.cpp.
+#pragma once
+
+#include "kernel/step.hpp"
+
+namespace mtr::kernel {
+
+/// Stable name of the request alternative ("fork", "ptrace", ...).
+const char* syscall_name(const SyscallRequest& req);
+
+}  // namespace mtr::kernel

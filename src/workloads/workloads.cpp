@@ -196,8 +196,12 @@ class BruteWorker final : public QueueProgram {
     if (shared_.verify) {
       // Anchor the model in the real computation: hash one representative
       // candidate from this batch and test it against the target.
-      const std::string candidate = "w" + std::to_string(index_) + ":" +
-                                    std::to_string(batches_left_);
+      // Built with append (not operator+ chains): GCC 12's -Wrestrict
+      // false-fires on `const char* + std::string&&` under -O3.
+      std::string candidate = "w";
+      candidate += std::to_string(index_);
+      candidate += ':';
+      candidate += std::to_string(batches_left_);
       if (crypto::md5(candidate) == shared_.target) found_ = true;
     }
     // 10k tries per batch at ~1420 cycles per MD5 candidate.

@@ -108,8 +108,12 @@ TEST_P(PayloadSweep, ShellInflationMatchesPayload) {
 
 INSTANTIATE_TEST_SUITE_P(Payloads, PayloadSweep, ::testing::Values(0.05, 0.1, 0.2),
                          [](const auto& info) {
-                           return "s" + std::to_string(static_cast<int>(
-                                            info.param * 1000));
+                           // Append, not `"s" + ...`: GCC 12 -Wrestrict
+                           // false-fires on char* + string&& under -O3.
+                           std::string name = "s";
+                           name += std::to_string(
+                               static_cast<int>(info.param * 1000));
+                           return name;
                          });
 
 // --- scheduling-attack nice sweep: inflation grows with privilege ------------------
