@@ -1,19 +1,15 @@
-// Shared harness for the figure-reproduction benches.
+// Shared harness for the figure-reproduction sweeps.
 //
-// Each fig* binary reruns one experiment of the paper's §V and prints:
-//   1. the figure as ASCII stacked bars (user/system split, normal vs
-//      attacked — the same series the paper plots),
-//   2. an overcharge table against the cycle-exact ground truth (which the
-//      paper's authors could not observe directly),
-//   3. machine-readable CSV.
-//
-// Workloads are scaled to ~10 virtual seconds by default so the whole
-// bench suite finishes quickly; set MTR_BENCH_SCALE to change (1.0 gives
-// ~40-second programs closer to the paper's §V-B runs).
+// Each fig* sweep reruns one experiment of the paper's §V as a BatchRunner
+// grid (normal vs. attacked as a two-entry attack dimension, replicate
+// seeds per cell), streams every cell through the driver's result sinks,
+// and renders the figure as ASCII stacked bars (user/system split — the
+// same series the paper plots) plus an overcharge table against the
+// cycle-exact ground truth. Sweep parameters (scale, seeds, threads) come
+// from the report::SweepContext the mtr_sweep driver builds.
 #pragma once
 
-#include <cstdlib>
-#include <iostream>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -21,39 +17,9 @@
 #include "common/table.hpp"
 #include "core/batch_runner.hpp"
 #include "core/experiment.hpp"
+#include "report/sweep.hpp"
 
 namespace mtr::bench {
-
-inline double env_scale(double fallback = 0.25) {
-  if (const char* s = std::getenv("MTR_BENCH_SCALE")) {
-    const double v = std::atof(s);
-    if (v > 0.0) return v;
-  }
-  return fallback;
-}
-
-/// Worker-pool size for BatchRunner sweeps; 0 = hardware concurrency.
-inline unsigned env_threads() {
-  if (const char* s = std::getenv("MTR_BENCH_THREADS")) {
-    const long v = std::atol(s);
-    if (v > 0) return static_cast<unsigned>(v);
-  }
-  return 0;
-}
-
-/// Replicate seeds per grid cell: MTR_BENCH_SEEDS of them, consecutive from
-/// `first`. Results are means (+/- stddev) over these replicates.
-inline std::vector<std::uint64_t> env_seeds(std::size_t fallback = 3,
-                                            std::uint64_t first = 42) {
-  std::size_t n = fallback;
-  if (const char* s = std::getenv("MTR_BENCH_SEEDS")) {
-    const long v = std::atol(s);
-    if (v > 0) n = static_cast<std::size_t>(v);
-  }
-  std::vector<std::uint64_t> seeds(n);
-  for (std::size_t i = 0; i < n; ++i) seeds[i] = first + i;
-  return seeds;
-}
 
 /// "1.23 +/- 0.04" — a cell statistic rendered as mean and spread.
 inline std::string fmt_stat(const RunningStats& s, int precision = 3) {
@@ -69,53 +35,95 @@ inline core::ExperimentConfig base_config(workloads::WorkloadKind kind, double s
   return cfg;
 }
 
-struct FigureRow {
-  std::string label;
-  core::ExperimentResult result;
-};
-
-/// Renders one figure: grouped normal/attacked bars plus the analysis table.
-inline void render_figure(const std::string& title, const std::vector<FigureRow>& rows,
-                          const std::string& note = {}) {
-  std::cout << "==== " << title << " ====\n";
-  if (!note.empty()) std::cout << note << "\n";
-  std::cout << '\n';
-
-  BarChart chart(title + " — CPU time (U = user, S = system)");
-  std::string last_prefix;
-  for (const auto& row : rows) {
-    const std::string prefix = row.label.substr(0, row.label.find(' '));
-    if (!last_prefix.empty() && prefix != last_prefix) chart.add_gap();
-    last_prefix = prefix;
-    chart.add({row.label, row.result.billed_user_seconds,
-               row.result.billed_system_seconds});
-  }
-  chart.render(std::cout);
-  std::cout << '\n';
-
-  TextTable table({"run", "billed_u(s)", "billed_s(s)", "billed(s)", "true(s)",
-                   "tsc(s)", "pais(s)", "overcharge", "src_ok", "majflt",
-                   "dbgexc"});
-  for (const auto& row : rows) {
-    const auto& r = row.result;
-    table.add_row({row.label, fmt_double(r.billed_user_seconds),
-                   fmt_double(r.billed_system_seconds), fmt_double(r.billed_seconds),
-                   fmt_double(r.true_seconds), fmt_double(r.tsc_seconds),
-                   fmt_double(r.pais_seconds), fmt_ratio(r.overcharge),
-                   r.source_verdict.ok ? "yes" : "NO",
-                   std::to_string(r.major_faults), std::to_string(r.debug_exceptions)});
-  }
-  table.render(std::cout);
-  std::cout << "\n-- CSV --\n";
-  table.render_csv(std::cout);
-  std::cout << std::endl;
-}
-
 inline const std::vector<workloads::WorkloadKind>& all_workloads() {
   static const std::vector<workloads::WorkloadKind> kAll = {
       workloads::WorkloadKind::kOurs, workloads::WorkloadKind::kPi,
       workloads::WorkloadKind::kWhetstone, workloads::WorkloadKind::kBrute};
   return kAll;
+}
+
+struct CellRow {
+  std::string label;
+  const core::CellStats* cell;
+};
+
+/// Renders one figure from aggregated cells: grouped normal/attacked bars
+/// of the mean billed user/system split, plus the analysis table (cell
+/// means, overcharge with spread).
+inline void render_cell_figure(std::ostream& os, const std::string& title,
+                               const std::vector<CellRow>& rows,
+                               const std::string& note, std::size_t n_seeds) {
+  os << "==== " << title << " ====\n";
+  if (!note.empty()) os << note << "\n";
+  os << "(cell means over " << n_seeds << " seed(s); machine-readable output "
+     << "via the mtr_sweep sinks)\n\n";
+
+  BarChart chart(title + " — CPU time (U = user, S = system)");
+  std::string last_prefix;
+  for (const CellRow& row : rows) {
+    const std::string prefix = row.label.substr(0, row.label.find(' '));
+    if (!last_prefix.empty() && prefix != last_prefix) chart.add_gap();
+    last_prefix = prefix;
+    chart.add({row.label, row.cell->billed_user_seconds.mean(),
+               row.cell->billed_system_seconds.mean()});
+  }
+  chart.render(os);
+  os << '\n';
+
+  TextTable table({"run", "billed_u(s)", "billed_s(s)", "billed(s)", "true(s)",
+                   "tsc(s)", "pais(s)", "overcharge", "src_ok", "majflt",
+                   "dbgexc"});
+  for (const CellRow& row : rows) {
+    const core::CellStats& c = *row.cell;
+    table.add_row({row.label, fmt_double(c.billed_user_seconds.mean()),
+                   fmt_double(c.billed_system_seconds.mean()),
+                   fmt_double(c.billed_seconds.mean()),
+                   fmt_double(c.true_seconds.mean()), fmt_double(c.tsc_seconds.mean()),
+                   fmt_double(c.pais_seconds.mean()),
+                   fmt_stat(c.overcharge, 2) + "x",
+                   c.all_source_ok() ? "yes" : "NO",
+                   fmt_double(c.major_faults.mean(), 1),
+                   fmt_double(c.debug_exceptions.mean(), 1)});
+  }
+  table.render(os);
+  os << std::endl;
+}
+
+/// The shared shape of Figs. 4, 5, 6, 9, 10 and 11: for every workload, a
+/// {baseline, attacked} BatchRunner grid over the context's seeds; cells
+/// stream through the sinks as they complete, and the combined figure
+/// renders once everything is in. `tweak` adjusts the base config (e.g.
+/// Fig. 11 shrinks RAM).
+inline void run_attack_figure(
+    const report::SweepContext& ctx, const std::string& sweep,
+    const std::string& title, const std::string& note,
+    const core::AttackFactory& attack,
+    const std::function<void(core::ExperimentConfig&)>& tweak = {}) {
+  const auto& kinds = all_workloads();
+  ctx.begin_progress(sweep, kinds.size() * 2);
+
+  core::BatchRunner runner(ctx.threads);
+  std::vector<core::CellStats> cells;  // [normal, attacked] per workload
+  cells.reserve(kinds.size() * 2);
+  for (const auto kind : kinds) {
+    core::BatchGrid grid;
+    grid.base = base_config(kind, ctx.scale);
+    if (tweak) tweak(grid.base);
+    grid.seeds = ctx.seeds;
+    // The workload rides in the attack label so progress lines and
+    // BatchRunner failure coordinates can tell the four grids apart (the
+    // sink rows carry a dedicated workload column regardless).
+    const std::string name = workloads::short_name(kind);
+    grid.attacks.push_back({name + " normal", nullptr});
+    grid.attacks.push_back({name + " attacked", attack});
+    for (auto& cell : runner.run(grid, ctx.stream(sweep)))
+      cells.push_back(std::move(cell));
+  }
+
+  std::vector<CellRow> rows;
+  for (const core::CellStats& cell : cells)
+    rows.push_back({cell.attack_label, &cell});
+  render_cell_figure(ctx.os(), title, rows, note, ctx.seeds.size());
 }
 
 }  // namespace mtr::bench

@@ -6,29 +6,24 @@
 // system time unaffected. Expected shape: each attacked bar grows by the
 // payload, the growth is identical across O/P/W/B, and the source-
 // integrity monitor flags the tampered shell image.
-#include "attacks/launch_attacks.hpp"
+#include "bench/attack_roster.hpp"
 #include "bench/bench_util.hpp"
+#include "bench/sweeps.hpp"
 
-int main() {
-  using namespace mtr;
-  const double scale = bench::env_scale();
-  // The paper's payload is ~34 s of looping; scale it with the workloads.
-  const Cycles payload = seconds_to_cycles(34.0 * scale, CpuHz{});
+namespace mtr::bench {
 
-  std::vector<bench::FigureRow> rows;
-  for (const auto kind : bench::all_workloads()) {
-    const auto cfg = bench::base_config(kind, scale);
-    rows.push_back({std::string(workloads::short_name(kind)) + " normal",
-                    core::run_experiment(cfg)});
-    attacks::ShellAttack attack(payload);
-    rows.push_back({std::string(workloads::short_name(kind)) + " attacked",
-                    core::run_experiment(cfg, &attack)});
-  }
-  bench::render_figure(
-      "Fig. 4 — Shell attack", rows,
-      "payload = " + fmt_double(34.0 * scale, 1) +
-          "s of injected looping between fork() and execve(); expectation: "
-          "+constant utime on every program, stime unaffected, source "
-          "integrity violated");
-  return 0;
+void register_fig04(report::SweepRegistry& registry) {
+  registry.add(
+      {"fig04", "Fig. 4 — Shell attack (§IV-A1, §V-B1)",
+       [](const report::SweepContext& ctx) {
+         run_attack_figure(
+             ctx, "fig04", "Fig. 4 — Shell attack",
+             "payload = " + fmt_double(kLaunchPayloadSeconds * ctx.scale, 1) +
+                 "s of injected looping between fork() and execve(); "
+                 "expectation: +constant utime on every program, stime "
+                 "unaffected, source integrity violated",
+             roster_attack(ctx.scale, "shell"));
+       }});
 }
+
+}  // namespace mtr::bench

@@ -4,26 +4,24 @@
 // payload as the shell attack, before main(). The paper: "not surprisingly,
 // they are almost identical to Fig. 4 — in essence, the same attacking code
 // is executed at different locations."
-#include "attacks/launch_attacks.hpp"
+#include "bench/attack_roster.hpp"
 #include "bench/bench_util.hpp"
+#include "bench/sweeps.hpp"
 
-int main() {
-  using namespace mtr;
-  const double scale = bench::env_scale();
-  const Cycles payload = seconds_to_cycles(34.0 * scale, CpuHz{});
+namespace mtr::bench {
 
-  std::vector<bench::FigureRow> rows;
-  for (const auto kind : bench::all_workloads()) {
-    const auto cfg = bench::base_config(kind, scale);
-    rows.push_back({std::string(workloads::short_name(kind)) + " normal",
-                    core::run_experiment(cfg)});
-    attacks::LibraryCtorAttack attack(payload);
-    rows.push_back({std::string(workloads::short_name(kind)) + " attacked",
-                    core::run_experiment(cfg, &attack)});
-  }
-  bench::render_figure(
-      "Fig. 5 — Shared-library constructor attack", rows,
-      "LD_PRELOAD constructor payload = " + fmt_double(34.0 * scale, 1) +
-          "s; expectation: bars match Fig. 4 (same code, different location)");
-  return 0;
+void register_fig05(report::SweepRegistry& registry) {
+  registry.add(
+      {"fig05", "Fig. 5 — Shared-library constructor attack (§IV-A2)",
+       [](const report::SweepContext& ctx) {
+         run_attack_figure(
+             ctx, "fig05", "Fig. 5 — Shared-library constructor attack",
+             "LD_PRELOAD constructor payload = " +
+                 fmt_double(kLaunchPayloadSeconds * ctx.scale, 1) +
+                 "s; expectation: bars match Fig. 4 (same code, different "
+                 "location)",
+             roster_attack(ctx.scale, "library-ctor"));
+       }});
 }
+
+}  // namespace mtr::bench

@@ -7,27 +7,26 @@
 // sqrt) and P/B (malloc users) inflate proportionally to call counts; O
 // (no library imports) is untouched; system time unaffected; the preloaded
 // wrapper library fails source-integrity verification.
-#include "attacks/launch_attacks.hpp"
+#include "bench/attack_roster.hpp"
 #include "bench/bench_util.hpp"
+#include "bench/sweeps.hpp"
 
-int main() {
-  using namespace mtr;
-  const double scale = bench::env_scale();
-  // Per-call payload: fixed (call counts already scale with the workload).
-  const Cycles per_call{5'000'000};  // ~2 ms per wrapped call
+namespace mtr::bench {
 
-  std::vector<bench::FigureRow> rows;
-  for (const auto kind : bench::all_workloads()) {
-    const auto cfg = bench::base_config(kind, scale);
-    rows.push_back({std::string(workloads::short_name(kind)) + " normal",
-                    core::run_experiment(cfg)});
-    attacks::LibraryInterpositionAttack attack(per_call);
-    rows.push_back({std::string(workloads::short_name(kind)) + " attacked",
-                    core::run_experiment(cfg, &attack)});
-  }
-  bench::render_figure(
-      "Fig. 6 — Shared-library function substitution (malloc/sqrt)", rows,
-      "per-call payload ~2ms; expectation: inflation proportional to each "
-      "program's malloc/sqrt call frequency (W highest), O unaffected");
-  return 0;
+void register_fig06(report::SweepRegistry& registry) {
+  registry.add(
+      {"fig06", "Fig. 6 — Shared-library function substitution (§IV-A2, §V-B2)",
+       [](const report::SweepContext& ctx) {
+         // Per-call payload: fixed (call counts already scale with the
+         // workload).
+         run_attack_figure(
+             ctx, "fig06",
+             "Fig. 6 — Shared-library function substitution (malloc/sqrt)",
+             "per-call payload ~2ms; expectation: inflation proportional to "
+             "each program's malloc/sqrt call frequency (W highest), O "
+             "unaffected",
+             roster_attack(ctx.scale, "library-interposition"));
+       }});
 }
+
+}  // namespace mtr::bench

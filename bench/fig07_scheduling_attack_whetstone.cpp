@@ -3,9 +3,17 @@
 // shape: victim's bill grows with the attacker's priority, attacker's bill
 // shrinks, sum roughly conserved.
 #include "bench/sched_sweep.hpp"
+#include "bench/sweeps.hpp"
 
-int main() {
-  mtr::bench::run_sweep(mtr::workloads::WorkloadKind::kWhetstone,
-                        "Fig. 7 — Process scheduling attack on Whetstone");
-  return 0;
+namespace mtr::bench {
+
+void register_fig07(report::SweepRegistry& registry) {
+  registry.add(
+      {"fig07", "Fig. 7 — Process scheduling attack on Whetstone (§IV-B1, §V-B3)",
+       [](const report::SweepContext& ctx) {
+         run_sched_sweep(ctx, "fig07", workloads::WorkloadKind::kWhetstone,
+                         "Fig. 7 — Process scheduling attack on Whetstone");
+       }});
 }
+
+}  // namespace mtr::bench

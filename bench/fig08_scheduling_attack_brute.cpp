@@ -7,9 +7,16 @@
 // across the nice sweep (our O(1) model reproduces the direction of the
 // dilution; see EXPERIMENTS.md for the magnitude discussion).
 #include "bench/sched_sweep.hpp"
+#include "bench/sweeps.hpp"
 
-int main() {
-  mtr::bench::run_sweep(mtr::workloads::WorkloadKind::kBrute,
-                        "Fig. 8 — Process scheduling attack on Brute");
-  return 0;
+namespace mtr::bench {
+
+void register_fig08(report::SweepRegistry& registry) {
+  registry.add({"fig08", "Fig. 8 — Process scheduling attack on Brute (§V-B3)",
+                [](const report::SweepContext& ctx) {
+                  run_sched_sweep(ctx, "fig08", workloads::WorkloadKind::kBrute,
+                                  "Fig. 8 — Process scheduling attack on Brute");
+                }});
 }
+
+}  // namespace mtr::bench

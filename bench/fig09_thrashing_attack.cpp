@@ -7,26 +7,24 @@
 // inflates markedly (exception dispatch, SIGTRAP delivery, context
 // switches are billed to PT), user time stays put; the process-aware meter
 // re-attributes the kernel work to the tracer.
-#include "attacks/thrashing_attack.hpp"
+#include "bench/attack_roster.hpp"
 #include "bench/bench_util.hpp"
+#include "bench/sweeps.hpp"
 
-int main() {
-  using namespace mtr;
-  const double scale = bench::env_scale();
+namespace mtr::bench {
 
-  std::vector<bench::FigureRow> rows;
-  for (const auto kind : bench::all_workloads()) {
-    const auto cfg = bench::base_config(kind, scale);
-    rows.push_back({std::string(workloads::short_name(kind)) + " normal",
-                    core::run_experiment(cfg)});
-    attacks::ThrashingAttack attack;
-    rows.push_back({std::string(workloads::short_name(kind)) + " attacked",
-                    core::run_experiment(cfg, &attack)});
-  }
-  bench::render_figure(
-      "Fig. 9 — Execution thrashing attack (ptrace + DR0 breakpoints)", rows,
-      "breakpoints on each program's hot variable; expectation: stime "
-      "inflates (debug exceptions, signal handling, context switches), "
-      "utime unchanged, PAIS bill stays at baseline");
-  return 0;
+void register_fig09(report::SweepRegistry& registry) {
+  registry.add(
+      {"fig09", "Fig. 9 — Execution thrashing attack (§IV-B2, §V-B4)",
+       [](const report::SweepContext& ctx) {
+         run_attack_figure(
+             ctx, "fig09",
+             "Fig. 9 — Execution thrashing attack (ptrace + DR0 breakpoints)",
+             "breakpoints on each program's hot variable; expectation: stime "
+             "inflates (debug exceptions, signal handling, context switches), "
+             "utime unchanged, PAIS bill stays at baseline",
+             roster_attack(ctx.scale, "thrashing"));
+       }});
 }
+
+}  // namespace mtr::bench

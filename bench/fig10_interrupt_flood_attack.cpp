@@ -5,26 +5,23 @@
 // platform to itself. Expected shape: system time slightly increased on
 // every program (the paper calls this one of the weakest attacks); the
 // process-aware meter charges the junk traffic to nobody.
-#include "attacks/flooding_attacks.hpp"
+#include "bench/attack_roster.hpp"
 #include "bench/bench_util.hpp"
+#include "bench/sweeps.hpp"
 
-int main() {
-  using namespace mtr;
-  const double scale = bench::env_scale();
-  const double packets_per_second = 60'000.0;  // saturating junk stream
+namespace mtr::bench {
 
-  std::vector<bench::FigureRow> rows;
-  for (const auto kind : bench::all_workloads()) {
-    const auto cfg = bench::base_config(kind, scale);
-    rows.push_back({std::string(workloads::short_name(kind)) + " normal",
-                    core::run_experiment(cfg)});
-    attacks::InterruptFloodAttack attack(packets_per_second);
-    rows.push_back({std::string(workloads::short_name(kind)) + " attacked",
-                    core::run_experiment(cfg, &attack)});
-  }
-  bench::render_figure(
-      "Fig. 10 — Interrupt flooding attack (junk IP packets)", rows,
-      "flood = 60k packets/s Poisson; expectation: slight stime increase on "
-      "all programs, PAIS immune (handler billed to the system account)");
-  return 0;
+void register_fig10(report::SweepRegistry& registry) {
+  registry.add(
+      {"fig10", "Fig. 10 — Interrupt flooding attack (§IV-B3, §V-B5)",
+       [](const report::SweepContext& ctx) {
+         run_attack_figure(
+             ctx, "fig10", "Fig. 10 — Interrupt flooding attack (junk IP packets)",
+             "flood = 60k packets/s Poisson; expectation: slight stime "
+             "increase on all programs, PAIS immune (handler billed to the "
+             "system account)",
+             roster_attack(ctx.scale, "interrupt-flood"));
+       }});
 }
+
+}  // namespace mtr::bench

@@ -7,30 +7,31 @@
 // moderate stime growth and wall-clock stretch — the paper itself ranks
 // this among the weakest attacks ("the amount of issued page fault is
 // capped").
+#include <memory>
+
 #include "attacks/flooding_attacks.hpp"
 #include "bench/bench_util.hpp"
+#include "bench/sweeps.hpp"
 
-int main() {
-  using namespace mtr;
-  const double scale = bench::env_scale();
+namespace mtr::bench {
 
-  std::vector<bench::FigureRow> rows;
-  for (const auto kind : bench::all_workloads()) {
-    auto cfg = bench::base_config(kind, scale);
-    // The paper's hog requests "more than 2 GiB, beyond physical memory";
-    // proportionally: RAM 4k frames, hog 1.5x that.
-    cfg.sim.kernel.ram_frames = 4'096;
-    rows.push_back({std::string(workloads::short_name(kind)) + " normal",
-                    core::run_experiment(cfg)});
-    attacks::ExceptionFloodParams params;
-    params.hog_pages = 6'144;
-    attacks::ExceptionFloodAttack attack(params);
-    rows.push_back({std::string(workloads::short_name(kind)) + " attacked",
-                    core::run_experiment(cfg, &attack)});
-  }
-  bench::render_figure(
-      "Fig. 11 — Exception (page-fault) flooding attack", rows,
-      "hog maps 1.5x RAM and cycles through it; expectation: major faults "
-      "and stime up, wall time stretched well beyond CPU time");
-  return 0;
+void register_fig11(report::SweepRegistry& registry) {
+  registry.add(
+      {"fig11", "Fig. 11 — Exception (page-fault) flooding attack (§IV-B4, §V-B6)",
+       [](const report::SweepContext& ctx) {
+         run_attack_figure(
+             ctx, "fig11", "Fig. 11 — Exception (page-fault) flooding attack",
+             "hog maps 1.5x RAM and cycles through it; expectation: major "
+             "faults and stime up, wall time stretched well beyond CPU time",
+             [] {
+               attacks::ExceptionFloodParams params;
+               params.hog_pages = 6'144;
+               return std::make_unique<attacks::ExceptionFloodAttack>(params);
+             },
+             // The paper's hog requests "more than 2 GiB, beyond physical
+             // memory"; proportionally: RAM 4k frames, hog 1.5x that.
+             [](core::ExperimentConfig& cfg) { cfg.sim.kernel.ram_frames = 4'096; });
+       }});
 }
+
+}  // namespace mtr::bench

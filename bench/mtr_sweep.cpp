@@ -1,0 +1,14 @@
+// mtr_sweep — the sweep-driver CLI. One binary runs any registered
+// figure/table sweep on a BatchRunner worker pool, streams per-cell
+// results to CSV/JSONL sinks, and reports progress/ETA on stderr.
+//
+//   mtr_sweep --list
+//   mtr_sweep fig04 --out-dir results/
+//   mtr_sweep --all --csv all.csv --jsonl all.jsonl --seeds 5 --threads 8
+#include "bench/sweeps.hpp"
+
+int main(int argc, char** argv) {
+  mtr::report::SweepRegistry registry;
+  mtr::bench::register_all_sweeps(registry);
+  return mtr::report::sweep_main(registry, argc, argv);
+}

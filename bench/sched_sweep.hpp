@@ -1,26 +1,15 @@
 // Shared nice-value sweep harness for the scheduling-attack figures
-// (Fig. 7 on Whetstone, Fig. 8 on Brute).
+// (Fig. 7 on Whetstone, Fig. 8 on Brute). One BatchRunner grid — no-attack
+// baseline plus the Fork attacker at five nice levels, replicate seeds per
+// cell — streamed through the driver's sinks.
 #pragma once
 
-#include <iostream>
+#include <memory>
 
-#include "attacks/scheduling_attack.hpp"
+#include "bench/attack_roster.hpp"
 #include "bench/bench_util.hpp"
 
 namespace mtr::bench {
-
-struct SweepPoint {
-  std::string label;
-  double victim_billed, victim_true;
-  double fork_billed, fork_true;
-};
-
-inline attacks::SchedulingAttackParams fork_params(double scale, int nice) {
-  attacks::SchedulingAttackParams p;
-  p.nice = Nice{static_cast<std::int8_t>(nice)};
-  p.total_forks = static_cast<std::uint64_t>(150'000 * scale);
-  return p;
-}
 
 /// The paper's leftmost bars: the Fork program running by itself.
 inline std::pair<double, double> fork_alone(double scale) {
@@ -33,52 +22,66 @@ inline std::pair<double, double> fork_alone(double scale) {
           cycles_to_seconds(u.true_cycles.total(), CpuHz{})};
 }
 
-inline void run_sweep(workloads::WorkloadKind kind, const char* figure_title) {
-  const double scale = bench::env_scale();
-  std::vector<SweepPoint> points;
+inline void run_sched_sweep(const report::SweepContext& ctx, const std::string& sweep,
+                            workloads::WorkloadKind kind, const char* figure_title) {
+  const double scale = ctx.scale;
+  const std::vector<int> nices = {0, -5, -10, -15, -20};
 
-  // Independent runs.
-  {
-    const auto base = core::run_experiment(bench::base_config(kind, scale));
-    const auto [fb, ft] = fork_alone(scale);
-    points.push_back({"no attack", base.billed_seconds, base.true_seconds, fb, ft});
-  }
-  // Concurrent runs across the nice sweep.
-  for (const int nice : {0, -5, -10, -15, -20}) {
-    attacks::SchedulingAttack attack(fork_params(scale, nice));
-    const auto r = core::run_experiment(bench::base_config(kind, scale), &attack);
-    const std::string label = nice == 0 ? "nice" : "nice" + std::to_string(nice);
-    points.push_back({label, r.billed_seconds, r.true_seconds,
-                      r.attacker_billed_seconds, r.attacker_true_seconds});
+  core::BatchGrid grid;
+  grid.base = base_config(kind, scale);
+  grid.seeds = ctx.seeds;
+  grid.attacks.push_back({"no attack", nullptr});
+  for (const int nice : nices) {
+    grid.attacks.push_back(
+        {nice == 0 ? "nice" : "nice" + std::to_string(nice), [nice, scale] {
+           return std::make_unique<attacks::SchedulingAttack>(
+               fork_params(scale, nice));
+         }});
   }
 
-  std::cout << "==== " << figure_title << " ====\n"
-            << "victim = " << workloads::long_name(kind)
-            << "; Fork = fork/wait bursts + mid-jiffy relinquish; sweep = "
-               "Fork's nice value\n\n";
+  ctx.begin_progress(sweep, grid.attacks.size());
+  core::BatchRunner runner(ctx.threads);
+  const auto cells = runner.run(grid, ctx.stream(sweep));
+  // The baseline row pairs the unattacked victim with Fork running alone.
+  const auto [fork_billed, fork_true] = fork_alone(scale);
+
+  std::ostream& os = ctx.os();
+  os << "==== " << figure_title << " ====\n"
+     << "victim = " << workloads::long_name(kind)
+     << "; Fork = fork/wait bursts + mid-jiffy relinquish; sweep = "
+        "Fork's nice value\n"
+     << "(cell means over " << ctx.seeds.size() << " seed(s))\n\n";
+
+  const auto fork_billed_of = [&](const core::CellStats& c) {
+    return c.attack_label == "no attack" ? fork_billed
+                                         : c.attacker_billed_seconds.mean();
+  };
+  const auto fork_true_of = [&](const core::CellStats& c) {
+    return c.attack_label == "no attack" ? fork_true
+                                         : c.attacker_true_seconds.mean();
+  };
 
   BarChart chart(std::string(figure_title) +
                  " — stacked CPU time (U = victim, S = Fork)");
-  for (const auto& p : points)
-    chart.add({p.label, p.victim_billed, p.fork_billed});
-  chart.render(std::cout);
+  for (const core::CellStats& c : cells)
+    chart.add({c.attack_label, c.billed_seconds.mean(), fork_billed_of(c)});
+  chart.render(os);
 
-  std::cout << '\n';
+  os << '\n';
   TextTable table({"nice of Fork", "victim_billed(s)", "victim_true(s)",
                    "fork_billed(s)", "fork_true(s)", "sum_billed(s)", "sum_true(s)",
                    "victim_overcharge"});
-  for (const auto& p : points) {
-    table.add_row({p.label, fmt_double(p.victim_billed), fmt_double(p.victim_true),
-                   fmt_double(p.fork_billed), fmt_double(p.fork_true),
-                   fmt_double(p.victim_billed + p.fork_billed),
-                   fmt_double(p.victim_true + p.fork_true),
-                   fmt_ratio(p.victim_true > 0 ? p.victim_billed / p.victim_true
-                                               : 1.0)});
+  for (const core::CellStats& c : cells) {
+    const double vb = c.billed_seconds.mean();
+    const double vt = c.true_seconds.mean();
+    const double fb = fork_billed_of(c);
+    const double ft = fork_true_of(c);
+    table.add_row({c.attack_label, fmt_double(vb), fmt_double(vt), fmt_double(fb),
+                   fmt_double(ft), fmt_double(vb + fb), fmt_double(vt + ft),
+                   fmt_stat(c.overcharge, 2) + "x"});
   }
-  table.render(std::cout);
-  std::cout << "\n-- CSV --\n";
-  table.render_csv(std::cout);
-  std::cout << std::endl;
+  table.render(os);
+  os << std::endl;
 }
 
 }  // namespace mtr::bench

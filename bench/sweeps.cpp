@@ -1,0 +1,20 @@
+#include "bench/sweeps.hpp"
+
+namespace mtr::bench {
+
+void register_all_sweeps(report::SweepRegistry& registry) {
+  register_fig04(registry);
+  register_fig05(registry);
+  register_fig06(registry);
+  register_fig07(registry);
+  register_fig08(registry);
+  register_fig09(registry);
+  register_fig10(registry);
+  register_fig11(registry);
+  register_tab_attack_comparison(registry);
+  register_tab_countermeasures(registry);
+  register_tab_scheduler_ablation(registry);
+  register_tab_tick_granularity(registry);
+}
+
+}  // namespace mtr::bench

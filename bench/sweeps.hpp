@@ -1,0 +1,28 @@
+// Registration points for every figure/table sweep. Each bench translation
+// unit defines its register_* function; register_all_sweeps (sweeps.cpp)
+// calls them in figure order. The mtr_sweep driver binary is the only
+// main() — explicit registration keeps the sweeps in a plain static
+// library without static-initializer tricks.
+#pragma once
+
+#include "report/sweep.hpp"
+
+namespace mtr::bench {
+
+void register_fig04(report::SweepRegistry& registry);
+void register_fig05(report::SweepRegistry& registry);
+void register_fig06(report::SweepRegistry& registry);
+void register_fig07(report::SweepRegistry& registry);
+void register_fig08(report::SweepRegistry& registry);
+void register_fig09(report::SweepRegistry& registry);
+void register_fig10(report::SweepRegistry& registry);
+void register_fig11(report::SweepRegistry& registry);
+void register_tab_attack_comparison(report::SweepRegistry& registry);
+void register_tab_countermeasures(report::SweepRegistry& registry);
+void register_tab_scheduler_ablation(report::SweepRegistry& registry);
+void register_tab_tick_granularity(report::SweepRegistry& registry);
+
+/// Every figure and table sweep, in paper order.
+void register_all_sweeps(report::SweepRegistry& registry);
+
+}  // namespace mtr::bench

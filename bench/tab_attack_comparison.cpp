@@ -3,95 +3,37 @@
 // inflates, the measured inflation on Whetstone, the privilege it needed,
 // and its side-effect radius. Runs as one BatchRunner grid — all
 // attack x seed cells fan out across the worker pool — with each column
-// reported as the mean over MTR_BENCH_SEEDS replicate seeds.
-#include <iostream>
-#include <memory>
-
-#include "attacks/flooding_attacks.hpp"
-#include "attacks/launch_attacks.hpp"
-#include "attacks/scheduling_attack.hpp"
-#include "attacks/thrashing_attack.hpp"
+// reported as the mean over the context's replicate seeds.
+#include "bench/attack_roster.hpp"
 #include "bench/bench_util.hpp"
+#include "bench/sweeps.hpp"
 
-int main() {
-  using namespace mtr;
-  const double scale = bench::env_scale();
+namespace mtr::bench {
+namespace {
+
+void run_tab_attack_comparison(const report::SweepContext& ctx) {
   const auto kind = workloads::WorkloadKind::kWhetstone;
-
-  struct Entry {
-    const char* label;
-    core::AttackFactory make;
-    const char* vulnerability;
-    const char* target;
-    const char* privilege;
-    const char* side_effects;
-  };
-
-  const std::vector<Entry> entries = {
-      {"shell",
-       [scale] {
-         return std::make_unique<attacks::ShellAttack>(
-             seconds_to_cycles(34.0 * scale, CpuHz{}));
-       },
-       "alien code in PT (launch window)", "utime", "shell admin",
-       "all programs from the attacked shell"},
-      {"library-ctor",
-       [scale] {
-         return std::make_unique<attacks::LibraryCtorAttack>(
-             seconds_to_cycles(34.0 * scale, CpuHz{}));
-       },
-       "alien code in PT (ld ctor)", "utime", "env/library admin",
-       "all programs loading the library"},
-      {"library-interposition",
-       [] {
-         return std::make_unique<attacks::LibraryInterpositionAttack>(
-             Cycles{5'000'000});
-       },
-       "alien code in PT (symbol interposition)", "utime",
-       "env/library admin", "all callers of the symbols"},
-      {"scheduling",
-       [scale] {
-         attacks::SchedulingAttackParams sched;
-         sched.nice = Nice{-20};
-         sched.total_forks = static_cast<std::uint64_t>(150'000 * scale);
-         return std::make_unique<attacks::SchedulingAttack>(sched);
-       },
-       "tick-granularity miscount", "utime (miscounted)", "root (renice)",
-       "none visible to the victim"},
-      {"thrashing", [] { return std::make_unique<attacks::ThrashingAttack>(); },
-       "unsolicited trace stops", "stime", "ptrace (LSM-gated)",
-       "least: targets exactly PT"},
-      {"interrupt-flood",
-       [] { return std::make_unique<attacks::InterruptFloodAttack>(60'000.0); },
-       "handler billed to current", "stime", "network access",
-       "whole system (DoS-like)"},
-      {"exception-flood",
-       [] {
-         attacks::ExceptionFloodParams flood;
-         flood.hog_pages = 24 * 1024;
-         return std::make_unique<attacks::ExceptionFloodAttack>(flood);
-       },
-       "fault handling billed to victim", "stime + wall", "none (any user)",
-       "whole system (memory DoS)"},
-  };
+  const std::vector<RosterEntry> entries = attack_roster(ctx.scale);
 
   core::BatchGrid grid;
-  grid.base = bench::base_config(kind, scale);
-  grid.seeds = bench::env_seeds();
+  grid.base = base_config(kind, ctx.scale);
+  grid.seeds = ctx.seeds;
   grid.attacks.push_back({"baseline", nullptr});
-  for (const Entry& e : entries) grid.attacks.push_back({e.label, e.make});
+  for (const RosterEntry& e : entries) grid.attacks.push_back({e.label, e.make});
 
-  core::BatchRunner runner(bench::env_threads());
-  const auto cells = runner.run(grid);
+  ctx.begin_progress("tab_attack_comparison", grid.attacks.size());
+  core::BatchRunner runner(ctx.threads);
+  const auto cells = runner.run(grid, ctx.stream("tab_attack_comparison"));
   const core::CellStats& base = cells.front();
 
-  std::cout << "==== Table (from §V-C) — attack comparison on Whetstone ====\n";
-  std::cout << "(mean over " << grid.seeds.size() << " seed(s))\n\n";
+  std::ostream& os = ctx.os();
+  os << "==== Table (from §V-C) — attack comparison on Whetstone ====\n";
+  os << "(mean over " << grid.seeds.size() << " seed(s))\n\n";
   TextTable table({"attack", "phase", "vulnerability", "inflates",
                    "measured_delta_u(s)", "measured_delta_s(s)", "overcharge",
                    "privilege", "side_effects"});
   for (std::size_t i = 0; i < entries.size(); ++i) {
-    const Entry& e = entries[i];
+    const RosterEntry& e = entries[i];
     const core::CellStats& c = cells[i + 1];  // cells[0] is the baseline
     // Name/phase come from a throwaway instance; cells only carry labels.
     const auto attack = e.make();
@@ -100,13 +42,20 @@ int main() {
          fmt_double(c.billed_user_seconds.mean() - base.billed_user_seconds.mean()),
          fmt_double(c.billed_system_seconds.mean() -
                     base.billed_system_seconds.mean()),
-         bench::fmt_stat(c.overcharge, 2) + "x", e.privilege, e.side_effects});
+         fmt_stat(c.overcharge, 2) + "x", e.privilege, e.side_effects});
   }
-  table.render(std::cout);
-  std::cout << "\n-- CSV --\n";
-  table.render_csv(std::cout);
-  std::cout << "\nbaseline: billed " << bench::fmt_stat(base.billed_seconds)
-            << "s (u=" << fmt_double(base.billed_user_seconds.mean())
-            << " s=" << fmt_double(base.billed_system_seconds.mean()) << ")\n";
-  return 0;
+  table.render(os);
+  os << "\nbaseline: billed " << fmt_stat(base.billed_seconds)
+     << "s (u=" << fmt_double(base.billed_user_seconds.mean())
+     << " s=" << fmt_double(base.billed_system_seconds.mean()) << ")\n";
 }
+
+}  // namespace
+
+void register_tab_attack_comparison(report::SweepRegistry& registry) {
+  registry.add({"tab_attack_comparison",
+                "Table (§V-C) — measured attack comparison on Whetstone",
+                run_tab_attack_comparison});
+}
+
+}  // namespace mtr::bench

@@ -1,25 +1,27 @@
 // Scheduler ablation (§III-A note on CFS): the paper observes that the
 // 2.6.23+ Completely Fair Scheduler still performs tick-based accounting,
-// so the metering flaw is scheduling-policy independent. This bench fans a
+// so the metering flaw is scheduling-policy independent. This sweep fans a
 // BatchRunner grid — scheduling attack at three nice levels x both
 // schedulers x replicate seeds — across the worker pool and compares the
 // victim's mean overcharge under the O(1)-style priority scheduler and the
 // CFS-like fair scheduler.
-#include <iostream>
 #include <memory>
 
 #include "attacks/scheduling_attack.hpp"
 #include "bench/bench_util.hpp"
+#include "bench/sweeps.hpp"
 
-int main() {
-  using namespace mtr;
-  const double scale = bench::env_scale();
+namespace mtr::bench {
+namespace {
+
+void run_tab_scheduler_ablation(const report::SweepContext& ctx) {
+  const double scale = ctx.scale;
   const std::vector<int> nices = {0, -10, -20};
 
   core::BatchGrid grid;
-  grid.base = bench::base_config(workloads::WorkloadKind::kWhetstone, scale);
+  grid.base = base_config(workloads::WorkloadKind::kWhetstone, scale);
   grid.schedulers = {sim::SchedulerKind::kO1, sim::SchedulerKind::kCfs};
-  grid.seeds = bench::env_seeds();
+  grid.seeds = ctx.seeds;
   for (const int nice : nices) {
     grid.attacks.push_back(
         {"nice" + std::to_string(nice), [nice, scale] {
@@ -30,12 +32,14 @@ int main() {
          }});
   }
 
-  core::BatchRunner runner(bench::env_threads());
-  const auto cells = runner.run(grid);
+  ctx.begin_progress("tab_scheduler_ablation",
+                     grid.attacks.size() * grid.schedulers.size());
+  core::BatchRunner runner(ctx.threads);
+  const auto cells = runner.run(grid, ctx.stream("tab_scheduler_ablation"));
 
-  std::cout << "==== Scheduler ablation — scheduling attack under O(1) vs CFS "
-               "====\n";
-  std::cout << "(mean over " << grid.seeds.size() << " seed(s))\n\n";
+  std::ostream& os = ctx.os();
+  os << "==== Scheduler ablation — scheduling attack under O(1) vs CFS ====\n";
+  os << "(mean over " << grid.seeds.size() << " seed(s))\n\n";
   TextTable table({"scheduler", "nice", "victim_true(s)", "tick_bill(s)",
                    "overcharge", "attacker_billed(s)", "attacker_true(s)"});
 
@@ -46,16 +50,23 @@ int main() {
       table.add_row({sim::to_string(c.scheduler), std::to_string(nices[nice_i]),
                      fmt_double(c.true_seconds.mean()),
                      fmt_double(c.billed_seconds.mean()),
-                     bench::fmt_stat(c.overcharge, 2) + "x",
+                     fmt_stat(c.overcharge, 2) + "x",
                      fmt_double(c.attacker_billed_seconds.mean()),
                      fmt_double(c.attacker_true_seconds.mean())});
     }
   }
-  table.render(std::cout);
-  std::cout << "\n-- CSV --\n";
-  table.render_csv(std::cout);
-  std::cout << "\nexpectation: the attack inflates the victim's jiffy bill "
-               "under both policies — the vulnerability lives in the "
-               "accounting, not the scheduling algorithm.\n";
-  return 0;
+  table.render(os);
+  os << "\nexpectation: the attack inflates the victim's jiffy bill "
+        "under both policies — the vulnerability lives in the "
+        "accounting, not the scheduling algorithm.\n";
 }
+
+}  // namespace
+
+void register_tab_scheduler_ablation(report::SweepRegistry& registry) {
+  registry.add({"tab_scheduler_ablation",
+                "Scheduler ablation — scheduling attack under O(1) vs CFS",
+                run_tab_scheduler_ablation});
+}
+
+}  // namespace mtr::bench

@@ -4,20 +4,22 @@
 // exploits the clock-tick resolution; finer ticks shrink it and TSC
 // metering eliminates it. One BatchRunner grid — HZ x replicate seeds —
 // fans across the worker pool; rows report cell means.
-#include <iostream>
 #include <memory>
 
 #include "attacks/scheduling_attack.hpp"
 #include "bench/bench_util.hpp"
+#include "bench/sweeps.hpp"
 
-int main() {
-  using namespace mtr;
-  const double scale = bench::env_scale();
+namespace mtr::bench {
+namespace {
+
+void run_tab_tick_granularity(const report::SweepContext& ctx) {
+  const double scale = ctx.scale;
 
   core::BatchGrid grid;
-  grid.base = bench::base_config(workloads::WorkloadKind::kWhetstone, scale);
+  grid.base = base_config(workloads::WorkloadKind::kWhetstone, scale);
   grid.ticks = {TimerHz{100}, TimerHz{250}, TimerHz{1000}};
-  grid.seeds = bench::env_seeds();
+  grid.seeds = ctx.seeds;
   grid.attacks.push_back({"scheduling", [scale] {
                             attacks::SchedulingAttackParams params;
                             params.nice = Nice{-20};
@@ -27,11 +29,13 @@ int main() {
                                 params);
                           }});
 
-  core::BatchRunner runner(bench::env_threads());
-  const auto cells = runner.run(grid);
+  ctx.begin_progress("tab_tick_granularity", grid.ticks.size());
+  core::BatchRunner runner(ctx.threads);
+  const auto cells = runner.run(grid, ctx.stream("tab_tick_granularity"));
 
-  std::cout << "==== Tick-granularity ablation — scheduling attack vs HZ ====\n";
-  std::cout << "(mean over " << grid.seeds.size() << " seed(s))\n\n";
+  std::ostream& os = ctx.os();
+  os << "==== Tick-granularity ablation — scheduling attack vs HZ ====\n";
+  os << "(mean over " << grid.seeds.size() << " seed(s))\n\n";
   TextTable table({"HZ", "tick(ms)", "victim_true(s)", "tick_bill(s)",
                    "tick_overcharge", "tsc_bill(s)", "tsc_overcharge"});
 
@@ -40,14 +44,21 @@ int main() {
                    fmt_double(1000.0 / static_cast<double>(c.hz.v), 1),
                    fmt_double(c.true_seconds.mean()),
                    fmt_double(c.billed_seconds.mean()),
-                   bench::fmt_stat(c.overcharge, 2) + "x",
+                   fmt_stat(c.overcharge, 2) + "x",
                    fmt_double(c.tsc_seconds.mean()),
                    fmt_ratio(c.tsc_seconds.mean() / c.true_seconds.mean(), 4)});
   }
-  table.render(std::cout);
-  std::cout << "\n-- CSV --\n";
-  table.render_csv(std::cout);
-  std::cout << "\nexpectation: overcharge shrinks with finer ticks; the "
-               "TSC meter reads 1.0000x at every HZ.\n";
-  return 0;
+  table.render(os);
+  os << "\nexpectation: overcharge shrinks with finer ticks; the "
+        "TSC meter reads 1.0000x at every HZ.\n";
 }
+
+}  // namespace
+
+void register_tab_tick_granularity(report::SweepRegistry& registry) {
+  registry.add({"tab_tick_granularity",
+                "Tick-granularity ablation — scheduling attack vs HZ",
+                run_tab_tick_granularity});
+}
+
+}  // namespace mtr::bench

@@ -1,6 +1,7 @@
 #include "core/batch_runner.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -29,6 +30,12 @@ BatchGrid normalized(const BatchGrid& grid) {
 
 }  // namespace
 
+bool CellStats::all_source_ok() const {
+  for (const ExperimentResult& r : runs)
+    if (!r.source_verdict.ok) return false;
+  return true;
+}
+
 std::uint64_t cell_seed(std::uint64_t grid_seed, std::size_t attack_i,
                         std::size_t scheduler_i, std::size_t tick_i) {
   std::uint64_t h = splitmix64(grid_seed);
@@ -43,7 +50,8 @@ BatchRunner::BatchRunner(unsigned threads) : threads_(threads) {
   if (threads_ == 0) threads_ = 1;
 }
 
-std::vector<CellStats> BatchRunner::run(const BatchGrid& grid) const {
+std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
+                                        const CellCallback& on_cell) const {
   const BatchGrid g = normalized(grid);
 
   const std::size_t n_attacks = g.attacks.size();
@@ -53,14 +61,44 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid) const {
   const std::size_t n_cells = n_attacks * n_scheds * n_ticks;
   const std::size_t n_runs = n_cells * n_seeds;
 
-  // One slot per run, filled by whichever worker claims the index; the
-  // aggregation below reads them in grid order regardless.
+  // One slot per run, filled by whichever worker claims the index; cells
+  // are aggregated in grid order as their runs complete.
   std::vector<ExperimentResult> results(n_runs);
+  std::vector<CellStats> cells(n_cells);
 
   std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
+
+  // Everything below the mutex: per-cell completion counts, the in-order
+  // emission cursor, and the first-failure record. Releasing/acquiring it
+  // also publishes each worker's `results` writes to whichever worker ends
+  // up aggregating the cell.
+  std::mutex mutex;
+  std::vector<std::size_t> runs_done(n_cells, 0);
+  std::vector<double> cell_wall(n_cells, 0.0);
+  std::vector<char> cell_failed(n_cells, 0);
+  std::size_t next_emit = 0;
   std::size_t error_index = n_runs;
+  bool error_from_callback = false;
   std::exception_ptr error;
+
+  auto aggregate = [&](std::size_t cell) {
+    const std::size_t attack_i = cell / (n_scheds * n_ticks);
+    const std::size_t sched_i = (cell / n_ticks) % n_scheds;
+    const std::size_t tick_i = cell % n_ticks;
+
+    CellStats& s = cells[cell];
+    s.attack_label = g.attacks[attack_i].label;
+    s.scheduler = g.schedulers[sched_i];
+    s.hz = g.ticks[tick_i];
+    s.seeds = g.seeds;
+    s.runs.reserve(n_seeds);
+    for (std::size_t seed_i = 0; seed_i < n_seeds; ++seed_i) {
+      const ExperimentResult& r = results[cell * n_seeds + seed_i];
+      s.runs.push_back(r);
+      s.for_each_stat(
+          [&](const char*, RunningStats& stat, auto get) { stat.add(get(r)); });
+    }
+  };
 
   auto worker = [&] {
     for (;;) {
@@ -72,6 +110,9 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid) const {
       const std::size_t sched_i = (cell / n_ticks) % n_scheds;
       const std::size_t tick_i = cell % n_ticks;
 
+      bool ok = true;
+      std::exception_ptr run_error;
+      const auto t0 = std::chrono::steady_clock::now();
       try {
         ExperimentConfig cfg = g.base;
         cfg.sim.scheduler = g.schedulers[sched_i];
@@ -81,11 +122,41 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid) const {
         const std::unique_ptr<attacks::Attack> attack = make ? make() : nullptr;
         results[idx] = run_experiment(cfg, attack.get());
       } catch (...) {
+        ok = false;
+        run_error = std::current_exception();
+      }
+      const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (!ok) {
+        cell_failed[cell] = 1;
         // Keep the first failure in work order for a deterministic report.
-        const std::lock_guard<std::mutex> lock(error_mutex);
         if (idx < error_index) {
           error_index = idx;
-          error = std::current_exception();
+          error_from_callback = false;
+          error = run_error;
+        }
+      }
+      cell_wall[cell] += dt.count();
+      if (++runs_done[cell] < n_seeds) continue;
+
+      // This worker completed a cell: emit every cell that is now ready,
+      // in grid order. Failed cells are skipped (the sweep rethrows after
+      // the join anyway) but still advance the cursor.
+      while (next_emit < n_cells && runs_done[next_emit] == n_seeds) {
+        const std::size_t emit = next_emit++;
+        if (cell_failed[emit]) continue;
+        aggregate(emit);
+        if (!on_cell) continue;
+        try {
+          on_cell({emit, n_cells, cell_wall[emit], cells[emit]});
+        } catch (...) {
+          const std::size_t first_run = emit * n_seeds;
+          if (first_run < error_index) {
+            error_index = first_run;
+            error_from_callback = true;
+            error = std::current_exception();
+          }
         }
       }
     }
@@ -109,34 +180,28 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid) const {
     }
     for (auto& t : threads) t.join();
   }
-  if (error) std::rethrow_exception(error);
 
-  std::vector<CellStats> cells;
-  cells.reserve(n_cells);
-  for (std::size_t cell = 0; cell < n_cells; ++cell) {
+  if (error) {
+    const std::size_t cell = error_index / n_seeds;
+    const std::size_t seed_i = error_index % n_seeds;
     const std::size_t attack_i = cell / (n_scheds * n_ticks);
     const std::size_t sched_i = (cell / n_ticks) % n_scheds;
     const std::size_t tick_i = cell % n_ticks;
-
-    CellStats s;
-    s.attack_label = g.attacks[attack_i].label;
-    s.scheduler = g.schedulers[sched_i];
-    s.hz = g.ticks[tick_i];
-    s.seeds = g.seeds;
-    s.runs.reserve(n_seeds);
-    for (std::size_t seed_i = 0; seed_i < n_seeds; ++seed_i) {
-      const ExperimentResult& r = results[cell * n_seeds + seed_i];
-      s.runs.push_back(r);
-      s.overcharge.add(r.overcharge);
-      s.billed_seconds.add(r.billed_seconds);
-      s.billed_user_seconds.add(r.billed_user_seconds);
-      s.billed_system_seconds.add(r.billed_system_seconds);
-      s.true_seconds.add(r.true_seconds);
-      s.tsc_seconds.add(r.tsc_seconds);
-      s.attacker_billed_seconds.add(r.attacker_billed_seconds);
-      s.attacker_true_seconds.add(r.attacker_true_seconds);
+    // A callback failure happened after every run of the cell succeeded, so
+    // name the cell but not a (blameless) seed.
+    std::string where =
+        std::string("BatchRunner cell [attack=") + g.attacks[attack_i].label +
+        ", scheduler=" + sim::to_string(g.schedulers[sched_i]) +
+        ", hz=" + std::to_string(g.ticks[tick_i].v);
+    if (!error_from_callback) where += ", seed=" + std::to_string(g.seeds[seed_i]);
+    where += error_from_callback ? "] per-cell callback" : "]";
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      throw std::runtime_error(where + " failed: " + e.what());
+    } catch (...) {
+      throw std::runtime_error(where + " failed with a non-std exception");
     }
-    cells.push_back(std::move(s));
   }
   return cells;
 }

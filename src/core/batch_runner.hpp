@@ -5,8 +5,8 @@
 // cross product across a std::thread pool. Each run builds its own
 // Simulation (run_experiment is self-contained), each cell derives its
 // kernel seeds deterministically from the grid seed and the cell
-// coordinates, and aggregation happens in grid order after all workers
-// join — so the output is bit-identical for any thread count.
+// coordinates, and cells are aggregated and emitted in grid order — so the
+// output is bit-identical for any thread count.
 #pragma once
 
 #include <cstdint>
@@ -58,11 +58,72 @@ struct CellStats {
   RunningStats billed_system_seconds;
   RunningStats true_seconds;
   RunningStats tsc_seconds;
+  RunningStats pais_seconds;
+  RunningStats wall_seconds;
+  RunningStats major_faults;
+  RunningStats debug_exceptions;
   RunningStats attacker_billed_seconds;
   RunningStats attacker_true_seconds;
 
+  /// Visits every accumulator as f(name, stats, get) where `get` extracts
+  /// the value one run contributes. The single source of truth tying the
+  /// member list to aggregation (BatchRunner) and serialization
+  /// (JsonlSink) — add new accumulators here and every consumer follows.
+  template <typename F>
+  void for_each_stat(F&& f) {
+    visit_stats(*this, f);
+  }
+  template <typename F>
+  void for_each_stat(F&& f) const {
+    visit_stats(*this, f);
+  }
+
   const ExperimentResult& first_run() const { return runs.front(); }
+  /// True when every replicate passed source-integrity verification.
+  bool all_source_ok() const;
+
+ private:
+  template <typename Self, typename F>
+  static void visit_stats(Self& self, F& f) {
+    using R = const ExperimentResult&;
+    f("overcharge", self.overcharge, +[](R r) { return r.overcharge; });
+    f("billed_seconds", self.billed_seconds, +[](R r) { return r.billed_seconds; });
+    f("billed_user_seconds", self.billed_user_seconds,
+      +[](R r) { return r.billed_user_seconds; });
+    f("billed_system_seconds", self.billed_system_seconds,
+      +[](R r) { return r.billed_system_seconds; });
+    f("true_seconds", self.true_seconds, +[](R r) { return r.true_seconds; });
+    f("tsc_seconds", self.tsc_seconds, +[](R r) { return r.tsc_seconds; });
+    f("pais_seconds", self.pais_seconds, +[](R r) { return r.pais_seconds; });
+    f("wall_seconds", self.wall_seconds, +[](R r) { return r.wall_seconds; });
+    f("major_faults", self.major_faults,
+      +[](R r) { return static_cast<double>(r.major_faults); });
+    f("debug_exceptions", self.debug_exceptions,
+      +[](R r) { return static_cast<double>(r.debug_exceptions); });
+    f("attacker_billed_seconds", self.attacker_billed_seconds,
+      +[](R r) { return r.attacker_billed_seconds; });
+    f("attacker_true_seconds", self.attacker_true_seconds,
+      +[](R r) { return r.attacker_true_seconds; });
+  }
 };
+
+/// Fired once per completed cell. `index` counts cells in grid order and
+/// the callback observes strictly increasing indices regardless of which
+/// worker finished the cell's last run — late cells are buffered until
+/// every earlier cell has been handled. A cell whose run threw is skipped
+/// (leaving a gap in the indices); the sweep still finishes and rethrows
+/// with that cell's coordinates after the workers join.
+struct CellEvent {
+  std::size_t index = 0;      // grid-order cell index
+  std::size_t total = 0;      // cells in this grid
+  double wall_seconds = 0.0;  // real compute time, summed over the cell's runs
+  const CellStats& cell;
+};
+
+/// Per-cell completion hook; invoked serially (under the runner's emission
+/// lock). A throwing callback is treated like a failed run: the sweep
+/// finishes and the exception is rethrown with the cell's coordinates.
+using CellCallback = std::function<void(const CellEvent&)>;
 
 /// Derives the kernel seed for one run: a splitmix64 mix of the grid seed
 /// with the cell coordinates, so the same grid seed decorrelates across
@@ -78,9 +139,13 @@ class BatchRunner {
   unsigned threads() const { return threads_; }
 
   /// Runs the full grid; returns one CellStats per (attack, scheduler, hz)
-  /// combination in attack-major grid order. If any experiment throws, the
-  /// first exception (in work order) is rethrown after all workers join.
-  std::vector<CellStats> run(const BatchGrid& grid) const;
+  /// combination in attack-major grid order. `on_cell`, when set, streams
+  /// each cell as soon as it and all earlier cells are complete. If any
+  /// experiment throws, the first exception (in work order) is rethrown
+  /// after all workers join, wrapped in a std::runtime_error naming the
+  /// failing cell's coordinates (attack, scheduler, hz, seed).
+  std::vector<CellStats> run(const BatchGrid& grid,
+                             const CellCallback& on_cell = {}) const;
 
  private:
   unsigned threads_;

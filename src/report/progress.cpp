@@ -1,0 +1,67 @@
+#include "report/progress.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mtr::report {
+
+std::string fmt_duration(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  char buf[32];
+  if (seconds < 60.0) {
+    std::snprintf(buf, sizeof buf, "%.1fs", seconds);
+  } else if (seconds < 3600.0) {
+    const long m = static_cast<long>(seconds) / 60;
+    std::snprintf(buf, sizeof buf, "%ldm%02lds", m, static_cast<long>(seconds) % 60);
+  } else {
+    const long h = static_cast<long>(seconds) / 3600;
+    std::snprintf(buf, sizeof buf, "%ldh%02ldm", h,
+                  (static_cast<long>(seconds) % 3600) / 60);
+  }
+  return buf;
+}
+
+ProgressReporter::ProgressReporter(std::ostream& os, bool enabled)
+    : os_(os), enabled_(enabled) {}
+
+void ProgressReporter::begin(const std::string& label, std::size_t total_cells) {
+  label_ = label;
+  done_ = 0;
+  total_ = total_cells;
+  active_ = true;
+  start_ = std::chrono::steady_clock::now();
+  if (enabled_)
+    os_ << "[" << label_ << "] " << total_ << " cell(s) queued\n" << std::flush;
+}
+
+void ProgressReporter::on_cell(const core::CellEvent& ev) {
+  if (!active_) return;
+  ++done_;
+  if (!enabled_) return;
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start_;
+  const std::size_t total = total_ > 0 ? total_ : done_;
+  os_ << "[" << label_ << " " << done_ << "/" << total << "] attack="
+      << ev.cell.attack_label << " scheduler=" << sim::to_string(ev.cell.scheduler)
+      << " hz=" << ev.cell.hz.v << " cell=" << fmt_duration(ev.wall_seconds)
+      << " elapsed=" << fmt_duration(elapsed.count());
+  if (done_ < total) {
+    const double eta =
+        elapsed.count() / static_cast<double>(done_) * static_cast<double>(total - done_);
+    os_ << " eta=" << fmt_duration(eta);
+  }
+  os_ << '\n' << std::flush;
+}
+
+void ProgressReporter::finish() {
+  if (!active_) return;
+  active_ = false;
+  if (!enabled_) return;
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start_;
+  os_ << "[" << label_ << "] done: " << done_ << " cell(s) in "
+      << fmt_duration(elapsed.count()) << '\n'
+      << std::flush;
+}
+
+}  // namespace mtr::report

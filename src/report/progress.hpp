@@ -1,0 +1,46 @@
+// Live progress for long sweeps: cells done / total, elapsed wall time,
+// per-cell compute time, and an ETA extrapolated from the mean cell rate.
+// Wired into BatchRunner through its per-cell callback; prints to stderr by
+// default so the figure rendering and the data sinks stay clean.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <ostream>
+#include <string>
+
+#include "core/batch_runner.hpp"
+
+namespace mtr::report {
+
+/// "43s", "2m06s", "1h02m" — compact duration for progress lines.
+std::string fmt_duration(double seconds);
+
+class ProgressReporter {
+ public:
+  /// A disabled reporter swallows everything (one object, no branching at
+  /// the call sites).
+  explicit ProgressReporter(std::ostream& os, bool enabled = true);
+
+  /// Starts a labelled span of `total_cells` cells (one sweep, possibly
+  /// spanning several BatchRunner grids) and resets the ETA baseline.
+  void begin(const std::string& label, std::size_t total_cells);
+
+  /// BatchRunner per-cell hook; counts spans-so-far, not ev.index, so one
+  /// reporter can span several consecutive grids.
+  void on_cell(const core::CellEvent& ev);
+
+  /// Closes the span with a summary line. No-op if begin was never called.
+  void finish();
+
+ private:
+  std::ostream& os_;
+  bool enabled_;
+  bool active_ = false;
+  std::string label_;
+  std::size_t done_ = 0;
+  std::size_t total_ = 0;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace mtr::report

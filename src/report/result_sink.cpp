@@ -1,0 +1,236 @@
+#include "report/result_sink.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/ensure.hpp"
+#include "crypto/digest.hpp"
+#include "workloads/workloads.hpp"
+
+namespace mtr::report {
+namespace {
+
+std::string fmt_f64(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::unique_ptr<std::ostream> open_file(const std::string& path, OpenMode mode) {
+  auto file = std::make_unique<std::ofstream>(
+      path, mode == OpenMode::kAppend ? std::ios::out | std::ios::app
+                                      : std::ios::out | std::ios::trunc);
+  MTR_ENSURE_MSG(file->is_open(), "cannot open result file " << path);
+  return file;
+}
+
+/// Joined "object (tag)" list; rows keep one column however many there are.
+std::string join_violations(const std::vector<std::string>& violations) {
+  std::string out;
+  for (const std::string& v : violations) {
+    if (!out.empty()) out += "; ";
+    out += v;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Field> flatten_run(const std::string& sweep,
+                               const core::CellStats& cell,
+                               std::size_t seed_i) {
+  const core::ExperimentResult& r = cell.runs.at(seed_i);
+  std::vector<Field> f;
+  f.reserve(48);
+  const auto u64 = [](std::uint64_t v) { return FieldValue{v}; };
+  const auto i64 = [](std::int64_t v) { return FieldValue{v}; };
+
+  // Record identity + cell coordinates.
+  f.push_back({"schema", u64(kSchemaVersion)});
+  f.push_back({"sweep", sweep});
+  f.push_back({"attack", cell.attack_label});
+  f.push_back({"scheduler", std::string(sim::to_string(cell.scheduler))});
+  f.push_back({"hz", u64(cell.hz.v)});
+  f.push_back({"seed", u64(cell.seeds.at(seed_i))});
+  f.push_back({"seed_index", u64(seed_i)});
+
+  // ExperimentResult, every field, declaration order.
+  f.push_back({"workload", std::string(workloads::short_name(r.kind))});
+  f.push_back({"attack_name", r.attack_name});
+  f.push_back({"victim_pid", i64(r.victim_pid.v)});
+  f.push_back({"victim_tgid", i64(r.victim_tgid.v)});
+  f.push_back({"victim_exited", r.victim_exited});
+  f.push_back({"wall_seconds", r.wall_seconds});
+  f.push_back({"billed_utime_ticks", u64(r.billed_ticks.utime.v)});
+  f.push_back({"billed_stime_ticks", u64(r.billed_ticks.stime.v)});
+  f.push_back({"billed_user_seconds", r.billed_user_seconds});
+  f.push_back({"billed_system_seconds", r.billed_system_seconds});
+  f.push_back({"billed_seconds", r.billed_seconds});
+  f.push_back({"true_user_cycles", u64(r.true_cycles.user.v)});
+  f.push_back({"true_system_cycles", u64(r.true_cycles.system.v)});
+  f.push_back({"true_seconds", r.true_seconds});
+  f.push_back({"tsc_user_cycles", u64(r.tsc_cycles.user.v)});
+  f.push_back({"tsc_system_cycles", u64(r.tsc_cycles.system.v)});
+  f.push_back({"tsc_seconds", r.tsc_seconds});
+  f.push_back({"pais_user_cycles", u64(r.pais_cycles.user.v)});
+  f.push_back({"pais_system_cycles", u64(r.pais_cycles.system.v)});
+  f.push_back({"pais_seconds", r.pais_seconds});
+  f.push_back({"overcharge", r.overcharge});
+  f.push_back({"source_ok", r.source_verdict.ok});
+  f.push_back({"source_violations", join_violations(r.source_verdict.violations)});
+  f.push_back({"witness", crypto::to_hex(r.witness)});
+  f.push_back({"witness_steps", u64(r.witness_steps)});
+  f.push_back({"minor_faults", u64(r.minor_faults)});
+  f.push_back({"major_faults", u64(r.major_faults)});
+  f.push_back({"debug_exceptions", u64(r.debug_exceptions)});
+  f.push_back({"voluntary_switches", u64(r.voluntary_switches)});
+  f.push_back({"involuntary_switches", u64(r.involuntary_switches)});
+  f.push_back({"nic_packets", u64(r.nic_packets)});
+  f.push_back({"has_attacker", r.has_attacker});
+  f.push_back({"attacker_utime_ticks", u64(r.attacker_ticks.utime.v)});
+  f.push_back({"attacker_stime_ticks", u64(r.attacker_ticks.stime.v)});
+  f.push_back({"attacker_billed_seconds", r.attacker_billed_seconds});
+  f.push_back({"attacker_true_user_cycles", u64(r.attacker_true_cycles.user.v)});
+  f.push_back({"attacker_true_system_cycles", u64(r.attacker_true_cycles.system.v)});
+  f.push_back({"attacker_true_seconds", r.attacker_true_seconds});
+  return f;
+}
+
+std::vector<std::string> run_schema_keys() {
+  core::CellStats cell;
+  cell.seeds = {0};
+  cell.runs.emplace_back();
+  std::vector<std::string> keys;
+  for (Field& f : flatten_run("", cell, 0)) keys.push_back(std::move(f.key));
+  return keys;
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(ch));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_csv(const FieldValue& v) {
+  return std::visit(
+      [](const auto& x) -> std::string {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, bool>) return x ? "true" : "false";
+        else if constexpr (std::is_same_v<T, double>) return fmt_f64(x);
+        else if constexpr (std::is_same_v<T, std::string>) return csv_escape(x);
+        else return std::to_string(x);
+      },
+      v);
+}
+
+std::string format_json(const FieldValue& v) {
+  return std::visit(
+      [](const auto& x) -> std::string {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, bool>) return x ? "true" : "false";
+        else if constexpr (std::is_same_v<T, double>) return fmt_f64(x);
+        else if constexpr (std::is_same_v<T, std::string>)
+          return '"' + json_escape(x) + '"';
+        else return std::to_string(x);
+      },
+      v);
+}
+
+CsvSink::CsvSink(const std::string& path, OpenMode mode)
+    : owned_(open_file(path, mode)), os_(owned_.get()) {
+  // Appending to a non-empty file: the header is already on disk.
+  header_written_ = mode == OpenMode::kAppend && os_->tellp() > 0;
+}
+
+CsvSink::CsvSink(std::ostream& os) : os_(&os) {}
+
+void CsvSink::write_cell(const std::string& sweep, const core::CellStats& cell) {
+  if (!header_written_) {
+    const std::vector<std::string> keys = run_schema_keys();
+    for (std::size_t i = 0; i < keys.size(); ++i)
+      *os_ << (i ? "," : "") << csv_escape(keys[i]);
+    *os_ << '\n';
+    header_written_ = true;
+  }
+  for (std::size_t seed_i = 0; seed_i < cell.runs.size(); ++seed_i) {
+    const std::vector<Field> fields = flatten_run(sweep, cell, seed_i);
+    for (std::size_t i = 0; i < fields.size(); ++i)
+      *os_ << (i ? "," : "") << format_csv(fields[i].value);
+    *os_ << '\n';
+  }
+  os_->flush();
+  // ofstream swallows I/O errors into badbit; surface them (ENOSPC etc.)
+  // instead of exiting 0 with a truncated artifact.
+  MTR_ENSURE_MSG(os_->good(), "CSV sink write failed (disk full or closed?)");
+}
+
+JsonlSink::JsonlSink(const std::string& path, OpenMode mode)
+    : owned_(open_file(path, mode)), os_(owned_.get()) {}
+
+JsonlSink::JsonlSink(std::ostream& os) : os_(&os) {}
+
+void JsonlSink::write_cell(const std::string& sweep, const core::CellStats& cell) {
+  for (std::size_t seed_i = 0; seed_i < cell.runs.size(); ++seed_i) {
+    *os_ << "{\"record\":\"run\"";
+    for (const Field& f : flatten_run(sweep, cell, seed_i))
+      *os_ << ",\"" << json_escape(f.key) << "\":" << format_json(f.value);
+    *os_ << "}\n";
+  }
+
+  // Per-cell aggregate summary — the numbers a figure plots directly.
+  const char* workload =
+      cell.runs.empty() ? "" : workloads::short_name(cell.runs.front().kind);
+  *os_ << "{\"record\":\"cell\",\"schema\":" << kSchemaVersion << ",\"sweep\":\""
+       << json_escape(sweep) << "\",\"attack\":\"" << json_escape(cell.attack_label)
+       << "\",\"scheduler\":\"" << sim::to_string(cell.scheduler)
+       << "\",\"hz\":" << cell.hz.v << ",\"workload\":\"" << workload
+       << "\",\"seeds\":" << cell.runs.size()
+       << ",\"source_ok\":" << (cell.all_source_ok() ? "true" : "false");
+  cell.for_each_stat([&](const char* key, const RunningStats& s, auto) {
+    *os_ << ",\"" << key << "\":{\"n\":" << s.count()
+         << ",\"mean\":" << fmt_f64(s.mean()) << ",\"stddev\":" << fmt_f64(s.stddev())
+         << ",\"min\":" << fmt_f64(s.min()) << ",\"max\":" << fmt_f64(s.max()) << '}';
+  });
+  *os_ << "}\n";
+  os_->flush();
+  MTR_ENSURE_MSG(os_->good(), "JSONL sink write failed (disk full or closed?)");
+}
+
+void MultiSink::add(std::unique_ptr<ResultSink> sink) {
+  MTR_ENSURE(sink != nullptr);
+  sinks_.push_back(std::move(sink));
+}
+
+void MultiSink::write_cell(const std::string& sweep, const core::CellStats& cell) {
+  for (const auto& sink : sinks_) sink->write_cell(sweep, cell);
+}
+
+}  // namespace mtr::report

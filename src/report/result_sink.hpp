@@ -1,0 +1,126 @@
+// Streaming result sinks: the structured-output half of the report layer.
+//
+// A ResultSink receives every completed BatchRunner cell and persists it
+// incrementally — one flat record per replicate run, flushed per cell — so
+// long sweeps stream to disk as they go and a killed sweep keeps what it
+// finished. CsvSink and JsonlSink share one canonical field list
+// (flatten_run), so the two formats cannot drift apart; MultiSink fans a
+// cell out to several sinks at once.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/batch_runner.hpp"
+
+namespace mtr::report {
+
+/// Version stamped into every record (the `schema` column / key). Bump it
+/// whenever a field is added, removed, renamed, or reordered.
+inline constexpr std::uint64_t kSchemaVersion = 1;
+
+/// One serialized field. The variant arm picks the CSV/JSON rendering:
+/// bools become true/false, doubles render round-trippably (%.17g).
+using FieldValue =
+    std::variant<bool, std::int64_t, std::uint64_t, double, std::string>;
+
+struct Field {
+  std::string key;
+  FieldValue value;
+};
+
+/// The canonical record for run `seed_i` of `cell`: sweep name, cell
+/// coordinates, grid seed, then every ExperimentResult field. Both sinks
+/// emit exactly this list in exactly this order.
+std::vector<Field> flatten_run(const std::string& sweep,
+                               const core::CellStats& cell,
+                               std::size_t seed_i);
+
+/// The record's keys in emission order (the CSV header), derived from a
+/// flatten_run of a default-constructed cell.
+std::vector<std::string> run_schema_keys();
+
+std::string format_csv(const FieldValue& v);
+std::string format_json(const FieldValue& v);
+
+/// RFC-4180 escaping: wraps in quotes (doubling embedded quotes) when the
+/// cell contains a comma, quote, or newline.
+std::string csv_escape(const std::string& s);
+std::string json_escape(const std::string& s);
+
+/// Streaming consumer of completed sweep cells.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// Persists one cell (all its seed replicates) and flushes, so results
+  /// hit disk per cell rather than at sweep end.
+  virtual void write_cell(const std::string& sweep,
+                          const core::CellStats& cell) = 0;
+};
+
+/// Discards everything; keeps sweep code free of null checks.
+class NullSink final : public ResultSink {
+ public:
+  void write_cell(const std::string&, const core::CellStats&) override {}
+};
+
+enum class OpenMode {
+  kTruncate,  // start a fresh file
+  kAppend,    // append; the header is only written if the file was empty
+};
+
+/// One CSV row per run. The header row is written once per file —
+/// appending to a non-empty file is safe and yields one concatenated
+/// table (the schema column lets readers reject mixed versions).
+class CsvSink final : public ResultSink {
+ public:
+  explicit CsvSink(const std::string& path, OpenMode mode = OpenMode::kTruncate);
+  /// Writes to a caller-owned stream (tests); the header is still emitted
+  /// exactly once.
+  explicit CsvSink(std::ostream& os);
+
+  void write_cell(const std::string& sweep, const core::CellStats& cell) override;
+
+ private:
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* os_;
+  bool header_written_ = false;
+};
+
+/// One JSON object per line. Run records carry `"record":"run"` and the
+/// flat field list; each cell additionally emits a `"record":"cell"`
+/// summary line with the per-cell aggregate statistics (count, mean,
+/// stddev, min, max for every CellStats accumulator) — the numbers a
+/// figure pipeline plots directly. Lines are self-describing, so append
+/// mode needs no header handling at all.
+class JsonlSink final : public ResultSink {
+ public:
+  explicit JsonlSink(const std::string& path, OpenMode mode = OpenMode::kTruncate);
+  explicit JsonlSink(std::ostream& os);
+
+  void write_cell(const std::string& sweep, const core::CellStats& cell) override;
+
+ private:
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* os_;
+};
+
+/// Fans every cell out to each registered sink, in registration order.
+class MultiSink final : public ResultSink {
+ public:
+  void add(std::unique_ptr<ResultSink> sink);
+  bool empty() const { return sinks_.empty(); }
+  std::size_t size() const { return sinks_.size(); }
+
+  void write_cell(const std::string& sweep, const core::CellStats& cell) override;
+
+ private:
+  std::vector<std::unique_ptr<ResultSink>> sinks_;
+};
+
+}  // namespace mtr::report

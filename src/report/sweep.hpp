@@ -1,0 +1,94 @@
+// The sweep driver: a name -> sweep registry, per-invocation options
+// (flags over MTR_BENCH_* env defaults), and the run loop behind the
+// mtr_sweep CLI. The bench layer registers its figure/table sweeps here;
+// the driver owns sink construction, progress wiring, and selection, so
+// sweep definitions contain experiment logic only.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/batch_runner.hpp"
+#include "report/progress.hpp"
+#include "report/result_sink.hpp"
+
+namespace mtr::report {
+
+/// Everything a sweep body needs: the sweep parameters, where results
+/// stream, and where human-readable rendering goes.
+struct SweepContext {
+  double scale = 0.25;                 // workload scale (MTR_BENCH_SCALE)
+  std::vector<std::uint64_t> seeds;    // replicate grid seeds per cell
+  unsigned threads = 0;                // BatchRunner pool; 0 = hardware
+  ResultSink* sink = nullptr;          // never null (NullSink when unused)
+  ProgressReporter* progress = nullptr;  // may be null
+  std::ostream* out = nullptr;         // never null; may be a null stream
+
+  std::ostream& os() const { return *out; }
+
+  /// Bundles the sink and the progress reporter into a BatchRunner
+  /// per-cell callback; `sweep_name` tags every emitted record.
+  core::CellCallback stream(std::string sweep_name) const;
+
+  /// Starts a labelled progress span (no-op without a reporter).
+  void begin_progress(const std::string& label, std::size_t total_cells) const;
+};
+
+struct SweepSpec {
+  std::string name;   // CLI key, e.g. "fig04"
+  std::string title;  // one-line description for --list
+  std::function<void(const SweepContext&)> run;
+};
+
+class SweepRegistry {
+ public:
+  /// Registration order is the --list / --all execution order. Duplicate
+  /// names are rejected.
+  void add(SweepSpec spec);
+
+  const SweepSpec* find(std::string_view name) const;
+  const std::vector<SweepSpec>& specs() const { return specs_; }
+
+ private:
+  std::vector<SweepSpec> specs_;
+};
+
+struct SweepOptions {
+  bool help = false;      // --help: print usage and exit 0
+  bool list = false;      // --list: print the registry and exit
+  bool all = false;       // --all: run every registered sweep
+  bool quiet = false;     // --quiet: suppress the ASCII figure rendering
+  bool progress = true;   // --no-progress / MTR_BENCH_PROGRESS=0
+  std::vector<std::string> sweeps;  // positional sweep names
+
+  std::string csv_path;    // --csv: one shared file, append-safe
+  std::string jsonl_path;  // --jsonl: one shared file, append-safe
+  std::string out_dir;     // --out-dir: fresh <dir>/<sweep>.{csv,jsonl}
+
+  double scale = 0.25;
+  std::vector<std::uint64_t> seeds;
+  unsigned threads = 0;
+};
+
+/// Options with every default resolved from the environment
+/// (MTR_BENCH_SCALE, MTR_BENCH_SEEDS, MTR_BENCH_THREADS,
+/// MTR_BENCH_PROGRESS).
+SweepOptions default_sweep_options();
+
+/// Parses argv on top of default_sweep_options(); throws std::runtime_error
+/// with a usage message on malformed input.
+SweepOptions parse_sweep_args(int argc, const char* const* argv);
+
+/// Runs the selected sweeps: builds the sink stack, wires progress (to
+/// `err`), streams results, renders figures to `out`. Returns a process
+/// exit code (0 ok, 2 usage/selection error).
+int run_sweeps(const SweepRegistry& registry, const SweepOptions& options,
+               std::ostream& out, std::ostream& err);
+
+/// The whole CLI: parse + run + error reporting. `main` forwards here.
+int sweep_main(const SweepRegistry& registry, int argc, const char* const* argv);
+
+}  // namespace mtr::report

@@ -128,5 +128,72 @@ TEST(BatchRunner, WorkerExceptionPropagates) {
   EXPECT_THROW(BatchRunner(2).run(g), std::runtime_error);
 }
 
+TEST(BatchRunner, ExceptionNamesFailingCellCoordinates) {
+  BatchGrid g;
+  g.base = test::quick_experiment(workloads::WorkloadKind::kOurs);
+  g.attacks.push_back({"baseline", nullptr});
+  g.attacks.push_back({"broken", []() -> std::unique_ptr<attacks::Attack> {
+                         throw std::runtime_error("factory exploded");
+                       }});
+  g.schedulers = {sim::SchedulerKind::kCfs};
+  g.ticks = {TimerHz{1000}};
+  g.seeds = {77};
+  try {
+    BatchRunner(4).run(g);
+    FAIL() << "expected a runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("attack=broken"), std::string::npos) << what;
+    EXPECT_NE(what.find("scheduler=cfs"), std::string::npos) << what;
+    EXPECT_NE(what.find("hz=1000"), std::string::npos) << what;
+    EXPECT_NE(what.find("seed=77"), std::string::npos) << what;
+    EXPECT_NE(what.find("factory exploded"), std::string::npos) << what;
+  }
+}
+
+TEST(BatchRunner, CallbackFiresOncePerCellInGridOrder) {
+  const BatchGrid g = small_grid();
+  for (const unsigned threads : {1u, 8u}) {
+    std::vector<std::size_t> indices;
+    std::vector<std::string> labels;
+    std::vector<double> means;
+    const auto cells = BatchRunner(threads).run(g, [&](const CellEvent& ev) {
+      EXPECT_EQ(ev.total, 4u);
+      EXPECT_GE(ev.wall_seconds, 0.0);
+      indices.push_back(ev.index);
+      labels.push_back(ev.cell.attack_label);
+      means.push_back(ev.cell.overcharge.mean());
+    });
+    // Strictly ascending 0..n-1 regardless of the worker pool: late cells
+    // are buffered until every earlier cell has been emitted.
+    ASSERT_EQ(indices.size(), cells.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      EXPECT_EQ(indices[i], i);
+      EXPECT_EQ(labels[i], cells[i].attack_label);
+      // The callback saw the fully aggregated cell, not a partial one.
+      EXPECT_EQ(means[i], cells[i].overcharge.mean());
+      EXPECT_EQ(cells[i].runs.size(), g.seeds.size());
+    }
+  }
+}
+
+TEST(BatchRunner, CallbackExceptionIsWrappedWithCoordinates) {
+  const BatchGrid g = small_grid();
+  try {
+    BatchRunner(2).run(g, [](const CellEvent&) {
+      throw std::runtime_error("sink full");
+    });
+    FAIL() << "expected a runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("sink full"), std::string::npos) << what;
+    EXPECT_NE(what.find("BatchRunner cell"), std::string::npos) << what;
+    // The runs all succeeded; the message must blame the callback, not a
+    // seed.
+    EXPECT_NE(what.find("per-cell callback"), std::string::npos) << what;
+    EXPECT_EQ(what.find("seed="), std::string::npos) << what;
+  }
+}
+
 }  // namespace
 }  // namespace mtr::core

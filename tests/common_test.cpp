@@ -211,6 +211,42 @@ TEST(Table, CsvEscapesSpecials) {
   EXPECT_NE(os.str().find("\"has\"\"quote\""), std::string::npos);
 }
 
+TEST(Table, CsvPlainCellsStayUnquoted) {
+  TextTable t({"a", "b"});
+  t.add_row({"plain", "als0 plain; semicolons+spaces are fine"});
+  std::ostringstream os;
+  t.render_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nplain,als0 plain; semicolons+spaces are fine\n");
+}
+
+TEST(Table, CsvQuotesEmbeddedNewlines) {
+  TextTable t({"x"});
+  t.add_row({"line1\nline2"});
+  std::ostringstream os;
+  t.render_csv(os);
+  // RFC 4180: the cell is quoted and the newline survives verbatim.
+  EXPECT_EQ(os.str(), "x\n\"line1\nline2\"\n");
+}
+
+TEST(Table, CsvDoublesEveryEmbeddedQuote) {
+  TextTable t({"x", "y"});
+  t.add_row({"\"", "a\"b\"c"});
+  std::ostringstream os;
+  t.render_csv(os);
+  // A lone quote becomes """" (open, doubled quote, close); every interior
+  // quote is doubled.
+  EXPECT_EQ(os.str(), "x,y\n\"\"\"\",\"a\"\"b\"\"c\"\n");
+}
+
+TEST(Table, CsvQuotesCombinedSpecials) {
+  // Comma + quote + newline in one cell; header cells are escaped too.
+  TextTable t({"weird,header"});
+  t.add_row({"a,\"b\"\nc"});
+  std::ostringstream os;
+  t.render_csv(os);
+  EXPECT_EQ(os.str(), "\"weird,header\"\n\"a,\"\"b\"\"\nc\"\n");
+}
+
 TEST(BarChartTest, RendersStackedBars) {
   BarChart chart("Fig. X", "s");
   chart.add({"O normal", 10.0, 0.5});

@@ -1,0 +1,422 @@
+// Report-layer coverage: sink round-trips (every ExperimentResult field
+// survives CSV and JSONL serialization), append safety, MultiSink fan-out,
+// the sweep registry/driver, and the progress reporter.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+
+#include "common/ensure.hpp"
+#include "report/progress.hpp"
+#include "report/result_sink.hpp"
+#include "report/sweep.hpp"
+
+namespace mtr::report {
+namespace {
+
+/// A fully populated cell with two replicate runs of distinctive values —
+/// no simulation needed, so the round-trip checks stay instant.
+core::CellStats sample_cell() {
+  core::CellStats cell;
+  cell.attack_label = "shell, \"quoted\"";  // exercises CSV/JSON escaping
+  cell.scheduler = sim::SchedulerKind::kCfs;
+  cell.hz = TimerHz{1000};
+  cell.seeds = {7, 8};
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    core::ExperimentResult r;
+    r.kind = workloads::WorkloadKind::kWhetstone;
+    r.attack_name = "shell";
+    r.victim_pid = Pid{4};
+    r.victim_tgid = Tgid{4};
+    r.victim_exited = true;
+    r.wall_seconds = 12.5 + static_cast<double>(i);
+    r.billed_ticks = {Ticks{3000 + i}, Ticks{41 + i}};
+    r.billed_user_seconds = 3.0 + 0.125 * static_cast<double>(i);
+    r.billed_system_seconds = 0.041;
+    r.billed_seconds = r.billed_user_seconds + r.billed_system_seconds;
+    r.true_cycles = {Cycles{7'590'000'000 + i}, Cycles{103'730'000}};
+    r.true_seconds = 3.0410001;
+    r.tsc_cycles = {Cycles{7'600'000'000}, Cycles{104'000'000}};
+    r.tsc_seconds = 3.0451;
+    r.pais_cycles = {Cycles{7'590'000'001}, Cycles{103'730'001}};
+    r.pais_seconds = 3.0410002;
+    r.overcharge = 1.0 / 3.0;  // forces a long %.17g representation
+    r.source_verdict.ok = false;
+    r.source_verdict.violations = {"bash (deadbeef)", "libm (cafe, 2)"};
+    r.witness.bytes[0] = 0xab;
+    r.witness.bytes[31] = 0x01;
+    r.witness_steps = 123'456'789;
+    r.minor_faults = 12;
+    r.major_faults = 3;
+    r.debug_exceptions = 99;
+    r.voluntary_switches = 7;
+    r.involuntary_switches = 11;
+    r.nic_packets = 1'000'000;
+    r.has_attacker = true;
+    r.attacker_ticks = {Ticks{17}, Ticks{19}};
+    r.attacker_billed_seconds = 0.144;
+    r.attacker_true_cycles = {Cycles{100}, Cycles{200}};
+    r.attacker_true_seconds = 0.000000118577;
+    cell.runs.push_back(r);
+    cell.for_each_stat(
+        [&](const char*, RunningStats& stat, auto get) { stat.add(get(r)); });
+  }
+  return cell;
+}
+
+/// Splits one RFC-4180 CSV line into cells (handles quoted cells with
+/// embedded commas/quotes; our records never embed newlines in practice,
+/// and the tests don't feed any).
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (quoted) {
+      if (ch == '"' && i + 1 < line.size() && line[i + 1] == '"') {
+        cur += '"';
+        ++i;
+      } else if (ch == '"') {
+        quoted = false;
+      } else {
+        cur += ch;
+      }
+    } else if (ch == '"') {
+      quoted = true;
+    } else if (ch == ',') {
+      cells.push_back(cur);
+      cur.clear();
+    } else {
+      cur += ch;
+    }
+  }
+  cells.push_back(cur);
+  return cells;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  for (std::string line; std::getline(is, line);) lines.push_back(line);
+  return lines;
+}
+
+/// The value of `"key":<raw json>` in a JSONL line (first occurrence).
+std::string json_raw_value(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return "<missing>";
+  std::size_t i = at + needle.size();
+  if (line[i] == '"') {  // string: scan to the closing unescaped quote
+    std::string out;
+    for (++i; i < line.size(); ++i) {
+      if (line[i] == '\\') {
+        out += line[i + 1] == 'n' ? '\n' : line[i + 1];
+        ++i;
+      } else if (line[i] == '"') {
+        break;
+      } else {
+        out += line[i];
+      }
+    }
+    return out;
+  }
+  std::size_t end = i;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(i, end - i);
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+TEST(ResultSinkSchema, KeysAreUniqueAndVersioned) {
+  const auto keys = run_schema_keys();
+  EXPECT_GT(keys.size(), 40u);  // every ExperimentResult field + coordinates
+  EXPECT_EQ(keys.front(), "schema");
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    for (std::size_t j = i + 1; j < keys.size(); ++j)
+      EXPECT_NE(keys[i], keys[j]) << "duplicate column " << keys[i];
+}
+
+TEST(CsvSinkTest, RoundTripsEveryField) {
+  const core::CellStats cell = sample_cell();
+  std::ostringstream os;
+  CsvSink sink(os);
+  sink.write_cell("fig04", cell);
+
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 3u);  // header + 2 runs
+  const auto header = split_csv(lines[0]);
+  ASSERT_EQ(header, run_schema_keys());
+
+  for (std::size_t seed_i = 0; seed_i < 2; ++seed_i) {
+    const auto row = split_csv(lines[1 + seed_i]);
+    ASSERT_EQ(row.size(), header.size());
+    const auto fields = flatten_run("fig04", cell, seed_i);
+    ASSERT_EQ(fields.size(), row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      // Strings survive escaping; numbers re-parse to the exact value
+      // (doubles render as %.17g, which round-trips binary64).
+      const FieldValue& v = fields[c].value;
+      if (const auto* s = std::get_if<std::string>(&v)) {
+        EXPECT_EQ(row[c], *s) << header[c];
+      } else if (const auto* d = std::get_if<double>(&v)) {
+        EXPECT_EQ(std::strtod(row[c].c_str(), nullptr), *d) << header[c];
+      } else if (const auto* u = std::get_if<std::uint64_t>(&v)) {
+        EXPECT_EQ(std::strtoull(row[c].c_str(), nullptr, 10), *u) << header[c];
+      } else if (const auto* i = std::get_if<std::int64_t>(&v)) {
+        EXPECT_EQ(std::strtoll(row[c].c_str(), nullptr, 10), *i) << header[c];
+      } else {
+        EXPECT_EQ(row[c], std::get<bool>(v) ? "true" : "false") << header[c];
+      }
+    }
+  }
+
+  // Spot-check load-bearing cells against the source struct directly.
+  const auto row0 = split_csv(lines[1]);
+  const auto col = [&](const std::string& key) {
+    for (std::size_t c = 0; c < header.size(); ++c)
+      if (header[c] == key) return row0[c];
+    return std::string("<missing>");
+  };
+  EXPECT_EQ(col("sweep"), "fig04");
+  EXPECT_EQ(col("attack"), "shell, \"quoted\"");
+  EXPECT_EQ(col("scheduler"), "cfs");
+  EXPECT_EQ(col("hz"), "1000");
+  EXPECT_EQ(col("seed"), "7");
+  EXPECT_EQ(col("workload"), "W");
+  EXPECT_EQ(col("billed_utime_ticks"), "3000");
+  EXPECT_EQ(col("source_ok"), "false");
+  EXPECT_EQ(col("source_violations"), "bash (deadbeef); libm (cafe, 2)");
+  EXPECT_EQ(std::strtod(col("overcharge").c_str(), nullptr), 1.0 / 3.0);
+  EXPECT_EQ(col("witness").substr(0, 2), "ab");
+}
+
+TEST(JsonlSinkTest, RoundTripsRunsAndCellSummary) {
+  const core::CellStats cell = sample_cell();
+  std::ostringstream os;
+  JsonlSink sink(os);
+  sink.write_cell("fig07", cell);
+
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 3u);  // 2 run records + 1 cell record
+  EXPECT_EQ(json_raw_value(lines[0], "record"), "run");
+  EXPECT_EQ(json_raw_value(lines[1], "record"), "run");
+  EXPECT_EQ(json_raw_value(lines[2], "record"), "cell");
+
+  // Every schema key appears on every run line with the exact value.
+  for (std::size_t seed_i = 0; seed_i < 2; ++seed_i) {
+    const std::string& line = lines[seed_i];
+    for (const Field& f : flatten_run("fig07", cell, seed_i)) {
+      const std::string raw = json_raw_value(line, f.key);
+      ASSERT_NE(raw, "<missing>") << f.key;
+      if (const auto* s = std::get_if<std::string>(&f.value)) {
+        EXPECT_EQ(raw, *s) << f.key;
+      } else if (const auto* d = std::get_if<double>(&f.value)) {
+        EXPECT_EQ(std::strtod(raw.c_str(), nullptr), *d) << f.key;
+      } else if (const auto* u = std::get_if<std::uint64_t>(&f.value)) {
+        EXPECT_EQ(std::strtoull(raw.c_str(), nullptr, 10), *u) << f.key;
+      } else if (const auto* i = std::get_if<std::int64_t>(&f.value)) {
+        EXPECT_EQ(std::strtoll(raw.c_str(), nullptr, 10), *i) << f.key;
+      } else {
+        EXPECT_EQ(raw, std::get<bool>(f.value) ? "true" : "false") << f.key;
+      }
+    }
+  }
+
+  // The cell summary carries the aggregates a figure plots.
+  const std::string& summary = lines[2];
+  EXPECT_EQ(json_raw_value(summary, "sweep"), "fig07");
+  EXPECT_EQ(json_raw_value(summary, "workload"), "W");
+  EXPECT_EQ(json_raw_value(summary, "seeds"), "2");
+  EXPECT_EQ(json_raw_value(summary, "source_ok"), "false");
+  EXPECT_NE(summary.find("\"overcharge\":{\"n\":2,"), std::string::npos);
+  EXPECT_NE(summary.find("\"attacker_true_seconds\":{"), std::string::npos);
+}
+
+TEST(CsvSinkTest, AppendModeWritesHeaderExactlyOnce) {
+  const std::string path = temp_path("report_test_append.csv");
+  std::filesystem::remove(path);
+  const core::CellStats cell = sample_cell();
+  {
+    CsvSink sink(path, OpenMode::kAppend);  // fresh file: header + 2 rows
+    sink.write_cell("s1", cell);
+  }
+  {
+    CsvSink sink(path, OpenMode::kAppend);  // reopened: rows only
+    sink.write_cell("s2", cell);
+    sink.write_cell("s3", cell);
+  }
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  const auto lines = lines_of(content.str());
+  EXPECT_EQ(lines.size(), 1u + 3 * 2);
+  EXPECT_EQ(split_csv(lines[0]), run_schema_keys());
+  for (std::size_t i = 1; i < lines.size(); ++i)
+    EXPECT_NE(split_csv(lines[i])[0], "schema") << "duplicated header";
+  std::filesystem::remove(path);
+}
+
+TEST(CsvSinkTest, TruncateModeStartsFresh) {
+  const std::string path = temp_path("report_test_trunc.csv");
+  const core::CellStats cell = sample_cell();
+  for (int round = 0; round < 2; ++round) {
+    CsvSink sink(path, OpenMode::kTruncate);
+    sink.write_cell("s", cell);
+  }
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(lines_of(content.str()).size(), 1u + 2);  // not doubled
+  std::filesystem::remove(path);
+}
+
+TEST(MultiSinkTest, FansOutToEveryChildInOrder) {
+  auto csv_a = std::make_unique<std::ostringstream>();
+  auto csv_b = std::make_unique<std::ostringstream>();
+  std::ostringstream ref;
+
+  MultiSink multi;
+  EXPECT_TRUE(multi.empty());
+  multi.add(std::make_unique<CsvSink>(*csv_a));
+  multi.add(std::make_unique<CsvSink>(*csv_b));
+  EXPECT_EQ(multi.size(), 2u);
+
+  const core::CellStats cell = sample_cell();
+  multi.write_cell("fig04", cell);
+  CsvSink(ref).write_cell("fig04", cell);
+  EXPECT_EQ(csv_a->str(), ref.str());
+  EXPECT_EQ(csv_b->str(), ref.str());
+}
+
+TEST(SweepRegistryTest, AddFindAndRejectDuplicates) {
+  SweepRegistry registry;
+  registry.add({"fig04", "t1", [](const SweepContext&) {}});
+  registry.add({"fig05", "t2", [](const SweepContext&) {}});
+  ASSERT_NE(registry.find("fig04"), nullptr);
+  EXPECT_EQ(registry.find("fig04")->title, "t1");
+  EXPECT_EQ(registry.find("nope"), nullptr);
+  EXPECT_EQ(registry.specs().size(), 2u);
+  EXPECT_THROW((registry.add({"fig04", "dup", [](const SweepContext&) {}})),
+               InvariantError);
+}
+
+TEST(SweepDriverTest, ParsesFlagsOverEnvDefaults) {
+  const char* argv[] = {"mtr_sweep", "fig04",         "tab_countermeasures",
+                        "--scale",   "0.5",           "--seeds",
+                        "4",         "--first-seed",  "100",
+                        "--threads", "3",             "--quiet",
+                        "--no-progress", "--out-dir", "/tmp/x"};
+  const SweepOptions o = parse_sweep_args(static_cast<int>(std::size(argv)), argv);
+  EXPECT_EQ(o.sweeps, (std::vector<std::string>{"fig04", "tab_countermeasures"}));
+  EXPECT_DOUBLE_EQ(o.scale, 0.5);
+  EXPECT_EQ(o.seeds, (std::vector<std::uint64_t>{100, 101, 102, 103}));
+  EXPECT_EQ(o.threads, 3u);
+  EXPECT_TRUE(o.quiet);
+  EXPECT_FALSE(o.progress);
+  EXPECT_EQ(o.out_dir, "/tmp/x");
+  EXPECT_FALSE(o.list);
+
+  const char* bad[] = {"mtr_sweep", "--bogus"};
+  EXPECT_THROW(parse_sweep_args(2, bad), std::runtime_error);
+}
+
+TEST(SweepDriverTest, ListAndUnknownSelection) {
+  SweepRegistry registry;
+  registry.add({"fig04", "Fig. 4 — Shell attack", [](const SweepContext&) {}});
+
+  SweepOptions list_opts;
+  list_opts.list = true;
+  std::ostringstream out, err;
+  EXPECT_EQ(run_sweeps(registry, list_opts, out, err), 0);
+  EXPECT_NE(out.str().find("fig04  Fig. 4 — Shell attack"), std::string::npos);
+
+  SweepOptions unknown;
+  unknown.sweeps = {"fig99"};
+  EXPECT_EQ(run_sweeps(registry, unknown, out, err), 2);
+  EXPECT_NE(err.str().find("fig99"), std::string::npos);
+
+  SweepOptions nothing;
+  EXPECT_EQ(run_sweeps(registry, nothing, out, err), 2);
+
+  SweepOptions conflicting;
+  conflicting.all = true;
+  conflicting.sweeps = {"fig04"};
+  EXPECT_EQ(run_sweeps(registry, conflicting, out, err), 2);
+  EXPECT_NE(err.str().find("--all conflicts"), std::string::npos);
+}
+
+TEST(SweepDriverTest, BuildsSinksAndRunsSelectedSweeps) {
+  // A fake sweep exercises the driver's sink plumbing without simulating.
+  SweepRegistry registry;
+  registry.add({"fake", "synthetic cell emitter", [](const SweepContext& ctx) {
+                  ctx.os() << "scale=" << ctx.scale << "\n";
+                  ctx.sink->write_cell("fake", sample_cell());
+                }});
+
+  const std::string dir = temp_path("report_test_driver_out");
+  std::filesystem::remove_all(dir);
+  SweepOptions opts;
+  opts.sweeps = {"fake"};
+  opts.out_dir = dir;
+  opts.scale = 0.125;
+  opts.progress = false;
+
+  std::ostringstream out, err;
+  EXPECT_EQ(run_sweeps(registry, opts, out, err), 0);
+  EXPECT_NE(out.str().find("scale=0.125"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/fake.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/fake.jsonl"));
+  EXPECT_GT(std::filesystem::file_size(dir + "/fake.csv"), 100u);
+  EXPECT_GT(std::filesystem::file_size(dir + "/fake.jsonl"), 100u);
+
+  // --quiet swallows rendering but still streams to the sinks.
+  std::filesystem::remove_all(dir);
+  opts.quiet = true;
+  std::ostringstream out2;
+  EXPECT_EQ(run_sweeps(registry, opts, out2, err), 0);
+  EXPECT_EQ(out2.str(), "");
+  EXPECT_TRUE(std::filesystem::exists(dir + "/fake.csv"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ProgressReporterTest, ReportsCountsElapsedAndEta) {
+  core::CellStats cell;
+  cell.attack_label = "attacked";
+  cell.hz = TimerHz{250};
+
+  std::ostringstream os;
+  ProgressReporter progress(os, /*enabled=*/true);
+  progress.begin("fig04", 2);
+  progress.on_cell({0, 2, 0.5, cell});
+  EXPECT_NE(os.str().find("[fig04 1/2]"), std::string::npos);
+  EXPECT_NE(os.str().find("attack=attacked"), std::string::npos);
+  EXPECT_NE(os.str().find("eta="), std::string::npos);
+  progress.on_cell({1, 2, 0.5, cell});
+  EXPECT_NE(os.str().find("[fig04 2/2]"), std::string::npos);
+  progress.finish();
+  EXPECT_NE(os.str().find("done: 2 cell(s)"), std::string::npos);
+
+  std::ostringstream silent;
+  ProgressReporter disabled(silent, /*enabled=*/false);
+  disabled.begin("fig04", 2);
+  disabled.on_cell({0, 2, 0.5, cell});
+  disabled.finish();
+  EXPECT_EQ(silent.str(), "");
+}
+
+TEST(ProgressReporterTest, FormatsDurations) {
+  EXPECT_EQ(fmt_duration(0.0), "0.0s");
+  EXPECT_EQ(fmt_duration(43.21), "43.2s");
+  EXPECT_EQ(fmt_duration(126.0), "2m06s");
+  EXPECT_EQ(fmt_duration(3726.0), "1h02m");
+}
+
+}  // namespace
+}  // namespace mtr::report
