@@ -93,7 +93,9 @@ inline void render_cell_figure(std::ostream& os, const std::string& title,
 /// {baseline, attacked} BatchRunner grid over the context's seeds; cells
 /// stream through the sinks as they complete, and the combined figure
 /// renders once everything is in. `tweak` adjusts the base config (e.g.
-/// Fig. 11 shrinks RAM).
+/// Fig. 11 shrinks RAM). Sharded/resumed/dry invocations run (or plan)
+/// their subset of every grid and skip the rendering — it needs the full
+/// cell set, which only the sinks plus mtr_merge can see.
 inline void run_attack_figure(
     const report::SweepContext& ctx, const std::string& sweep,
     const std::string& title, const std::string& note,
@@ -116,9 +118,10 @@ inline void run_attack_figure(
     const std::string name = workloads::short_name(kind);
     grid.attacks.push_back({name + " normal", nullptr});
     grid.attacks.push_back({name + " attacked", attack});
-    for (auto& cell : runner.run(grid, ctx.stream(sweep)))
+    for (auto& cell : ctx.run_grid(sweep, runner, std::move(grid)))
       cells.push_back(std::move(cell));
   }
+  if (ctx.partial) return;
 
   std::vector<CellRow> rows;
   for (const core::CellStats& cell : cells)

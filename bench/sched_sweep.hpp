@@ -41,7 +41,10 @@ inline void run_sched_sweep(const report::SweepContext& ctx, const std::string& 
 
   ctx.begin_progress(sweep, grid.attacks.size());
   core::BatchRunner runner(ctx.threads);
-  const auto cells = runner.run(grid, ctx.stream(sweep));
+  const auto cells = ctx.run_grid(sweep, runner, std::move(grid));
+  // Partial cell sets (shard/resume/dry run) skip the rendering — and the
+  // fork_alone baseline simulation it exists for.
+  if (ctx.partial) return;
   // The baseline row pairs the unattacked victim with Fork running alone.
   const auto [fork_billed, fork_true] = fork_alone(scale);
 

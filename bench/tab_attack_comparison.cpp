@@ -23,12 +23,17 @@ void run_tab_attack_comparison(const report::SweepContext& ctx) {
 
   ctx.begin_progress("tab_attack_comparison", grid.attacks.size());
   core::BatchRunner runner(ctx.threads);
-  const auto cells = runner.run(grid, ctx.stream("tab_attack_comparison"));
+  const std::size_t n_seeds = grid.seeds.size();
+  const auto cells = ctx.run_grid("tab_attack_comparison", runner, std::move(grid));
+  // The table diffs every attack against the baseline cell, so it needs
+  // the full grid — sharded/resumed/dry runs leave rendering to mtr_merge
+  // consumers.
+  if (ctx.partial) return;
   const core::CellStats& base = cells.front();
 
   std::ostream& os = ctx.os();
   os << "==== Table (from §V-C) — attack comparison on Whetstone ====\n";
-  os << "(mean over " << grid.seeds.size() << " seed(s))\n\n";
+  os << "(mean over " << n_seeds << " seed(s))\n\n";
   TextTable table({"attack", "phase", "vulnerability", "inflates",
                    "measured_delta_u(s)", "measured_delta_s(s)", "overcharge",
                    "privilege", "side_effects"});

@@ -25,13 +25,17 @@ void run_tab_countermeasures(const report::SweepContext& ctx) {
 
   ctx.begin_progress("tab_countermeasures", grid.attacks.size());
   core::BatchRunner runner(ctx.threads);
-  const auto cells = runner.run(grid, ctx.stream("tab_countermeasures"));
+  const std::size_t n_seeds = grid.seeds.size();
+  const auto cells = ctx.run_grid("tab_countermeasures", runner, std::move(grid));
+  // Detection compares every attack cell against the baseline cell
+  // replicate-for-replicate, so partial cell sets skip the rendering.
+  if (ctx.partial) return;
   const core::CellStats& base = cells.front();
 
   std::ostream& os = ctx.os();
   os << "==== Table (from §VI-B) — countermeasure effectiveness on "
         "Whetstone ====\n"
-     << "bills are the victim's mean CPU seconds over " << grid.seeds.size()
+     << "bills are the victim's mean CPU seconds over " << n_seeds
      << " seed(s) under each metering scheme; src/exec = integrity detection\n\n";
 
   TextTable table({"attack", "tick_bill(s)", "tsc_bill(s)", "pais_bill(s)",

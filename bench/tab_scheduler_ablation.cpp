@@ -35,18 +35,23 @@ void run_tab_scheduler_ablation(const report::SweepContext& ctx) {
   ctx.begin_progress("tab_scheduler_ablation",
                      grid.attacks.size() * grid.schedulers.size());
   core::BatchRunner runner(ctx.threads);
-  const auto cells = runner.run(grid, ctx.stream("tab_scheduler_ablation"));
+  const std::size_t n_seeds = grid.seeds.size();
+  const std::size_t n_scheds = grid.schedulers.size();
+  const auto cells = ctx.run_grid("tab_scheduler_ablation", runner, std::move(grid));
+  // The scheduler-major re-ordering below indexes the full grid; partial
+  // cell sets skip the rendering.
+  if (ctx.partial) return;
 
   std::ostream& os = ctx.os();
   os << "==== Scheduler ablation — scheduling attack under O(1) vs CFS ====\n";
-  os << "(mean over " << grid.seeds.size() << " seed(s))\n\n";
+  os << "(mean over " << n_seeds << " seed(s))\n\n";
   TextTable table({"scheduler", "nice", "victim_true(s)", "tick_bill(s)",
                    "overcharge", "attacker_billed(s)", "attacker_true(s)"});
 
   // Cells arrive attack-major; render scheduler-major to match the paper.
-  for (std::size_t sched_i = 0; sched_i < grid.schedulers.size(); ++sched_i) {
+  for (std::size_t sched_i = 0; sched_i < n_scheds; ++sched_i) {
     for (std::size_t nice_i = 0; nice_i < nices.size(); ++nice_i) {
-      const core::CellStats& c = cells[nice_i * grid.schedulers.size() + sched_i];
+      const core::CellStats& c = cells[nice_i * n_scheds + sched_i];
       table.add_row({sim::to_string(c.scheduler), std::to_string(nices[nice_i]),
                      fmt_double(c.true_seconds.mean()),
                      fmt_double(c.billed_seconds.mean()),

@@ -31,11 +31,13 @@ void run_tab_tick_granularity(const report::SweepContext& ctx) {
 
   ctx.begin_progress("tab_tick_granularity", grid.ticks.size());
   core::BatchRunner runner(ctx.threads);
-  const auto cells = runner.run(grid, ctx.stream("tab_tick_granularity"));
+  const std::size_t n_seeds = grid.seeds.size();
+  const auto cells = ctx.run_grid("tab_tick_granularity", runner, std::move(grid));
+  if (ctx.partial) return;
 
   std::ostream& os = ctx.os();
   os << "==== Tick-granularity ablation — scheduling attack vs HZ ====\n";
-  os << "(mean over " << grid.seeds.size() << " seed(s))\n\n";
+  os << "(mean over " << n_seeds << " seed(s))\n\n";
   TextTable table({"HZ", "tick(ms)", "victim_true(s)", "tick_bill(s)",
                    "tick_overcharge", "tsc_bill(s)", "tsc_overcharge"});
 

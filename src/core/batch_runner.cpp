@@ -18,8 +18,9 @@ constexpr std::uint64_t splitmix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-/// The grid with empty dimensions replaced by their `base` defaults.
-BatchGrid normalized(const BatchGrid& grid) {
+}  // namespace
+
+BatchGrid normalized_grid(const BatchGrid& grid) {
   BatchGrid g = grid;
   if (g.attacks.empty()) g.attacks.push_back({"baseline", nullptr});
   if (g.schedulers.empty()) g.schedulers.push_back(g.base.sim.scheduler);
@@ -28,7 +29,24 @@ BatchGrid normalized(const BatchGrid& grid) {
   return g;
 }
 
-}  // namespace
+std::size_t grid_cell_count(const BatchGrid& grid) {
+  const std::size_t a = grid.attacks.empty() ? 1 : grid.attacks.size();
+  const std::size_t s = grid.schedulers.empty() ? 1 : grid.schedulers.size();
+  const std::size_t t = grid.ticks.empty() ? 1 : grid.ticks.size();
+  return a * s * t;
+}
+
+GridCellCoords grid_cell_coords(const BatchGrid& grid, std::size_t cell) {
+  const std::size_t s = grid.schedulers.empty() ? 1 : grid.schedulers.size();
+  const std::size_t t = grid.ticks.empty() ? 1 : grid.ticks.size();
+  GridCellCoords c;
+  c.attack_label =
+      grid.attacks.empty() ? "baseline" : grid.attacks[cell / (s * t)].label;
+  c.scheduler = grid.schedulers.empty() ? grid.base.sim.scheduler
+                                        : grid.schedulers[(cell / t) % s];
+  c.hz = grid.ticks.empty() ? grid.base.sim.kernel.hz : grid.ticks[cell % t];
+  return c;
+}
 
 bool CellStats::all_source_ok() const {
   for (const ExperimentResult& r : runs)
@@ -52,19 +70,29 @@ BatchRunner::BatchRunner(unsigned threads) : threads_(threads) {
 
 std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
                                         const CellCallback& on_cell) const {
-  const BatchGrid g = normalized(grid);
+  const BatchGrid g = normalized_grid(grid);
 
   const std::size_t n_attacks = g.attacks.size();
   const std::size_t n_scheds = g.schedulers.size();
   const std::size_t n_ticks = g.ticks.size();
   const std::size_t n_seeds = g.seeds.size();
   const std::size_t n_cells = n_attacks * n_scheds * n_ticks;
-  const std::size_t n_runs = n_cells * n_seeds;
+
+  // Grid-order indices of the cells that actually run. Filtering changes
+  // nothing about a surviving cell: coordinates, per-cell seeds, and
+  // cell_index are all derived from the full grid.
+  std::vector<std::size_t> active;
+  active.reserve(n_cells);
+  for (std::size_t cell = 0; cell < n_cells; ++cell)
+    if (!g.cell_filter || g.cell_filter(cell)) active.push_back(cell);
+  const std::size_t n_active = active.size();
+  const std::size_t n_runs = n_active * n_seeds;
 
   // One slot per run, filled by whichever worker claims the index; cells
-  // are aggregated in grid order as their runs complete.
+  // are aggregated in grid order as their runs complete. Everything below
+  // is indexed by *active position*, not grid cell index.
   std::vector<ExperimentResult> results(n_runs);
-  std::vector<CellStats> cells(n_cells);
+  std::vector<CellStats> cells(n_active);
 
   std::atomic<std::size_t> next{0};
 
@@ -73,27 +101,29 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
   // also publishes each worker's `results` writes to whichever worker ends
   // up aggregating the cell.
   std::mutex mutex;
-  std::vector<std::size_t> runs_done(n_cells, 0);
-  std::vector<double> cell_wall(n_cells, 0.0);
-  std::vector<char> cell_failed(n_cells, 0);
+  std::vector<std::size_t> runs_done(n_active, 0);
+  std::vector<double> cell_wall(n_active, 0.0);
+  std::vector<char> cell_failed(n_active, 0);
   std::size_t next_emit = 0;
   std::size_t error_index = n_runs;
   bool error_from_callback = false;
   std::exception_ptr error;
 
-  auto aggregate = [&](std::size_t cell) {
+  auto aggregate = [&](std::size_t pos) {
+    const std::size_t cell = active[pos];
     const std::size_t attack_i = cell / (n_scheds * n_ticks);
     const std::size_t sched_i = (cell / n_ticks) % n_scheds;
     const std::size_t tick_i = cell % n_ticks;
 
-    CellStats& s = cells[cell];
+    CellStats& s = cells[pos];
     s.attack_label = g.attacks[attack_i].label;
     s.scheduler = g.schedulers[sched_i];
     s.hz = g.ticks[tick_i];
+    s.cell_index = g.cell_index_base + cell;
     s.seeds = g.seeds;
     s.runs.reserve(n_seeds);
     for (std::size_t seed_i = 0; seed_i < n_seeds; ++seed_i) {
-      const ExperimentResult& r = results[cell * n_seeds + seed_i];
+      const ExperimentResult& r = results[pos * n_seeds + seed_i];
       s.runs.push_back(r);
       s.for_each_stat(
           [&](const char*, RunningStats& stat, auto get) { stat.add(get(r)); });
@@ -104,7 +134,8 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
     for (;;) {
       const std::size_t idx = next.fetch_add(1, std::memory_order_relaxed);
       if (idx >= n_runs) return;
-      const std::size_t cell = idx / n_seeds;
+      const std::size_t pos = idx / n_seeds;
+      const std::size_t cell = active[pos];
       const std::size_t seed_i = idx % n_seeds;
       const std::size_t attack_i = cell / (n_scheds * n_ticks);
       const std::size_t sched_i = (cell / n_ticks) % n_scheds;
@@ -129,7 +160,7 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
 
       const std::lock_guard<std::mutex> lock(mutex);
       if (!ok) {
-        cell_failed[cell] = 1;
+        cell_failed[pos] = 1;
         // Keep the first failure in work order for a deterministic report.
         if (idx < error_index) {
           error_index = idx;
@@ -137,19 +168,19 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
           error = run_error;
         }
       }
-      cell_wall[cell] += dt.count();
-      if (++runs_done[cell] < n_seeds) continue;
+      cell_wall[pos] += dt.count();
+      if (++runs_done[pos] < n_seeds) continue;
 
       // This worker completed a cell: emit every cell that is now ready,
       // in grid order. Failed cells are skipped (the sweep rethrows after
       // the join anyway) but still advance the cursor.
-      while (next_emit < n_cells && runs_done[next_emit] == n_seeds) {
+      while (next_emit < n_active && runs_done[next_emit] == n_seeds) {
         const std::size_t emit = next_emit++;
         if (cell_failed[emit]) continue;
         aggregate(emit);
         if (!on_cell) continue;
         try {
-          on_cell({emit, n_cells, cell_wall[emit], cells[emit]});
+          on_cell({active[emit], n_cells, cell_wall[emit], cells[emit]});
         } catch (...) {
           const std::size_t first_run = emit * n_seeds;
           if (first_run < error_index) {
@@ -182,7 +213,7 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
   }
 
   if (error) {
-    const std::size_t cell = error_index / n_seeds;
+    const std::size_t cell = active[error_index / n_seeds];
     const std::size_t seed_i = error_index % n_seeds;
     const std::size_t attack_i = cell / (n_scheds * n_ticks);
     const std::size_t sched_i = (cell / n_ticks) % n_scheds;

@@ -41,13 +41,46 @@ struct BatchGrid {
   std::vector<sim::SchedulerKind> schedulers;
   std::vector<TimerHz> ticks;
   std::vector<std::uint64_t> seeds;
+
+  /// Optional cell-subset filter (sharding, resume): called with each
+  /// grid-order cell index, false skips the cell entirely. Skipped cells
+  /// are absent from the returned vector and fire no callback; the cells
+  /// that do run keep the seeds and coordinates they would have in the
+  /// full grid, so a shard's output is a strict subset of the full run's.
+  /// Null runs every cell.
+  std::function<bool(std::size_t)> cell_filter;
+
+  /// Index of this grid's first cell in the enclosing sweep invocation;
+  /// stamped into CellStats::cell_index (and from there into every sink
+  /// record), so shards and resumed runs number cells identically to a
+  /// single-machine run.
+  std::size_t cell_index_base = 0;
 };
+
+/// `grid` with empty dimensions replaced by their `base` defaults.
+BatchGrid normalized_grid(const BatchGrid& grid);
+
+/// Cells in the grid (attacks x schedulers x ticks, empty dims count 1).
+std::size_t grid_cell_count(const BatchGrid& grid);
+
+/// Coordinates of one grid-order cell, with empty dimensions defaulted the
+/// same way normalized_grid does.
+struct GridCellCoords {
+  std::string attack_label;
+  sim::SchedulerKind scheduler{};
+  TimerHz hz{};
+};
+GridCellCoords grid_cell_coords(const BatchGrid& grid, std::size_t cell);
 
 /// Aggregate for one (attack, scheduler, hz) cell across its seeds.
 struct CellStats {
   std::string attack_label;
   sim::SchedulerKind scheduler{};
   TimerHz hz{};
+  /// Invocation-global cell index: BatchGrid::cell_index_base plus the
+  /// cell's grid-order index. Serialized into every record so sharded
+  /// outputs can be merged back into canonical order.
+  std::uint64_t cell_index = 0;
 
   std::vector<std::uint64_t> seeds;    // grid seeds, in grid order
   std::vector<ExperimentResult> runs;  // one result per seed, same order
@@ -112,7 +145,9 @@ struct CellStats {
 /// worker finished the cell's last run — late cells are buffered until
 /// every earlier cell has been handled. A cell whose run threw is skipped
 /// (leaving a gap in the indices); the sweep still finishes and rethrows
-/// with that cell's coordinates after the workers join.
+/// with that cell's coordinates after the workers join. Cells excluded by
+/// BatchGrid::cell_filter also leave gaps: `index` and `total` always
+/// describe the full grid, not the filtered subset.
 struct CellEvent {
   std::size_t index = 0;      // grid-order cell index
   std::size_t total = 0;      // cells in this grid
@@ -138,12 +173,14 @@ class BatchRunner {
 
   unsigned threads() const { return threads_; }
 
-  /// Runs the full grid; returns one CellStats per (attack, scheduler, hz)
-  /// combination in attack-major grid order. `on_cell`, when set, streams
-  /// each cell as soon as it and all earlier cells are complete. If any
-  /// experiment throws, the first exception (in work order) is rethrown
-  /// after all workers join, wrapped in a std::runtime_error naming the
-  /// failing cell's coordinates (attack, scheduler, hz, seed).
+  /// Runs the grid; returns one CellStats per (attack, scheduler, hz)
+  /// combination in attack-major grid order, restricted to the cells
+  /// admitted by `grid.cell_filter` (all of them when the filter is null).
+  /// `on_cell`, when set, streams each admitted cell as soon as it and all
+  /// earlier admitted cells are complete. If any experiment throws, the
+  /// first exception (in work order) is rethrown after all workers join,
+  /// wrapped in a std::runtime_error naming the failing cell's coordinates
+  /// (attack, scheduler, hz, seed).
   std::vector<CellStats> run(const BatchGrid& grid,
                              const CellCallback& on_cell = {}) const;
 

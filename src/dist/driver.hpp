@@ -1,0 +1,59 @@
+// The mtr_sweep driver: flag/environment parsing and the run loop that
+// builds sinks, wires progress, and composes the distributed-execution
+// gates (shard ownership, resume skipping) into the SweepContext every
+// sweep body runs against. Lives in the dist layer so the report substrate
+// stays free of sharding/resume policy.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "dist/shard.hpp"
+#include "report/sweep.hpp"
+
+namespace mtr::dist {
+
+struct SweepOptions {
+  bool help = false;      // --help: print usage and exit 0
+  bool list = false;      // --list: print the registry and exit
+  bool all = false;       // --all: run every registered sweep
+  bool quiet = false;     // --quiet: suppress the ASCII figure rendering
+  bool progress = true;   // --no-progress / MTR_BENCH_PROGRESS=0
+  bool dry_run = false;   // --dry-run: print the cell plan, execute nothing
+  bool resume = false;    // --resume: skip cells already complete on disk
+  ShardSpec shard;        // --shard I/N; default 0/1 = everything
+  std::vector<std::string> sweeps;  // positional sweep names
+
+  std::string csv_path;    // --csv: one shared file, append-safe
+  std::string jsonl_path;  // --jsonl: one shared file, append-safe
+  std::string out_dir;     // --out-dir: <dir>/<sweep>.{csv,jsonl}
+
+  double scale = 0.25;
+  std::vector<std::uint64_t> seeds;
+  unsigned threads = 0;
+};
+
+/// Options with every default resolved from the environment
+/// (MTR_BENCH_SCALE, MTR_BENCH_SEEDS, MTR_BENCH_THREADS,
+/// MTR_BENCH_PROGRESS).
+SweepOptions default_sweep_options();
+
+/// Parses argv on top of default_sweep_options(); throws std::runtime_error
+/// with a usage message on malformed input. Numeric flags are strict:
+/// trailing garbage ("--scale 2x", "--threads 8q") is rejected.
+SweepOptions parse_sweep_args(int argc, const char* const* argv);
+
+/// Runs the selected sweeps: builds the sink stack (creating parent
+/// directories for --csv/--jsonl/--out-dir paths), wires progress (to
+/// `err`), applies shard/resume gating, streams results, renders figures
+/// to `out`. Returns a process exit code (0 ok, 2 usage/selection error).
+int run_sweeps(const report::SweepRegistry& registry, const SweepOptions& options,
+               std::ostream& out, std::ostream& err);
+
+/// The whole CLI: parse + run + error reporting. `main` forwards here.
+int sweep_main(const report::SweepRegistry& registry, int argc,
+               const char* const* argv);
+
+}  // namespace mtr::dist

@@ -1,0 +1,299 @@
+#include "dist/merge.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "dist/records.hpp"
+#include "report/result_sink.hpp"
+
+namespace mtr::dist {
+namespace {
+
+constexpr const char* kUsage =
+    "usage: mtr_merge [--csv OUT.csv] [--jsonl OUT.jsonl] SHARD_FILE...\n"
+    "\n"
+    "Merges per-shard mtr_sweep outputs back into one canonical dataset.\n"
+    "Inputs are classified by extension: .csv files merge into --csv,\n"
+    ".jsonl files into --jsonl. Every cell is validated (schema version,\n"
+    "incomplete shard tails, duplicate/conflicting cells, gaps in the cell\n"
+    "index space) and re-emitted in grid order; JSONL cell aggregates are\n"
+    "recomputed from the run records and cross-checked against the shard.\n"
+    "The merged files are byte-identical to a single-process run of the\n"
+    "same grid.\n"
+    "\n"
+    "  --csv OUT.csv      merged CSV destination (parent dirs are created)\n"
+    "  --jsonl OUT.jsonl  merged JSONL destination\n"
+    "  --help             print this message\n";
+
+[[noreturn]] void bad_usage(const std::string& message) {
+  throw std::runtime_error(message + "\n\n" + kUsage);
+}
+
+std::string describe(const CellBlock& b) {
+  return "cell " + std::to_string(b.cell_index) + " [sweep=" + b.sweep +
+         ", attack=" + b.attack + ", scheduler=" + b.scheduler +
+         ", hz=" + std::to_string(b.hz) + "]";
+}
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Collects every input's blocks into one cell_index -> (block, source)
+/// map, rejecting incomplete shards, empty inputs, duplicates, and gaps.
+std::map<std::uint64_t, std::pair<CellBlock, std::string>> gather_blocks(
+    const std::vector<std::string>& inputs, bool jsonl) {
+  std::map<std::uint64_t, std::pair<CellBlock, std::string>> cells;
+  for (const std::string& path : inputs) {
+    FileScan scan = jsonl ? scan_jsonl(path) : scan_csv(path);
+    if (!scan.clean)
+      throw std::runtime_error(
+          path + ": " + scan.tail_error +
+          " — the shard looks killed mid-write; finish it with --resume "
+          "(or re-run it) before merging");
+    // A blockless file is fine: a shard can own zero cells of a small
+    // sweep and still leave its (empty) output behind.
+    for (CellBlock& b : scan.blocks) {
+      const auto [it, inserted] =
+          cells.emplace(b.cell_index, std::make_pair(std::move(b), path));
+      if (!inserted) {
+        const CellBlock& first = it->second.first;
+        throw std::runtime_error("duplicate " + describe(first) + " in " +
+                                 it->second.second + " and " + path +
+                                 " — overlapping shards?");
+      }
+    }
+  }
+  if (cells.empty())
+    throw std::runtime_error("no complete cells to merge in any input");
+
+  // Every cell of one invocation carries the same replicate seed count, so
+  // a block with fewer runs — e.g. the unprovable final CSV block of a
+  // killed shard — is an incomplete cell, not a merge candidate. Prefer a
+  // provably closed block as the reference; failing that (every file's
+  // only block is open, possible in CSV-only merges), the largest block —
+  // a killed cell can only be smaller than its siblings.
+  const CellBlock* reference = nullptr;
+  for (const auto& [index, entry] : cells)
+    if (entry.first.closed) {
+      reference = &entry.first;
+      break;
+    }
+  if (reference == nullptr)
+    for (const auto& [index, entry] : cells)
+      if (reference == nullptr ||
+          entry.first.seeds.size() > reference->seeds.size())
+        reference = &entry.first;
+  if (reference != nullptr) {
+    for (const auto& [index, entry] : cells)
+      if (entry.first.seeds.size() != reference->seeds.size())
+        throw std::runtime_error(
+            entry.second + ": " + describe(entry.first) + " has " +
+            std::to_string(entry.first.seeds.size()) + " run record(s) but " +
+            describe(*reference) + " has " +
+            std::to_string(reference->seeds.size()) +
+            " — incomplete shard output? finish it with --resume before "
+            "merging");
+  }
+
+  // Contiguity over [min, max]: a missing index means a shard was left out.
+  if (!cells.empty()) {
+    std::vector<std::uint64_t> missing;
+    std::uint64_t expect = cells.begin()->first;
+    for (const auto& [index, block] : cells) {
+      while (expect < index && missing.size() <= 10) missing.push_back(expect++);
+      expect = index + 1;
+    }
+    if (!missing.empty()) {
+      std::string list;
+      for (std::size_t i = 0; i < missing.size() && i < 10; ++i)
+        list += (i ? ", " : "") + std::to_string(missing[i]);
+      if (missing.size() > 10) list += ", ...";
+      throw std::runtime_error(
+          "cell index gap — missing cell(s) " + list +
+          " — was a shard's output left out of the merge?");
+    }
+  }
+  return cells;
+}
+
+/// Rebuilds the `record:"cell"` aggregate line from the block's run
+/// records, exactly the way JsonlSink computes it.
+std::string recompute_cell_line(const CellBlock& b, const std::string& path) {
+  report::CellSummary s;
+  s.sweep = b.sweep;
+  s.cell_index = b.cell_index;
+  s.attack = b.attack;
+  s.scheduler = b.scheduler;
+  s.hz = b.hz;
+  s.seeds = b.run_lines.size();
+  for (const std::string& key : cell_stat_keys()) s.stats.push_back({key, {}});
+
+  for (const std::string& line : b.run_lines) {
+    std::map<std::string, std::string> f;
+    if (!parse_json_line(line, f))
+      throw std::runtime_error(path + ": unparseable run record in " +
+                               describe(b));
+    const auto workload = json_string(f, "workload");
+    const auto source_ok = json_bool(f, "source_ok");
+    if (!workload || !source_ok)
+      throw std::runtime_error(path + ": run record of " + describe(b) +
+                               " is missing workload/source_ok");
+    s.workload = *workload;  // constant within a cell
+    s.source_ok = s.source_ok && *source_ok;
+    for (report::CellStatSummary& st : s.stats) {
+      const auto v = json_double(f, st.key);
+      if (!v)
+        throw std::runtime_error(path + ": run record of " + describe(b) +
+                                 " is missing stat field " + st.key);
+      st.stats.add(*v);
+    }
+  }
+
+  std::ostringstream os;
+  report::write_cell_record(os, s);
+  return os.str();
+}
+
+void write_output(const std::string& path, const std::string& bytes) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open())
+    throw std::runtime_error("cannot open output file " + path);
+  out << bytes;
+  out.flush();
+  if (!out.good())
+    throw std::runtime_error("write failed for " + path + " (disk full?)");
+}
+
+}  // namespace
+
+MergeOptions parse_merge_args(int argc, const char* const* argv) {
+  MergeOptions o;
+  const auto value = [&](int& i, std::string_view flag) -> std::string {
+    if (i + 1 >= argc) bad_usage(std::string(flag) + " requires a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") o.help = true;
+    else if (arg == "--csv") o.csv_out = value(i, arg);
+    else if (arg == "--jsonl") o.jsonl_out = value(i, arg);
+    else if (!arg.empty() && arg.front() == '-') {
+      bad_usage("unknown flag: " + std::string(arg));
+    } else {
+      const std::string path(arg);
+      if (has_suffix(path, ".csv")) o.csv_in.push_back(path);
+      else if (has_suffix(path, ".jsonl")) o.jsonl_in.push_back(path);
+      else bad_usage("input " + path + " is neither .csv nor .jsonl");
+    }
+  }
+  return o;
+}
+
+std::string merge_jsonl(const std::vector<std::string>& inputs,
+                        std::vector<std::uint64_t>* cell_indices) {
+  const auto cells = gather_blocks(inputs, /*jsonl=*/true);
+  std::string out;
+  for (const auto& [index, entry] : cells) {
+    const CellBlock& b = entry.first;
+    for (const std::string& line : b.run_lines) {
+      out += line;
+      out += '\n';
+    }
+    // Recompute the aggregate from the run records; a mismatch against
+    // what the shard wrote means the file was corrupted or hand-edited.
+    const std::string cell_line = recompute_cell_line(b, entry.second);
+    if (cell_line != b.cell_line + "\n")
+      throw std::runtime_error(
+          entry.second + ": recomputed aggregate for " + describe(b) +
+          " does not match the recorded summary — corrupt shard output?");
+    out += cell_line;
+    if (cell_indices) cell_indices->push_back(index);
+  }
+  return out;
+}
+
+std::string merge_csv(const std::vector<std::string>& inputs,
+                      std::vector<std::uint64_t>* cell_indices) {
+  const auto cells = gather_blocks(inputs, /*jsonl=*/false);
+  std::ostringstream os;
+  report::write_csv_header(os);
+  std::string out = os.str();
+  for (const auto& [index, entry] : cells) {
+    for (const std::string& line : entry.first.run_lines) {
+      out += line;
+      out += '\n';
+    }
+    if (cell_indices) cell_indices->push_back(index);
+  }
+  return out;
+}
+
+int run_merge(const MergeOptions& o, std::ostream& out, std::ostream& err) {
+  if (o.help) {
+    out << kUsage;
+    return 0;
+  }
+  if (o.csv_out.empty() && o.jsonl_out.empty()) {
+    err << "mtr_merge: pick at least one output (--csv and/or --jsonl)\n\n"
+        << kUsage;
+    return 2;
+  }
+  const auto usage_error = [&](const std::string& message) {
+    err << "mtr_merge: " << message << "\n\n" << kUsage;
+    return 2;
+  };
+  if (!o.csv_out.empty() && o.csv_in.empty())
+    return usage_error("--csv needs .csv shard inputs");
+  if (o.csv_out.empty() && !o.csv_in.empty())
+    return usage_error(".csv inputs given but no --csv output");
+  if (!o.jsonl_out.empty() && o.jsonl_in.empty())
+    return usage_error("--jsonl needs .jsonl shard inputs");
+  if (o.jsonl_out.empty() && !o.jsonl_in.empty())
+    return usage_error(".jsonl inputs given but no --jsonl output");
+
+  try {
+    std::vector<std::uint64_t> csv_cells, jsonl_cells;
+    std::string csv_bytes, jsonl_bytes;
+    if (!o.csv_out.empty()) csv_bytes = merge_csv(o.csv_in, &csv_cells);
+    if (!o.jsonl_out.empty())
+      jsonl_bytes = merge_jsonl(o.jsonl_in, &jsonl_cells);
+    if (!o.csv_out.empty() && !o.jsonl_out.empty() && csv_cells != jsonl_cells)
+      throw std::runtime_error(
+          "the .csv and .jsonl shard sets cover different cells — are they "
+          "from the same sweep invocation?");
+
+    if (!o.csv_out.empty()) {
+      write_output(o.csv_out, csv_bytes);
+      out << "mtr_merge: " << csv_cells.size() << " cell(s) from "
+          << o.csv_in.size() << " shard file(s) -> " << o.csv_out << '\n';
+    }
+    if (!o.jsonl_out.empty()) {
+      write_output(o.jsonl_out, jsonl_bytes);
+      out << "mtr_merge: " << jsonl_cells.size() << " cell(s) from "
+          << o.jsonl_in.size() << " shard file(s) -> " << o.jsonl_out << '\n';
+    }
+  } catch (const std::exception& e) {
+    err << "mtr_merge: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
+
+int merge_main(int argc, const char* const* argv) {
+  try {
+    return run_merge(parse_merge_args(argc, argv), std::cout, std::cerr);
+  } catch (const std::exception& e) {
+    std::cerr << "mtr_merge: " << e.what() << '\n';
+    return 2;
+  }
+}
+
+}  // namespace mtr::dist

@@ -1,0 +1,49 @@
+// mtr_merge: folds per-shard CSV/JSONL sweep outputs back into one
+// canonical grid-order dataset. Inputs are validated hard — schema
+// versions, incomplete shard tails, duplicate or conflicting cells, gaps
+// in the cell-index space — and JSONL `record:"cell"` aggregates are
+// recomputed from the shard's run records (and cross-checked against what
+// the shard wrote), so the merged files are byte-identical to a
+// single-process run of the same grid.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mtr::dist {
+
+struct MergeOptions {
+  bool help = false;
+  std::string csv_out;                // --csv
+  std::string jsonl_out;              // --jsonl
+  std::vector<std::string> csv_in;    // positional *.csv
+  std::vector<std::string> jsonl_in;  // positional *.jsonl
+};
+
+/// Parses mtr_merge argv; throws std::runtime_error (with usage appended)
+/// on malformed input.
+MergeOptions parse_merge_args(int argc, const char* const* argv);
+
+/// Merges shard JSONL files into the canonical byte stream. `cell_indices`,
+/// when non-null, receives the merged cell indices in emission order (for
+/// cross-format consistency checks). Throws std::runtime_error on any
+/// validation failure.
+std::string merge_jsonl(const std::vector<std::string>& inputs,
+                        std::vector<std::uint64_t>* cell_indices = nullptr);
+
+/// Same for shard CSV files (canonical header + rows in cell-index order).
+std::string merge_csv(const std::vector<std::string>& inputs,
+                      std::vector<std::uint64_t>* cell_indices = nullptr);
+
+/// Runs a full merge: validates the option combination, merges each
+/// configured format, cross-checks them, and writes the outputs (creating
+/// parent directories). Returns a process exit code (0 ok, 1 merge error,
+/// 2 usage error).
+int run_merge(const MergeOptions& options, std::ostream& out, std::ostream& err);
+
+/// The whole CLI: parse + run + error reporting. `main` forwards here.
+int merge_main(int argc, const char* const* argv);
+
+}  // namespace mtr::dist

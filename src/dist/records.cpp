@@ -1,0 +1,387 @@
+#include "dist/records.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+#include "report/result_sink.hpp"
+
+namespace mtr::dist {
+
+std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
+    return std::nullopt;
+  try {
+    return std::stoull(s);
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+namespace {
+
+/// Index past the closing quote of the string starting at `from` (which
+/// must point at the opening quote), honouring backslash escapes; npos when
+/// the string never closes (truncated line).
+std::size_t skip_json_string(const std::string& line, std::size_t from) {
+  for (std::size_t j = from + 1; j < line.size(); ++j) {
+    if (line[j] == '\\') {
+      ++j;
+    } else if (line[j] == '"') {
+      return j + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+std::string json_unescape(std::string_view token) {
+  std::string out;
+  out.reserve(token.size());
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    if (token[i] != '\\' || i + 1 >= token.size()) {
+      out += token[i];
+      continue;
+    }
+    const char esc = token[++i];
+    switch (esc) {
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u':
+        // Our writer only emits \u00XX for control characters.
+        if (i + 4 < token.size()) {
+          out += static_cast<char>(
+              std::strtoul(std::string(token.substr(i + 1, 4)).c_str(), nullptr, 16));
+          i += 4;
+        }
+        break;
+      default: out += esc; break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool parse_json_line(const std::string& line,
+                     std::map<std::string, std::string>& out) {
+  out.clear();
+  if (line.empty() || line.front() != '{') return false;
+  std::size_t i = 1;
+  if (i < line.size() && line[i] == '}') return i + 1 == line.size();
+  for (;;) {
+    if (i >= line.size() || line[i] != '"') return false;
+    const std::size_t key_end = skip_json_string(line, i);
+    if (key_end == std::string::npos) return false;
+    const std::string key = line.substr(i + 1, key_end - i - 2);
+    i = key_end;
+    if (i >= line.size() || line[i] != ':') return false;
+    ++i;
+    const std::size_t val_start = i;
+    if (i < line.size() && line[i] == '"') {
+      i = skip_json_string(line, i);
+      if (i == std::string::npos) return false;
+    } else if (i < line.size() && line[i] == '{') {
+      // One level of nesting (the per-stat {...} objects), strings inside
+      // respected.
+      int depth = 1;
+      ++i;
+      while (i < line.size() && depth > 0) {
+        if (line[i] == '"') {
+          i = skip_json_string(line, i);
+          if (i == std::string::npos) return false;
+        } else {
+          if (line[i] == '{') ++depth;
+          if (line[i] == '}') --depth;
+          ++i;
+        }
+      }
+      if (depth != 0) return false;
+    } else {
+      while (i < line.size() && line[i] != ',' && line[i] != '}') ++i;
+      if (i == val_start) return false;
+    }
+    out[key] = line.substr(val_start, i - val_start);
+    if (i >= line.size()) return false;
+    if (line[i] == '}') return i + 1 == line.size();
+    if (line[i] != ',') return false;
+    ++i;
+  }
+}
+
+std::optional<std::string> json_string(
+    const std::map<std::string, std::string>& fields, const std::string& key) {
+  const auto it = fields.find(key);
+  if (it == fields.end() || it->second.size() < 2 || it->second.front() != '"' ||
+      it->second.back() != '"')
+    return std::nullopt;
+  return json_unescape(
+      std::string_view(it->second).substr(1, it->second.size() - 2));
+}
+
+std::optional<std::uint64_t> json_u64(
+    const std::map<std::string, std::string>& fields, const std::string& key) {
+  const auto it = fields.find(key);
+  if (it == fields.end()) return std::nullopt;
+  return parse_u64(it->second);
+}
+
+std::optional<double> json_double(
+    const std::map<std::string, std::string>& fields, const std::string& key) {
+  const auto it = fields.find(key);
+  if (it == fields.end() || it->second.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end != it->second.c_str() + it->second.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<bool> json_bool(const std::map<std::string, std::string>& fields,
+                              const std::string& key) {
+  const auto it = fields.find(key);
+  if (it == fields.end()) return std::nullopt;
+  if (it->second == "true") return true;
+  if (it->second == "false") return false;
+  return std::nullopt;
+}
+
+const std::vector<std::string>& cell_stat_keys() {
+  static const std::vector<std::string> keys = [] {
+    std::vector<std::string> k;
+    core::CellStats cell;
+    cell.for_each_stat(
+        [&](const char* name, const RunningStats&, auto) { k.emplace_back(name); });
+    return k;
+  }();
+  return keys;
+}
+
+namespace {
+
+[[noreturn]] void schema_error(const std::string& path, std::uint64_t found) {
+  throw std::runtime_error(
+      path + ": record schema version " + std::to_string(found) +
+      " does not match this build's " + std::to_string(report::kSchemaVersion) +
+      " — refusing to mix schema versions");
+}
+
+}  // namespace
+
+FileScan scan_jsonl(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) throw std::runtime_error("cannot open " + path);
+
+  FileScan scan;
+  CellBlock open;
+  bool has_open = false;
+  std::uint64_t offset = 0;
+  std::string line;
+  const auto stop = [&](std::string why) {
+    scan.clean = false;
+    scan.tail_error = std::move(why);
+  };
+
+  while (std::getline(in, line)) {
+    if (in.eof()) {
+      // The last line had no trailing newline: a mid-write kill.
+      stop("truncated final line");
+      break;
+    }
+    const std::uint64_t line_end = offset + line.size() + 1;
+
+    std::map<std::string, std::string> f;
+    if (!parse_json_line(line, f)) {
+      stop("unparseable record at byte " + std::to_string(offset));
+      break;
+    }
+    const auto record = json_string(f, "record");
+    const auto schema = json_u64(f, "schema");
+    if (!record || !schema) {
+      stop("record without type/schema at byte " + std::to_string(offset));
+      break;
+    }
+    if (*schema != report::kSchemaVersion) schema_error(path, *schema);
+    const auto sweep = json_string(f, "sweep");
+    const auto cell_index = json_u64(f, "cell_index");
+    const auto attack = json_string(f, "attack");
+    const auto scheduler = json_string(f, "scheduler");
+    const auto hz = json_u64(f, "hz");
+    if (!sweep || !cell_index || !attack || !scheduler || !hz) {
+      stop("record missing cell coordinates at byte " + std::to_string(offset));
+      break;
+    }
+
+    if (*record == "run") {
+      const auto seed = json_u64(f, "seed");
+      const auto seed_index = json_u64(f, "seed_index");
+      if (!seed || !seed_index) {
+        stop("run record missing seed/seed_index at byte " + std::to_string(offset));
+        break;
+      }
+      if (!has_open) {
+        if (*seed_index != 0) {
+          stop("run records of cell " + std::to_string(*cell_index) +
+               " start mid-cell");
+          break;
+        }
+        open = CellBlock{};
+        open.cell_index = *cell_index;
+        open.sweep = *sweep;
+        open.attack = *attack;
+        open.scheduler = *scheduler;
+        open.hz = *hz;
+        has_open = true;
+      } else if (open.cell_index != *cell_index || open.sweep != *sweep ||
+                 open.attack != *attack || open.scheduler != *scheduler ||
+                 open.hz != *hz) {
+        stop("cell " + std::to_string(open.cell_index) +
+             " has run records but no summary");
+        break;
+      } else if (*seed_index != open.seeds.size()) {
+        stop("seed_index discontinuity in cell " + std::to_string(*cell_index));
+        break;
+      }
+      open.seeds.push_back(*seed);
+      open.run_lines.push_back(line);
+    } else if (*record == "cell") {
+      const auto n = json_u64(f, "seeds");
+      if (!has_open || open.cell_index != *cell_index || open.sweep != *sweep ||
+          open.attack != *attack || open.scheduler != *scheduler ||
+          open.hz != *hz) {
+        stop("cell summary for cell " + std::to_string(*cell_index) +
+             " without its run records");
+        break;
+      }
+      if (!n || *n != open.seeds.size()) {
+        stop("cell " + std::to_string(*cell_index) +
+             " summary seed count disagrees with its run records");
+        break;
+      }
+      open.cell_line = line;
+      open.closed = true;
+      open.end_offset = line_end;
+      scan.valid_bytes = line_end;
+      scan.blocks.push_back(std::move(open));
+      open = CellBlock{};
+      has_open = false;
+    } else {
+      stop("unknown record type '" + *record + "'");
+      break;
+    }
+    offset = line_end;
+  }
+
+  if (scan.clean && has_open)
+    stop("incomplete cell " + std::to_string(open.cell_index) +
+         " at end of file (runs without a summary)");
+  return scan;
+}
+
+FileScan scan_csv(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) throw std::runtime_error("cannot open " + path);
+
+  FileScan scan;
+  std::string line;
+  if (!std::getline(in, line)) return scan;  // empty file: nothing done yet
+  if (in.eof()) {
+    scan.clean = false;
+    scan.tail_error = "truncated header row";
+    return scan;
+  }
+  const std::vector<std::string> header = report::split_csv_line(line);
+  const std::vector<std::string> canonical = report::run_schema_keys();
+  if (header != canonical)
+    throw std::runtime_error(
+        path + ": CSV header does not match this build's schema (version " +
+        std::to_string(report::kSchemaVersion) +
+        ") — refusing to mix schema versions");
+  const auto col = [&](const char* key) {
+    for (std::size_t i = 0; i < header.size(); ++i)
+      if (header[i] == key) return i;
+    throw std::runtime_error(std::string("missing CSV column ") + key);
+  };
+  const std::size_t c_schema = col("schema"), c_sweep = col("sweep"),
+                    c_cell = col("cell_index"), c_attack = col("attack"),
+                    c_sched = col("scheduler"), c_hz = col("hz"),
+                    c_seed = col("seed"), c_seed_i = col("seed_index");
+
+  std::uint64_t offset = line.size() + 1;
+  scan.valid_bytes = offset;
+  scan.header_bytes = offset;
+  CellBlock open;
+  bool has_open = false;
+  const auto stop = [&](std::string why) {
+    scan.clean = false;
+    scan.tail_error = std::move(why);
+  };
+
+  while (std::getline(in, line)) {
+    if (in.eof()) {
+      stop("truncated final row");
+      break;
+    }
+    const std::uint64_t line_end = offset + line.size() + 1;
+    const std::vector<std::string> row = report::split_csv_line(line);
+    if (row.size() != header.size()) {
+      stop("malformed row at byte " + std::to_string(offset));
+      break;
+    }
+    const auto schema = parse_u64(row[c_schema]);
+    if (!schema) {
+      stop("bad schema value at byte " + std::to_string(offset));
+      break;
+    }
+    if (*schema != report::kSchemaVersion) schema_error(path, *schema);
+    const auto cell_index = parse_u64(row[c_cell]);
+    const auto hz = parse_u64(row[c_hz]);
+    const auto seed = parse_u64(row[c_seed]);
+    const auto seed_index = parse_u64(row[c_seed_i]);
+    if (!cell_index || !hz || !seed || !seed_index) {
+      stop("bad numeric cell coordinates at byte " + std::to_string(offset));
+      break;
+    }
+
+    if (has_open && open.cell_index == *cell_index) {
+      if (open.sweep != row[c_sweep] || open.attack != row[c_attack] ||
+          open.scheduler != row[c_sched] || open.hz != *hz) {
+        stop("conflicting coordinates within cell " + std::to_string(*cell_index));
+        break;
+      }
+      if (*seed_index != open.seeds.size()) {
+        stop("seed_index discontinuity in cell " + std::to_string(*cell_index));
+        break;
+      }
+    } else {
+      if (has_open) {
+        // The next cell starts, which proves the previous one ended.
+        open.closed = true;
+        scan.valid_bytes = open.end_offset;
+        scan.blocks.push_back(std::move(open));
+      }
+      open = CellBlock{};
+      open.cell_index = *cell_index;
+      open.sweep = row[c_sweep];
+      open.attack = row[c_attack];
+      open.scheduler = row[c_sched];
+      open.hz = *hz;
+      has_open = true;
+      if (*seed_index != 0) {
+        stop("rows of cell " + std::to_string(*cell_index) + " start mid-cell");
+        has_open = false;
+        break;
+      }
+    }
+    open.seeds.push_back(*seed);
+    open.run_lines.push_back(line);
+    open.end_offset = line_end;
+    offset = line_end;
+  }
+
+  // EOF cannot prove the final block complete; hand it over open and let
+  // the caller decide against its expected seed set.
+  if (scan.clean && has_open) scan.blocks.push_back(std::move(open));
+  return scan;
+}
+
+}  // namespace mtr::dist

@@ -1,0 +1,87 @@
+// Reading the sink formats back: block-level scanners over the CSV/JSONL
+// files CsvSink/JsonlSink write. A valid file is a sequence of cell blocks
+// (the run records of one grid cell, in JSONL followed by its
+// `record:"cell"` summary), possibly ending in the partial tail a killed
+// sweep left behind. Scanners collect the complete blocks, remember where
+// the valid prefix ends (so resume can truncate the tail away), and reject
+// wrong or mixed schema versions outright. Shared by ResumeIndex and
+// mtr_merge.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mtr::dist {
+
+/// One reconstructed cell block. `run_lines` hold the input lines verbatim
+/// (no trailing newline), so consumers that re-emit them preserve the
+/// original bytes exactly.
+struct CellBlock {
+  std::uint64_t cell_index = 0;
+  std::string sweep;
+  std::string attack;
+  std::string scheduler;
+  std::uint64_t hz = 0;
+  std::vector<std::uint64_t> seeds;    // one per run record, in file order
+  std::vector<std::string> run_lines;  // verbatim rows / JSONL run lines
+  std::string cell_line;               // JSONL only: the summary line
+  /// True when the block provably ended: JSONL blocks close on their cell
+  /// record; CSV blocks close when the next block starts (the final CSV
+  /// block at EOF stays open — the file alone cannot prove it complete).
+  bool closed = false;
+  /// File offset just past this block's last line.
+  std::uint64_t end_offset = 0;
+};
+
+struct FileScan {
+  std::vector<CellBlock> blocks;  // in file order; only the last may be open
+  /// Offset just past the last closed block (for CSV: at least the header),
+  /// i.e. the safe truncation point that drops any partial tail.
+  std::uint64_t valid_bytes = 0;
+  /// CSV only: offset just past the header row (0 when the file is empty,
+  /// and always 0 for JSONL) — the truncation point when no cell survives.
+  std::uint64_t header_bytes = 0;
+  bool clean = true;        // false: scanning stopped at a malformed tail
+  std::string tail_error;   // why, when !clean
+};
+
+/// Scans a JsonlSink file. Throws std::runtime_error when the file cannot
+/// be opened or any record carries a schema version other than
+/// report::kSchemaVersion; malformed structure instead stops the scan
+/// (clean=false) so callers can treat the tail as a crash artifact.
+FileScan scan_jsonl(const std::string& path);
+
+/// Scans a CsvSink file. Throws on open failure, on a header that is not
+/// the canonical run_schema_keys() row, and on schema column mismatches.
+FileScan scan_csv(const std::string& path);
+
+/// Splits one of our one-line JSON objects into key -> raw-token pairs
+/// (string tokens keep their quotes). Returns false on malformed input
+/// (e.g. a truncated tail) instead of throwing.
+bool parse_json_line(const std::string& line,
+                     std::map<std::string, std::string>& out);
+
+/// Typed readers over parse_json_line tokens; nullopt when the key is
+/// missing or the token has the wrong shape.
+std::optional<std::string> json_string(
+    const std::map<std::string, std::string>& fields, const std::string& key);
+std::optional<std::uint64_t> json_u64(
+    const std::map<std::string, std::string>& fields, const std::string& key);
+std::optional<double> json_double(
+    const std::map<std::string, std::string>& fields, const std::string& key);
+std::optional<bool> json_bool(const std::map<std::string, std::string>& fields,
+                              const std::string& key);
+
+/// The canonical aggregate keys of a `record:"cell"` line, in
+/// CellStats::for_each_stat order — what mtr_merge recomputes.
+const std::vector<std::string>& cell_stat_keys();
+
+/// Strict non-negative decimal: no sign, no trailing garbage; nullopt on
+/// anything else (including overflow). The one integer parser behind
+/// record scanning, shard specs, and the driver's --first-seed.
+std::optional<std::uint64_t> parse_u64(const std::string& s);
+
+}  // namespace mtr::dist

@@ -1,0 +1,56 @@
+// Resumable sweeps: ResumeIndex scans the output a previous (possibly
+// killed) mtr_sweep invocation left behind, identifies the cells that are
+// already complete — full seed set, current schema version, CSV and JSONL
+// agreeing — and lets the driver (1) truncate any partial tail back to the
+// last complete cell and (2) skip completed cells, so appending the rest
+// reproduces the uninterrupted run byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "report/sweep.hpp"
+
+namespace mtr::dist {
+
+class ResumeIndex {
+ public:
+  /// Scans the existing outputs of one sweep invocation. Either path may
+  /// be empty (sink not configured) or name a file that does not exist yet
+  /// (fresh start) — both contribute nothing. Throws std::runtime_error on
+  /// a schema-version mismatch, when a complete cell was recorded with a
+  /// seed set other than `expected_seeds` (resume requires the original
+  /// --seeds/--first-seed), or when the CSV and JSONL disagree about a
+  /// cell. When both files exist, only cells complete in BOTH count (a
+  /// kill can land between the two sink writes).
+  static ResumeIndex scan(const std::string& csv_path,
+                          const std::string& jsonl_path,
+                          const std::vector<std::uint64_t>& expected_seeds);
+
+  /// Complete cells found.
+  std::size_t size() const { return done_.size(); }
+
+  /// Truncates the scanned files back to the end of the last complete
+  /// cell, dropping the partial tail a kill left behind. Call once before
+  /// reopening the files in append mode.
+  void truncate_files() const;
+
+  /// True when this cell is already on disk. Throws std::runtime_error if
+  /// the recorded coordinates for this index contradict the current grid —
+  /// resuming into output written by a different sweep selection.
+  bool completed(const report::GridCellInfo& cell) const;
+
+ private:
+  struct Done {
+    std::string sweep, attack, scheduler;
+    std::uint64_t hz = 0;
+  };
+  std::map<std::uint64_t, Done> done_;
+  std::string csv_path_, jsonl_path_;
+  std::uint64_t csv_valid_ = 0, jsonl_valid_ = 0;
+  bool have_csv_ = false, have_jsonl_ = false;
+};
+
+}  // namespace mtr::dist

@@ -53,6 +53,11 @@ void ProgressReporter::on_cell(const core::CellEvent& ev) {
   os_ << '\n' << std::flush;
 }
 
+void ProgressReporter::shrink_total(std::size_t n) {
+  if (!active_) return;
+  total_ = total_ > done_ + n ? total_ - n : done_;
+}
+
 void ProgressReporter::finish() {
   if (!active_) return;
   active_ = false;

@@ -30,6 +30,11 @@ class ProgressReporter {
   /// reporter can span several consecutive grids.
   void on_cell(const core::CellEvent& ev);
 
+  /// Removes `n` cells from the span's total — cells a shard doesn't own
+  /// or a resumed sweep skips — so counts and the ETA track what actually
+  /// runs. No-op outside an active span.
+  void shrink_total(std::size_t n);
+
   /// Closes the span with a summary line. No-op if begin was never called.
   void finish();
 

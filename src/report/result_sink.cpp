@@ -48,6 +48,7 @@ std::vector<Field> flatten_run(const std::string& sweep,
   // Record identity + cell coordinates.
   f.push_back({"schema", u64(kSchemaVersion)});
   f.push_back({"sweep", sweep});
+  f.push_back({"cell_index", u64(cell.cell_index)});
   f.push_back({"attack", cell.attack_label});
   f.push_back({"scheduler", std::string(sim::to_string(cell.scheduler))});
   f.push_back({"hz", u64(cell.hz.v)});
@@ -103,6 +104,41 @@ std::vector<std::string> run_schema_keys() {
   std::vector<std::string> keys;
   for (Field& f : flatten_run("", cell, 0)) keys.push_back(std::move(f.key));
   return keys;
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (quoted) {
+      if (ch == '"' && i + 1 < line.size() && line[i + 1] == '"') {
+        cur += '"';
+        ++i;
+      } else if (ch == '"') {
+        quoted = false;
+      } else {
+        cur += ch;
+      }
+    } else if (ch == '"') {
+      quoted = true;
+    } else if (ch == ',') {
+      cells.push_back(cur);
+      cur.clear();
+    } else {
+      cur += ch;
+    }
+  }
+  cells.push_back(cur);
+  return cells;
+}
+
+void write_csv_header(std::ostream& os) {
+  const std::vector<std::string> keys = run_schema_keys();
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    os << (i ? "," : "") << csv_escape(keys[i]);
+  os << '\n';
 }
 
 std::string csv_escape(const std::string& s) {
@@ -174,10 +210,7 @@ CsvSink::CsvSink(std::ostream& os) : os_(&os) {}
 
 void CsvSink::write_cell(const std::string& sweep, const core::CellStats& cell) {
   if (!header_written_) {
-    const std::vector<std::string> keys = run_schema_keys();
-    for (std::size_t i = 0; i < keys.size(); ++i)
-      *os_ << (i ? "," : "") << csv_escape(keys[i]);
-    *os_ << '\n';
+    write_csv_header(*os_);
     header_written_ = true;
   }
   for (std::size_t seed_i = 0; seed_i < cell.runs.size(); ++seed_i) {
@@ -197,6 +230,39 @@ JsonlSink::JsonlSink(const std::string& path, OpenMode mode)
 
 JsonlSink::JsonlSink(std::ostream& os) : os_(&os) {}
 
+CellSummary summarize_cell(const std::string& sweep, const core::CellStats& cell) {
+  CellSummary s;
+  s.sweep = sweep;
+  s.cell_index = cell.cell_index;
+  s.attack = cell.attack_label;
+  s.scheduler = sim::to_string(cell.scheduler);
+  s.hz = cell.hz.v;
+  s.workload = cell.runs.empty() ? "" : workloads::short_name(cell.runs.front().kind);
+  s.seeds = cell.runs.size();
+  s.source_ok = cell.all_source_ok();
+  cell.for_each_stat([&](const char* key, const RunningStats& stat, auto) {
+    s.stats.push_back({key, stat});
+  });
+  return s;
+}
+
+void write_cell_record(std::ostream& os, const CellSummary& s) {
+  os << "{\"record\":\"cell\",\"schema\":" << s.schema << ",\"sweep\":\""
+     << json_escape(s.sweep) << "\",\"cell_index\":" << s.cell_index
+     << ",\"attack\":\"" << json_escape(s.attack) << "\",\"scheduler\":\""
+     << json_escape(s.scheduler) << "\",\"hz\":" << s.hz << ",\"workload\":\""
+     << json_escape(s.workload) << "\",\"seeds\":" << s.seeds
+     << ",\"source_ok\":" << (s.source_ok ? "true" : "false");
+  for (const CellStatSummary& st : s.stats) {
+    os << ",\"" << json_escape(st.key) << "\":{\"n\":" << st.stats.count()
+       << ",\"mean\":" << fmt_f64(st.stats.mean())
+       << ",\"stddev\":" << fmt_f64(st.stats.stddev())
+       << ",\"min\":" << fmt_f64(st.stats.min())
+       << ",\"max\":" << fmt_f64(st.stats.max()) << '}';
+  }
+  os << "}\n";
+}
+
 void JsonlSink::write_cell(const std::string& sweep, const core::CellStats& cell) {
   for (std::size_t seed_i = 0; seed_i < cell.runs.size(); ++seed_i) {
     *os_ << "{\"record\":\"run\"";
@@ -206,20 +272,7 @@ void JsonlSink::write_cell(const std::string& sweep, const core::CellStats& cell
   }
 
   // Per-cell aggregate summary — the numbers a figure plots directly.
-  const char* workload =
-      cell.runs.empty() ? "" : workloads::short_name(cell.runs.front().kind);
-  *os_ << "{\"record\":\"cell\",\"schema\":" << kSchemaVersion << ",\"sweep\":\""
-       << json_escape(sweep) << "\",\"attack\":\"" << json_escape(cell.attack_label)
-       << "\",\"scheduler\":\"" << sim::to_string(cell.scheduler)
-       << "\",\"hz\":" << cell.hz.v << ",\"workload\":\"" << workload
-       << "\",\"seeds\":" << cell.runs.size()
-       << ",\"source_ok\":" << (cell.all_source_ok() ? "true" : "false");
-  cell.for_each_stat([&](const char* key, const RunningStats& s, auto) {
-    *os_ << ",\"" << key << "\":{\"n\":" << s.count()
-         << ",\"mean\":" << fmt_f64(s.mean()) << ",\"stddev\":" << fmt_f64(s.stddev())
-         << ",\"min\":" << fmt_f64(s.min()) << ",\"max\":" << fmt_f64(s.max()) << '}';
-  });
-  *os_ << "}\n";
+  write_cell_record(*os_, summarize_cell(sweep, cell));
   os_->flush();
   MTR_ENSURE_MSG(os_->good(), "JSONL sink write failed (disk full or closed?)");
 }

@@ -21,7 +21,9 @@ namespace mtr::report {
 
 /// Version stamped into every record (the `schema` column / key). Bump it
 /// whenever a field is added, removed, renamed, or reordered.
-inline constexpr std::uint64_t kSchemaVersion = 1;
+/// v2: added `cell_index` (invocation-global cell ordinal) to run and cell
+/// records — the merge key for sharded sweeps.
+inline constexpr std::uint64_t kSchemaVersion = 2;
 
 /// One serialized field. The variant arm picks the CSV/JSON rendering:
 /// bools become true/false, doubles render round-trippably (%.17g).
@@ -51,6 +53,40 @@ std::string format_json(const FieldValue& v);
 /// cell contains a comma, quote, or newline.
 std::string csv_escape(const std::string& s);
 std::string json_escape(const std::string& s);
+
+/// Inverse of csv_escape for one line: splits on unquoted commas, undoing
+/// quoting and doubled quotes. Our records never embed newlines, so a line
+/// is always a whole row.
+std::vector<std::string> split_csv_line(const std::string& line);
+
+/// Writes the canonical CSV header row (run_schema_keys, escaped). Shared
+/// by CsvSink and mtr_merge so merged files are byte-identical.
+void write_csv_header(std::ostream& os);
+
+/// The aggregate half of a `record:"cell"` JSONL line, decoupled from
+/// CellStats so mtr_merge can recompute it from parsed run records.
+struct CellStatSummary {
+  std::string key;
+  RunningStats stats;
+};
+struct CellSummary {
+  std::uint64_t schema = kSchemaVersion;
+  std::string sweep;
+  std::uint64_t cell_index = 0;
+  std::string attack;
+  std::string scheduler;
+  std::uint64_t hz = 0;
+  std::string workload;
+  std::uint64_t seeds = 0;
+  bool source_ok = true;
+  std::vector<CellStatSummary> stats;  // CellStats::for_each_stat order
+};
+CellSummary summarize_cell(const std::string& sweep, const core::CellStats& cell);
+
+/// Writes one `record:"cell"` JSONL line. The single emitter behind
+/// JsonlSink and mtr_merge: merged aggregates recomputed from run records
+/// come out byte-identical to the single-machine line.
+void write_cell_record(std::ostream& os, const CellSummary& summary);
 
 /// Streaming consumer of completed sweep cells.
 class ResultSink {

@@ -1,57 +1,9 @@
 #include "report/sweep.hpp"
 
-#include <cstdlib>
-#include <filesystem>
-#include <iostream>
-#include <stdexcept>
-
 #include "common/ensure.hpp"
+#include "sim/simulation.hpp"
 
 namespace mtr::report {
-namespace {
-
-/// Swallows everything; backs SweepContext::out under --quiet.
-class NullBuffer final : public std::streambuf {
- protected:
-  int overflow(int ch) override { return ch; }
-};
-
-std::ostream& null_stream() {
-  static NullBuffer buffer;
-  static std::ostream os(&buffer);
-  return os;
-}
-
-constexpr const char* kUsage =
-    "usage: mtr_sweep [options] [sweep...]\n"
-    "\n"
-    "  --list             list registered sweeps and exit\n"
-    "  --all              run every registered sweep\n"
-    "  --csv PATH         append run records to one shared CSV file\n"
-    "  --jsonl PATH       append run + cell records to one shared JSONL file\n"
-    "  --out-dir DIR      write fresh <sweep>.csv and <sweep>.jsonl per sweep\n"
-    "  --threads N        BatchRunner worker pool (default MTR_BENCH_THREADS)\n"
-    "  --seeds N          replicate seeds per cell (default MTR_BENCH_SEEDS)\n"
-    "  --first-seed S     first replicate seed (default 42)\n"
-    "  --scale X          workload scale (default MTR_BENCH_SCALE)\n"
-    "  --quiet            suppress the ASCII figure rendering\n"
-    "  --no-progress      suppress the stderr progress/ETA lines\n"
-    "  --help             print this message\n"
-    "\n"
-    "env defaults: MTR_BENCH_SCALE, MTR_BENCH_SEEDS, MTR_BENCH_THREADS,\n"
-    "MTR_BENCH_PROGRESS=0 disables progress.\n";
-
-std::vector<std::uint64_t> consecutive_seeds(std::size_t n, std::uint64_t first) {
-  std::vector<std::uint64_t> seeds(n);
-  for (std::size_t i = 0; i < n; ++i) seeds[i] = first + i;
-  return seeds;
-}
-
-[[noreturn]] void bad_usage(const std::string& message) {
-  throw std::runtime_error(message + "\n\n" + kUsage);
-}
-
-}  // namespace
 
 core::CellCallback SweepContext::stream(std::string sweep_name) const {
   MTR_ENSURE(sink != nullptr);
@@ -67,6 +19,60 @@ void SweepContext::begin_progress(const std::string& label,
   if (progress) progress->begin(label, total_cells);
 }
 
+std::vector<core::CellStats> SweepContext::run_grid(
+    const std::string& sweep_name, core::BatchRunner& runner,
+    core::BatchGrid grid) const {
+  MTR_ENSURE_MSG(cell_cursor != nullptr,
+                 "SweepContext::run_grid needs a driver-owned cell counter");
+  const std::size_t n_cells = core::grid_cell_count(grid);
+  const std::size_t base = *cell_cursor;
+  *cell_cursor += n_cells;
+
+  // The gate sees every cell in grid order, so shard ownership and resume
+  // skipping are decided against the same global numbering a
+  // single-machine run would assign.
+  std::vector<char> owned(n_cells, 1);
+  std::size_t n_owned = n_cells;
+  if (gate) {
+    for (std::size_t i = 0; i < n_cells; ++i) {
+      const core::GridCellCoords c = core::grid_cell_coords(grid, i);
+      GridCellInfo info;
+      info.index = base + i;
+      info.sweep = sweep_name;
+      info.attack = c.attack_label;
+      info.scheduler = sim::to_string(c.scheduler);
+      info.hz = c.hz.v;
+      if (!gate(info)) {
+        owned[i] = 0;
+        --n_owned;
+      }
+    }
+  }
+  if (owned_cursor) *owned_cursor += n_owned;
+
+  if (dry_run) {
+    std::ostream& p = plan ? *plan : os();
+    p << sweep_name << ": cells [" << base << "," << base + n_cells << ")";
+    if (n_owned == n_cells) {
+      p << " — runs all " << n_cells << '\n';
+    } else {
+      p << " — runs " << n_owned << "/" << n_cells << ":";
+      for (std::size_t i = 0; i < n_cells; ++i)
+        if (owned[i]) p << ' ' << base + i;
+      p << '\n';
+    }
+    return {};
+  }
+
+  if (progress && n_owned < n_cells) progress->shrink_total(n_cells - n_owned);
+  grid.cell_index_base = base;
+  if (n_owned < n_cells)
+    grid.cell_filter = [owned = std::move(owned)](std::size_t i) {
+      return owned[i] != 0;
+    };
+  return runner.run(grid, stream(sweep_name));
+}
+
 void SweepRegistry::add(SweepSpec spec) {
   MTR_ENSURE_MSG(!spec.name.empty(), "sweep name must not be empty");
   MTR_ENSURE_MSG(spec.run != nullptr, "sweep " << spec.name << " has no body");
@@ -79,153 +85,6 @@ const SweepSpec* SweepRegistry::find(std::string_view name) const {
   for (const SweepSpec& s : specs_)
     if (s.name == name) return &s;
   return nullptr;
-}
-
-SweepOptions default_sweep_options() {
-  SweepOptions o;
-  if (const char* s = std::getenv("MTR_BENCH_SCALE")) {
-    const double v = std::atof(s);
-    if (v > 0.0) o.scale = v;
-  }
-  std::size_t n_seeds = 3;
-  if (const char* s = std::getenv("MTR_BENCH_SEEDS")) {
-    const long v = std::atol(s);
-    if (v > 0) n_seeds = static_cast<std::size_t>(v);
-  }
-  o.seeds = consecutive_seeds(n_seeds, 42);
-  if (const char* s = std::getenv("MTR_BENCH_THREADS")) {
-    const long v = std::atol(s);
-    if (v > 0) o.threads = static_cast<unsigned>(v);
-  }
-  if (const char* s = std::getenv("MTR_BENCH_PROGRESS"))
-    o.progress = std::string_view(s) != "0";
-  return o;
-}
-
-SweepOptions parse_sweep_args(int argc, const char* const* argv) {
-  SweepOptions o = default_sweep_options();
-  std::size_t n_seeds = o.seeds.size();
-  std::uint64_t first_seed = o.seeds.empty() ? 42 : o.seeds.front();
-
-  const auto value = [&](int& i, std::string_view flag) -> std::string {
-    if (i + 1 >= argc) bad_usage(std::string(flag) + " requires a value");
-    return argv[++i];
-  };
-
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg == "--help" || arg == "-h") o.help = true;
-    else if (arg == "--list") o.list = true;
-    else if (arg == "--all") o.all = true;
-    else if (arg == "--quiet") o.quiet = true;
-    else if (arg == "--no-progress") o.progress = false;
-    else if (arg == "--csv") o.csv_path = value(i, arg);
-    else if (arg == "--jsonl") o.jsonl_path = value(i, arg);
-    else if (arg == "--out-dir") o.out_dir = value(i, arg);
-    else if (arg == "--scale") {
-      const double v = std::atof(value(i, arg).c_str());
-      if (v <= 0.0) bad_usage("--scale must be > 0");
-      o.scale = v;
-    } else if (arg == "--seeds") {
-      const long v = std::atol(value(i, arg).c_str());
-      if (v <= 0) bad_usage("--seeds must be >= 1");
-      n_seeds = static_cast<std::size_t>(v);
-    } else if (arg == "--first-seed") {
-      const std::string v = value(i, arg);
-      // strtoull would accept (and negate) a leading '-'; require digits.
-      if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos)
-        bad_usage("--first-seed must be a non-negative integer");
-      first_seed = std::strtoull(v.c_str(), nullptr, 10);
-    } else if (arg == "--threads") {
-      const long v = std::atol(value(i, arg).c_str());
-      if (v <= 0) bad_usage("--threads must be >= 1");
-      o.threads = static_cast<unsigned>(v);
-    } else if (!arg.empty() && arg.front() == '-') {
-      bad_usage("unknown flag: " + std::string(arg));
-    } else {
-      o.sweeps.emplace_back(arg);
-    }
-  }
-  o.seeds = consecutive_seeds(n_seeds, first_seed);
-  return o;
-}
-
-int run_sweeps(const SweepRegistry& registry, const SweepOptions& options,
-               std::ostream& out, std::ostream& err) {
-  if (options.help) {
-    out << kUsage;
-    return 0;
-  }
-  if (options.list) {
-    for (const SweepSpec& s : registry.specs())
-      out << s.name << "  " << s.title << '\n';
-    return 0;
-  }
-
-  std::vector<const SweepSpec*> selected;
-  if (options.all && !options.sweeps.empty()) {
-    err << "mtr_sweep: --all conflicts with naming sweeps — pick one\n";
-    return 2;
-  }
-  if (options.all) {
-    for (const SweepSpec& s : registry.specs()) selected.push_back(&s);
-  } else {
-    for (const std::string& name : options.sweeps) {
-      const SweepSpec* spec = registry.find(name);
-      if (spec == nullptr) {
-        err << "mtr_sweep: unknown sweep '" << name << "' (try --list)\n";
-        return 2;
-      }
-      selected.push_back(spec);
-    }
-  }
-  if (selected.empty()) {
-    err << "mtr_sweep: nothing selected — name sweeps, or pass --all / --list\n";
-    return 2;
-  }
-
-  if (!options.out_dir.empty())
-    std::filesystem::create_directories(options.out_dir);
-
-  NullSink null_sink;
-  ProgressReporter progress(err, options.progress);
-  for (const SweepSpec* spec : selected) {
-    // The shared --csv/--jsonl files are opened in append mode per sweep:
-    // the first writer lays down the CSV header, later ones just extend
-    // the table. --out-dir files are per sweep and start fresh.
-    MultiSink multi;
-    if (!options.csv_path.empty())
-      multi.add(std::make_unique<CsvSink>(options.csv_path, OpenMode::kAppend));
-    if (!options.jsonl_path.empty())
-      multi.add(std::make_unique<JsonlSink>(options.jsonl_path, OpenMode::kAppend));
-    if (!options.out_dir.empty()) {
-      const std::filesystem::path dir(options.out_dir);
-      multi.add(std::make_unique<CsvSink>((dir / (spec->name + ".csv")).string(),
-                                          OpenMode::kTruncate));
-      multi.add(std::make_unique<JsonlSink>(
-          (dir / (spec->name + ".jsonl")).string(), OpenMode::kTruncate));
-    }
-
-    SweepContext ctx;
-    ctx.scale = options.scale;
-    ctx.seeds = options.seeds;
-    ctx.threads = options.threads;
-    ctx.sink = multi.empty() ? static_cast<ResultSink*>(&null_sink) : &multi;
-    ctx.progress = &progress;
-    ctx.out = options.quiet ? &null_stream() : &out;
-    spec->run(ctx);
-    progress.finish();
-  }
-  return 0;
-}
-
-int sweep_main(const SweepRegistry& registry, int argc, const char* const* argv) {
-  try {
-    return run_sweeps(registry, parse_sweep_args(argc, argv), std::cout, std::cerr);
-  } catch (const std::exception& e) {
-    std::cerr << "mtr_sweep: " << e.what() << '\n';
-    return 1;
-  }
 }
 
 }  // namespace mtr::report

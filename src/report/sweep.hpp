@@ -1,10 +1,12 @@
-// The sweep driver: a name -> sweep registry, per-invocation options
-// (flags over MTR_BENCH_* env defaults), and the run loop behind the
-// mtr_sweep CLI. The bench layer registers its figure/table sweeps here;
-// the driver owns sink construction, progress wiring, and selection, so
-// sweep definitions contain experiment logic only.
+// The sweep substrate: a name -> sweep registry and the SweepContext every
+// sweep body runs against (parameters, sinks, progress, and the run_grid
+// entry point that applies cell gating for sharded/resumed sweeps). The
+// bench layer registers its figure/table sweeps here; the CLI driver that
+// builds contexts and owns flag parsing lives in src/dist (dist::sweep_main),
+// so sweep definitions contain experiment logic only.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <ostream>
 #include <string>
@@ -17,6 +19,20 @@
 
 namespace mtr::report {
 
+/// Identity of one grid cell as a gate sees it, before anything runs.
+struct GridCellInfo {
+  std::uint64_t index = 0;  // invocation-global cell index
+  std::string sweep;
+  std::string attack;
+  std::string scheduler;  // sim::to_string form
+  std::uint64_t hz = 0;
+};
+
+/// Decides, in grid order, whether a cell executes. The driver composes
+/// shard ownership and resume skipping into one gate; a gate may throw to
+/// abort the sweep (e.g. resume output that contradicts the grid).
+using CellGate = std::function<bool(const GridCellInfo&)>;
+
 /// Everything a sweep body needs: the sweep parameters, where results
 /// stream, and where human-readable rendering goes.
 struct SweepContext {
@@ -27,7 +43,34 @@ struct SweepContext {
   ProgressReporter* progress = nullptr;  // may be null
   std::ostream* out = nullptr;         // never null; may be a null stream
 
+  /// Invocation-global cell counter, owned by the driver. run_grid claims
+  /// a contiguous index range per grid — across every grid of every
+  /// selected sweep — so records carry a stable merge ordinal.
+  std::size_t* cell_cursor = nullptr;
+  /// Cells the gate admitted so far (driver-owned; may be null).
+  std::size_t* owned_cursor = nullptr;
+  /// Sharding/resume gate; null admits every cell.
+  CellGate gate;
+  /// --dry-run: run_grid prints the cell plan to `plan` and executes
+  /// nothing.
+  bool dry_run = false;
+  /// True when this invocation cannot see the full result set (dry run,
+  /// shard of a larger grid, or resume): sweep bodies skip their ASCII
+  /// figure/table rendering — the sinks plus mtr_merge are the output.
+  bool partial = false;
+  /// Dry-run plan destination; falls back to `out` when null.
+  std::ostream* plan = nullptr;
+
   std::ostream& os() const { return *out; }
+
+  /// Runs one BatchRunner grid on behalf of `sweep_name`: claims the
+  /// grid's global cell-index range, applies the gate (sharding/resume),
+  /// shrinks the progress total by the skipped cells, and streams admitted
+  /// cells through the sink. Returns the executed cells in grid order —
+  /// a subset of the grid when gated, empty under --dry-run.
+  std::vector<core::CellStats> run_grid(const std::string& sweep_name,
+                                        core::BatchRunner& runner,
+                                        core::BatchGrid grid) const;
 
   /// Bundles the sink and the progress reporter into a BatchRunner
   /// per-cell callback; `sweep_name` tags every emitted record.
@@ -55,40 +98,5 @@ class SweepRegistry {
  private:
   std::vector<SweepSpec> specs_;
 };
-
-struct SweepOptions {
-  bool help = false;      // --help: print usage and exit 0
-  bool list = false;      // --list: print the registry and exit
-  bool all = false;       // --all: run every registered sweep
-  bool quiet = false;     // --quiet: suppress the ASCII figure rendering
-  bool progress = true;   // --no-progress / MTR_BENCH_PROGRESS=0
-  std::vector<std::string> sweeps;  // positional sweep names
-
-  std::string csv_path;    // --csv: one shared file, append-safe
-  std::string jsonl_path;  // --jsonl: one shared file, append-safe
-  std::string out_dir;     // --out-dir: fresh <dir>/<sweep>.{csv,jsonl}
-
-  double scale = 0.25;
-  std::vector<std::uint64_t> seeds;
-  unsigned threads = 0;
-};
-
-/// Options with every default resolved from the environment
-/// (MTR_BENCH_SCALE, MTR_BENCH_SEEDS, MTR_BENCH_THREADS,
-/// MTR_BENCH_PROGRESS).
-SweepOptions default_sweep_options();
-
-/// Parses argv on top of default_sweep_options(); throws std::runtime_error
-/// with a usage message on malformed input.
-SweepOptions parse_sweep_args(int argc, const char* const* argv);
-
-/// Runs the selected sweeps: builds the sink stack, wires progress (to
-/// `err`), streams results, renders figures to `out`. Returns a process
-/// exit code (0 ok, 2 usage/selection error).
-int run_sweeps(const SweepRegistry& registry, const SweepOptions& options,
-               std::ostream& out, std::ostream& err);
-
-/// The whole CLI: parse + run + error reporting. `main` forwards here.
-int sweep_main(const SweepRegistry& registry, int argc, const char* const* argv);
 
 }  // namespace mtr::report

@@ -119,6 +119,61 @@ TEST(BatchRunner, SeedsChangeResultsAcrossCells) {
             cells[1].first_run().true_cycles.total().v);
 }
 
+TEST(BatchRunner, GridGeometryHelpersMatchRunOrder) {
+  const BatchGrid g = small_grid();
+  EXPECT_EQ(grid_cell_count(g), 4u);
+  const auto cells = BatchRunner(2).run(g);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const GridCellCoords c = grid_cell_coords(g, i);
+    EXPECT_EQ(c.attack_label, cells[i].attack_label);
+    EXPECT_EQ(c.scheduler, cells[i].scheduler);
+    EXPECT_EQ(c.hz, cells[i].hz);
+  }
+  // Empty dimensions default exactly like normalized_grid.
+  BatchGrid empty;
+  empty.base = test::quick_experiment(workloads::WorkloadKind::kOurs);
+  EXPECT_EQ(grid_cell_count(empty), 1u);
+  EXPECT_EQ(grid_cell_coords(empty, 0).attack_label, "baseline");
+  EXPECT_EQ(grid_cell_coords(empty, 0).scheduler, empty.base.sim.scheduler);
+}
+
+TEST(BatchRunner, CellFilterRunsSubsetWithFullGridIdentity) {
+  BatchGrid g = small_grid();
+  g.cell_index_base = 100;
+  const auto all = BatchRunner(2).run(g);
+  ASSERT_EQ(all.size(), 4u);
+  for (std::size_t i = 0; i < all.size(); ++i)
+    EXPECT_EQ(all[i].cell_index, 100 + i);
+
+  // A shard-like filter (odd cells only): the surviving cells must be
+  // byte-for-byte the same as their full-run counterparts.
+  g.cell_filter = [](std::size_t cell) { return cell % 2 == 1; };
+  std::vector<std::size_t> emitted;
+  const auto odd = BatchRunner(2).run(g, [&](const CellEvent& ev) {
+    EXPECT_EQ(ev.total, 4u);  // index/total describe the full grid
+    emitted.push_back(ev.index);
+  });
+  ASSERT_EQ(odd.size(), 2u);
+  EXPECT_EQ(emitted, (std::vector<std::size_t>{1, 3}));
+  for (std::size_t i = 0; i < odd.size(); ++i) {
+    const CellStats& a = all[2 * i + 1];
+    const CellStats& b = odd[i];
+    EXPECT_EQ(a.attack_label, b.attack_label);
+    EXPECT_EQ(a.scheduler, b.scheduler);
+    EXPECT_EQ(a.cell_index, b.cell_index);
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (std::size_t j = 0; j < a.runs.size(); ++j) {
+      EXPECT_EQ(a.runs[j].billed_ticks.total().v, b.runs[j].billed_ticks.total().v);
+      EXPECT_EQ(a.runs[j].true_cycles.total().v, b.runs[j].true_cycles.total().v);
+      EXPECT_EQ(a.runs[j].overcharge, b.runs[j].overcharge);
+    }
+  }
+
+  // Filtering everything out runs nothing and returns nothing.
+  g.cell_filter = [](std::size_t) { return false; };
+  EXPECT_TRUE(BatchRunner(2).run(g).empty());
+}
+
 TEST(BatchRunner, WorkerExceptionPropagates) {
   BatchGrid g;
   g.base = test::quick_experiment(workloads::WorkloadKind::kOurs);

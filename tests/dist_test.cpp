@@ -1,0 +1,668 @@
+// Distributed-sweep coverage: shard spec parsing and partition laws, the
+// driver CLI (strict flag parsing, selection errors, sink plumbing,
+// dry-run planning), resume edge cases (partial cell re-run, seed/schema
+// mismatches), and mtr_merge (duplicate/conflicting cells, gaps, missing
+// and incomplete shards, byte-identity of shard+resume runs against a
+// single-process run).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "dist/driver.hpp"
+#include "dist/merge.hpp"
+#include "dist/records.hpp"
+#include "dist/resume.hpp"
+#include "dist/shard.hpp"
+#include "helpers.hpp"
+#include "report/result_sink.hpp"
+
+namespace mtr::dist {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  for (std::string line; std::getline(is, line);) lines.push_back(line);
+  return lines;
+}
+
+/// Rewrites `path` to its first `n` lines (newline-terminated) — the shape
+/// a kill between cell flushes leaves behind.
+void keep_lines(const std::string& path, std::size_t n) {
+  const auto lines = lines_of(read_file(path));
+  ASSERT_GE(lines.size(), n);
+  std::string out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out += lines[i];
+    out += '\n';
+  }
+  write_file(path, out);
+}
+
+/// A registry with one real-experiment sweep: a 4-attack x 1 x 1 grid over
+/// the context seeds. Every experiment bumps `runs` via its attack
+/// factory, so tests can count exactly what executed (the factories return
+/// nullptr — the runs stay baseline-cheap).
+report::SweepRegistry counting_registry(std::atomic<int>* runs) {
+  report::SweepRegistry registry;
+  registry.add(
+      {"grid", "counting 4-cell grid", [runs](const report::SweepContext& ctx) {
+         core::BatchGrid grid;
+         grid.base = test::quick_experiment(workloads::WorkloadKind::kOurs,
+                                            ctx.scale);
+         grid.seeds = ctx.seeds;
+         for (int a = 0; a < 4; ++a) {
+           // Append, not `"a" + ...`: GCC 12 -Wrestrict false-positives on
+           // the operator+ chain.
+           std::string label = "a";
+           label += std::to_string(a);
+           grid.attacks.push_back(
+               {std::move(label),
+                [runs]() -> std::unique_ptr<attacks::Attack> {
+                  ++*runs;
+                  return nullptr;
+                }});
+         }
+         core::BatchRunner runner(ctx.threads);
+         ctx.begin_progress("grid", 4);
+         ctx.run_grid("grid", runner, std::move(grid));
+       }});
+  return registry;
+}
+
+SweepOptions grid_options(const std::string& out_dir) {
+  SweepOptions o;
+  o.sweeps = {"grid"};
+  o.out_dir = out_dir;
+  o.scale = 0.02;
+  o.seeds = {7, 8};
+  o.threads = 2;
+  o.progress = false;
+  o.quiet = true;
+  return o;
+}
+
+/// A synthetic cell (no simulation) for sink-level shard/resume fixtures.
+core::CellStats synth_cell(std::uint64_t index,
+                           const std::vector<std::uint64_t>& seeds) {
+  core::CellStats cell;
+  cell.attack_label = "a" + std::to_string(index);
+  cell.scheduler = sim::SchedulerKind::kO1;
+  cell.hz = TimerHz{250};
+  cell.cell_index = index;
+  cell.seeds = seeds;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    core::ExperimentResult r;
+    r.wall_seconds = 1.0 + static_cast<double>(index) + 0.125 * static_cast<double>(i);
+    r.overcharge = 1.0 / (3.0 + static_cast<double>(index + i));
+    r.billed_seconds = 2.5 + static_cast<double>(i);
+    r.true_seconds = 2.375;
+    cell.runs.push_back(r);
+    cell.for_each_stat(
+        [&](const char*, RunningStats& stat, auto get) { stat.add(get(r)); });
+  }
+  return cell;
+}
+
+/// Writes cells (by index) into one JSONL file via the real sink.
+void write_shard_jsonl(const std::string& path,
+                       const std::vector<std::uint64_t>& cell_indices) {
+  report::JsonlSink sink(path);
+  for (const std::uint64_t i : cell_indices)
+    sink.write_cell("grid", synth_cell(i, {7, 8}));
+}
+
+TEST(ShardSpecTest, ParsesAndPartitionsDeterministically) {
+  const ShardSpec s = parse_shard_spec("1/3");
+  EXPECT_EQ(s.index, 1u);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_TRUE(s.sharded());
+  EXPECT_EQ(to_string(s), "1/3");
+  EXPECT_FALSE(ShardSpec{}.sharded());
+
+  // Every cell belongs to exactly one shard.
+  const ShardSpec shards[3] = {parse_shard_spec("0/3"), parse_shard_spec("1/3"),
+                               parse_shard_spec("2/3")};
+  for (std::uint64_t cell = 0; cell < 50; ++cell) {
+    int owners = 0;
+    for (const ShardSpec& shard : shards) owners += shard.owns(cell) ? 1 : 0;
+    EXPECT_EQ(owners, 1) << "cell " << cell;
+  }
+
+  for (const char* bad : {"3/3", "4/3", "x/3", "1/x", "1/0", "1", "/3", "1/",
+                          "-1/3", "1/3x", ""})
+    EXPECT_THROW(parse_shard_spec(bad), std::runtime_error) << bad;
+}
+
+TEST(SweepArgsTest, ParsesFlagsOverEnvDefaults) {
+  const char* argv[] = {"mtr_sweep", "fig04",         "tab_countermeasures",
+                        "--scale",   "0.5",           "--seeds",
+                        "4",         "--first-seed",  "100",
+                        "--threads", "3",             "--quiet",
+                        "--no-progress", "--out-dir", "/tmp/x",
+                        "--shard",   "1/4",           "--resume",
+                        "--dry-run"};
+  const SweepOptions o = parse_sweep_args(static_cast<int>(std::size(argv)), argv);
+  EXPECT_EQ(o.sweeps, (std::vector<std::string>{"fig04", "tab_countermeasures"}));
+  EXPECT_DOUBLE_EQ(o.scale, 0.5);
+  EXPECT_EQ(o.seeds, (std::vector<std::uint64_t>{100, 101, 102, 103}));
+  EXPECT_EQ(o.threads, 3u);
+  EXPECT_TRUE(o.quiet);
+  EXPECT_FALSE(o.progress);
+  EXPECT_EQ(o.out_dir, "/tmp/x");
+  EXPECT_EQ(o.shard.index, 1u);
+  EXPECT_EQ(o.shard.count, 4u);
+  EXPECT_TRUE(o.resume);
+  EXPECT_TRUE(o.dry_run);
+  EXPECT_FALSE(o.list);
+
+  const char* bad[] = {"mtr_sweep", "--bogus"};
+  EXPECT_THROW(parse_sweep_args(2, bad), std::runtime_error);
+}
+
+TEST(SweepArgsTest, RejectsTrailingGarbageInNumericFlags) {
+  const auto throws = [](std::vector<const char*> args) {
+    args.insert(args.begin(), "mtr_sweep");
+    EXPECT_THROW(
+        parse_sweep_args(static_cast<int>(args.size()), args.data()),
+        std::runtime_error)
+        << args[1] << " " << args[2];
+  };
+  throws({"--scale", "2x"});
+  throws({"--scale", "nan(2)x"});
+  throws({"--threads", "8q"});
+  throws({"--seeds", "3.5"});
+  throws({"--shard", "1of3"});
+
+  // The plain forms still parse.
+  const char* ok[] = {"mtr_sweep", "--scale", "2.5", "--threads", "8",
+                      "--seeds", "3"};
+  const SweepOptions o = parse_sweep_args(static_cast<int>(std::size(ok)), ok);
+  EXPECT_DOUBLE_EQ(o.scale, 2.5);
+  EXPECT_EQ(o.threads, 8u);
+  EXPECT_EQ(o.seeds.size(), 3u);
+}
+
+TEST(SweepDriverTest, ListAndUnknownSelection) {
+  std::atomic<int> runs{0};
+  const report::SweepRegistry registry = counting_registry(&runs);
+
+  SweepOptions list_opts;
+  list_opts.list = true;
+  std::ostringstream out, err;
+  EXPECT_EQ(run_sweeps(registry, list_opts, out, err), 0);
+  EXPECT_NE(out.str().find("grid  counting 4-cell grid"), std::string::npos);
+
+  SweepOptions unknown;
+  unknown.sweeps = {"fig99"};
+  EXPECT_EQ(run_sweeps(registry, unknown, out, err), 2);
+  EXPECT_NE(err.str().find("fig99"), std::string::npos);
+
+  SweepOptions nothing;
+  EXPECT_EQ(run_sweeps(registry, nothing, out, err), 2);
+
+  SweepOptions conflicting;
+  conflicting.all = true;
+  conflicting.sweeps = {"grid"};
+  EXPECT_EQ(run_sweeps(registry, conflicting, out, err), 2);
+  EXPECT_NE(err.str().find("--all conflicts"), std::string::npos);
+
+  SweepOptions resume_without_output;
+  resume_without_output.sweeps = {"grid"};
+  resume_without_output.resume = true;
+  EXPECT_EQ(run_sweeps(registry, resume_without_output, out, err), 2);
+  EXPECT_NE(err.str().find("--resume needs output"), std::string::npos);
+  EXPECT_EQ(runs.load(), 0);
+}
+
+TEST(SweepDriverTest, RunsGridAndCreatesSinkParentDirs) {
+  std::atomic<int> runs{0};
+  const report::SweepRegistry registry = counting_registry(&runs);
+
+  const std::string root = temp_path("dist_driver_parents");
+  std::filesystem::remove_all(root);
+  SweepOptions opts = grid_options("");
+  opts.csv_path = root + "/deep/nested/all.csv";
+  opts.jsonl_path = root + "/deep/nested/all.jsonl";
+
+  std::ostringstream out, err;
+  EXPECT_EQ(run_sweeps(registry, opts, out, err), 0);
+  EXPECT_EQ(runs.load(), 8);  // 4 cells x 2 seeds
+  EXPECT_TRUE(std::filesystem::exists(opts.csv_path));
+  EXPECT_TRUE(std::filesystem::exists(opts.jsonl_path));
+  EXPECT_EQ(lines_of(read_file(opts.csv_path)).size(), 1u + 8u);
+  EXPECT_EQ(lines_of(read_file(opts.jsonl_path)).size(), 8u + 4u);
+  std::filesystem::remove_all(root);
+}
+
+TEST(SweepDriverTest, DryRunPlansWithoutExecuting) {
+  std::atomic<int> runs{0};
+  const report::SweepRegistry registry = counting_registry(&runs);
+
+  const std::string dir = temp_path("dist_dry_run_out");
+  std::filesystem::remove_all(dir);
+  SweepOptions opts = grid_options(dir);
+  opts.dry_run = true;
+
+  std::ostringstream out, err;
+  EXPECT_EQ(run_sweeps(registry, opts, out, err), 0);
+  EXPECT_EQ(runs.load(), 0);
+  EXPECT_FALSE(std::filesystem::exists(dir));  // no sinks under --dry-run
+  EXPECT_NE(out.str().find("grid: cells [0,4) — runs all 4"), std::string::npos);
+  EXPECT_NE(out.str().find("dry run: 1 sweep(s), 4 cell(s)"), std::string::npos);
+
+  // Sharded plan lists the owned global indices.
+  opts.shard = parse_shard_spec("1/2");
+  std::ostringstream out2;
+  EXPECT_EQ(run_sweeps(registry, opts, out2, err), 0);
+  EXPECT_EQ(runs.load(), 0);
+  EXPECT_NE(out2.str().find("grid: cells [0,4) — runs 2/4: 1 3"),
+            std::string::npos);
+  EXPECT_NE(out2.str().find("shard 1/2 runs 2"), std::string::npos);
+}
+
+TEST(ShardMergeTest, MergedShardsAreByteIdenticalToSingleRun) {
+  std::atomic<int> runs{0};
+  const report::SweepRegistry registry = counting_registry(&runs);
+  const std::string root = temp_path("dist_shard_merge");
+  std::filesystem::remove_all(root);
+
+  std::ostringstream out, err;
+  ASSERT_EQ(run_sweeps(registry, grid_options(root + "/ref"), out, err), 0);
+  EXPECT_EQ(runs.load(), 8);
+
+  // 4 cells round-robin over 3 shards: {0,3}, {1}, {2}.
+  MergeOptions merge;
+  merge.csv_out = root + "/merged/grid.csv";
+  merge.jsonl_out = root + "/merged/grid.jsonl";
+  runs = 0;
+  for (int shard = 0; shard < 3; ++shard) {
+    SweepOptions opts = grid_options(root + "/shard" + std::to_string(shard));
+    opts.shard = parse_shard_spec(std::to_string(shard) + "/3");
+    ASSERT_EQ(run_sweeps(registry, opts, out, err), 0);
+    merge.csv_in.push_back(opts.out_dir + "/grid.csv");
+    merge.jsonl_in.push_back(opts.out_dir + "/grid.jsonl");
+  }
+  EXPECT_EQ(runs.load(), 8);  // every cell ran on exactly one shard
+
+  std::ostringstream merge_out, merge_err;
+  ASSERT_EQ(run_merge(merge, merge_out, merge_err), 0) << merge_err.str();
+  EXPECT_EQ(read_file(merge.csv_out), read_file(root + "/ref/grid.csv"));
+  EXPECT_EQ(read_file(merge.jsonl_out), read_file(root + "/ref/grid.jsonl"));
+  std::filesystem::remove_all(root);
+}
+
+TEST(ResumeTest, PartialCellIsRerunAndBytesMatchUninterruptedRun) {
+  std::atomic<int> runs{0};
+  const report::SweepRegistry registry = counting_registry(&runs);
+  const std::string dir = temp_path("dist_resume_out");
+  std::filesystem::remove_all(dir);
+
+  std::ostringstream out, err;
+  ASSERT_EQ(run_sweeps(registry, grid_options(dir), out, err), 0);
+  EXPECT_EQ(runs.load(), 8);
+  const std::string ref_csv = read_file(dir + "/grid.csv");
+  const std::string ref_jsonl = read_file(dir + "/grid.jsonl");
+
+  // Simulate a kill inside cell 1: the JSONL keeps cell 0's block (3
+  // lines) plus one orphan run line; the CSV keeps the header, cell 0's
+  // two rows, and one row of cell 1.
+  keep_lines(dir + "/grid.jsonl", 4);
+  keep_lines(dir + "/grid.csv", 4);
+
+  runs = 0;
+  SweepOptions opts = grid_options(dir);
+  opts.resume = true;
+  std::ostringstream err2;
+  ASSERT_EQ(run_sweeps(registry, opts, out, err2), 0);
+  // Cell 0 is skipped; the partially-written cell 1 reruns in full.
+  EXPECT_EQ(runs.load(), 6);
+  EXPECT_NE(err2.str().find("1 cell(s) already complete"), std::string::npos);
+  EXPECT_EQ(read_file(dir + "/grid.csv"), ref_csv);
+  EXPECT_EQ(read_file(dir + "/grid.jsonl"), ref_jsonl);
+
+  // Resuming a finished sweep runs nothing and changes nothing.
+  runs = 0;
+  ASSERT_EQ(run_sweeps(registry, opts, out, err), 0);
+  EXPECT_EQ(runs.load(), 0);
+  EXPECT_EQ(read_file(dir + "/grid.csv"), ref_csv);
+  EXPECT_EQ(read_file(dir + "/grid.jsonl"), ref_jsonl);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResumeTest, SeedMismatchIsRejected) {
+  const std::string path = temp_path("dist_resume_seeds.jsonl");
+  write_shard_jsonl(path, {0});
+  EXPECT_THROW(ResumeIndex::scan("", path, {7, 8, 9}), std::runtime_error);
+  EXPECT_THROW(ResumeIndex::scan("", path, {8, 9}), std::runtime_error);
+  EXPECT_NO_THROW(ResumeIndex::scan("", path, {7, 8}));
+  std::filesystem::remove(path);
+}
+
+TEST(ResumeTest, CoordinateMismatchIsRejected) {
+  const std::string path = temp_path("dist_resume_coords.jsonl");
+  write_shard_jsonl(path, {0});
+  const ResumeIndex index = ResumeIndex::scan("", path, {7, 8});
+  ASSERT_EQ(index.size(), 1u);
+
+  report::GridCellInfo match;
+  match.index = 0;
+  match.sweep = "grid";
+  match.attack = "a0";
+  match.scheduler = "o1";
+  match.hz = 250;
+  EXPECT_TRUE(index.completed(match));
+
+  report::GridCellInfo absent = match;
+  absent.index = 7;
+  EXPECT_FALSE(index.completed(absent));
+
+  // Same index, different grid: resuming into foreign output must abort,
+  // not silently skip.
+  report::GridCellInfo conflicting = match;
+  conflicting.attack = "something else";
+  EXPECT_THROW(index.completed(conflicting), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(ResumeTest, MissingCounterpartFileIsRejected) {
+  const std::string jsonl = temp_path("dist_resume_missing.jsonl");
+  const std::string csv = temp_path("dist_resume_missing.csv");
+  std::filesystem::remove(csv);
+  write_shard_jsonl(jsonl, {0});
+  // Skipping cells recorded only in the JSONL would leave the (fresh) CSV
+  // without them — refuse rather than emit a silently incomplete file.
+  EXPECT_THROW(ResumeIndex::scan(csv, jsonl, {7, 8}), std::runtime_error);
+  // With nothing complete anywhere, a missing counterpart is just a fresh
+  // start.
+  write_file(jsonl, "");
+  EXPECT_EQ(ResumeIndex::scan(csv, jsonl, {7, 8}).size(), 0u);
+  std::filesystem::remove(jsonl);
+}
+
+TEST(ResumeTest, CorruptJsonlRollsTheCsvBackToo) {
+  const std::string csv = temp_path("dist_resume_corrupt.csv");
+  const std::string jsonl = temp_path("dist_resume_corrupt.jsonl");
+  {
+    report::CsvSink sink(csv);
+    sink.write_cell("grid", synth_cell(0, {7, 8}));
+    sink.write_cell("grid", synth_cell(1, {7, 8}));
+  }
+  write_file(jsonl, "garbage, not a record\n");
+
+  // The files agree on zero complete cells, so nothing is skippable and
+  // the CSV must roll back to its header — otherwise the re-run cells
+  // would append duplicate rows.
+  const ResumeIndex index = ResumeIndex::scan(csv, jsonl, {7, 8});
+  EXPECT_EQ(index.size(), 0u);
+  index.truncate_files();
+  const auto lines = lines_of(read_file(csv));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(report::split_csv_line(lines[0]), report::run_schema_keys());
+  EXPECT_EQ(read_file(jsonl), "");
+  std::filesystem::remove(csv);
+  std::filesystem::remove(jsonl);
+}
+
+TEST(SweepArgsTest, EnvDefaultsAreStrictToo) {
+  ASSERT_EQ(setenv("MTR_BENCH_SEEDS", "2x", 1), 0);
+  EXPECT_THROW(default_sweep_options(), std::runtime_error);
+  ASSERT_EQ(setenv("MTR_BENCH_SEEDS", "4", 1), 0);
+  EXPECT_EQ(default_sweep_options().seeds.size(), 4u);
+  ASSERT_EQ(setenv("MTR_BENCH_SEEDS", "", 1), 0);  // empty = unset
+  EXPECT_EQ(default_sweep_options().seeds.size(), 3u);
+  ASSERT_EQ(unsetenv("MTR_BENCH_SEEDS"), 0);
+
+  ASSERT_EQ(setenv("MTR_BENCH_SCALE", "abc", 1), 0);
+  EXPECT_THROW(default_sweep_options(), std::runtime_error);
+  ASSERT_EQ(unsetenv("MTR_BENCH_SCALE"), 0);
+
+  ASSERT_EQ(setenv("MTR_BENCH_THREADS", "8q", 1), 0);
+  EXPECT_THROW(default_sweep_options(), std::runtime_error);
+  ASSERT_EQ(unsetenv("MTR_BENCH_THREADS"), 0);
+}
+
+TEST(RecordsTest, MixedSchemaVersionsAreRejected) {
+  const std::string path = temp_path("dist_schema.jsonl");
+  write_file(path,
+             "{\"record\":\"run\",\"schema\":1,\"sweep\":\"grid\","
+             "\"cell_index\":0,\"attack\":\"a0\",\"scheduler\":\"o1\","
+             "\"hz\":250,\"seed\":7,\"seed_index\":0}\n");
+  EXPECT_THROW(scan_jsonl(path), std::runtime_error);
+  EXPECT_THROW(ResumeIndex::scan("", path, {7, 8}), std::runtime_error);
+  EXPECT_THROW(merge_jsonl({path}), std::runtime_error);
+
+  // A stale CSV header (schema v1 had no cell_index column) is rejected
+  // before any row parses.
+  const std::string csv = temp_path("dist_schema.csv");
+  write_file(csv, "schema,sweep,attack\n1,grid,a0\n");
+  EXPECT_THROW(scan_csv(csv), std::runtime_error);
+  std::filesystem::remove(path);
+  std::filesystem::remove(csv);
+}
+
+TEST(RecordsTest, ScanRecoversCompletePrefixFromKilledFile) {
+  const std::string path = temp_path("dist_tail.jsonl");
+  write_shard_jsonl(path, {0, 1});
+  const std::string full = read_file(path);
+
+  // Drop the final cell-summary line: cell 1 becomes a dangling tail.
+  keep_lines(path, 5);
+  FileScan scan = scan_jsonl(path);
+  EXPECT_FALSE(scan.clean);
+  ASSERT_EQ(scan.blocks.size(), 1u);
+  EXPECT_EQ(scan.blocks[0].cell_index, 0u);
+  EXPECT_TRUE(scan.blocks[0].closed);
+  // The valid prefix ends exactly where cell 0's block ends.
+  const auto lines = lines_of(full);
+  std::size_t block0_bytes = 0;
+  for (std::size_t i = 0; i < 3; ++i) block0_bytes += lines[i].size() + 1;
+  EXPECT_EQ(scan.valid_bytes, block0_bytes);
+
+  // A truncated final line (kill mid-write) is tail garbage, not data.
+  write_file(path, full.substr(0, full.size() - 10));
+  scan = scan_jsonl(path);
+  EXPECT_FALSE(scan.clean);
+  EXPECT_EQ(scan.blocks.size(), 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(MergeTest, SyntheticShardsMergeByteIdentically) {
+  const std::string root = temp_path("dist_merge_synth");
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+  write_shard_jsonl(root + "/all.jsonl", {0, 1, 2, 3});
+  write_shard_jsonl(root + "/s0.jsonl", {0, 2});
+  write_shard_jsonl(root + "/s1.jsonl", {1, 3});
+
+  // Input order must not matter: cells come back in cell_index order.
+  const std::string merged =
+      merge_jsonl({root + "/s1.jsonl", root + "/s0.jsonl"});
+  EXPECT_EQ(merged, read_file(root + "/all.jsonl"));
+  std::filesystem::remove_all(root);
+}
+
+TEST(MergeTest, DuplicateCellsAreReportedWithCoordinates) {
+  const std::string root = temp_path("dist_merge_dup");
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+  write_shard_jsonl(root + "/s0.jsonl", {0, 1});
+  write_shard_jsonl(root + "/s1.jsonl", {1, 2});
+  try {
+    merge_jsonl({root + "/s0.jsonl", root + "/s1.jsonl"});
+    FAIL() << "expected duplicate-cell error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate cell 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("attack=a1"), std::string::npos) << what;
+    EXPECT_NE(what.find("s0.jsonl"), std::string::npos) << what;
+    EXPECT_NE(what.find("s1.jsonl"), std::string::npos) << what;
+  }
+  std::filesystem::remove_all(root);
+}
+
+TEST(MergeTest, GapsMissingEmptyAndIncompleteInputsFail) {
+  const std::string root = temp_path("dist_merge_bad");
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+
+  // Gap: shards 0 and 2 of 3 merged without shard 1's output.
+  write_shard_jsonl(root + "/s0.jsonl", {0, 3});
+  write_shard_jsonl(root + "/s2.jsonl", {2});
+  try {
+    merge_jsonl({root + "/s0.jsonl", root + "/s2.jsonl"});
+    FAIL() << "expected gap error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("missing cell(s) 1"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // Missing files fail; merging nothing but empty files fails.
+  EXPECT_THROW(merge_jsonl({root + "/nope.jsonl"}), std::runtime_error);
+  write_file(root + "/empty.jsonl", "");
+  try {
+    merge_jsonl({root + "/empty.jsonl"});
+    FAIL() << "expected empty-input error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("no complete cells"), std::string::npos)
+        << e.what();
+  }
+
+  // But an empty file next to real shards is fine: a shard can own zero
+  // cells of a small sweep.
+  write_shard_jsonl(root + "/full.jsonl", {0, 1});
+  EXPECT_EQ(merge_jsonl({root + "/full.jsonl", root + "/empty.jsonl"}),
+            read_file(root + "/full.jsonl"));
+
+  // A killed shard (runs without their summary) must be resumed, not
+  // merged.
+  write_shard_jsonl(root + "/killed.jsonl", {0, 1});
+  keep_lines(root + "/killed.jsonl", 5);
+  try {
+    merge_jsonl({root + "/killed.jsonl"});
+    FAIL() << "expected incomplete-shard error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("--resume"), std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove_all(root);
+}
+
+TEST(MergeTest, CsvOnlyMergeRejectsShortFinalBlock) {
+  // Every file's only block is open (EOF cannot prove a CSV cell done), so
+  // the merge falls back to the largest block as the seed-count reference
+  // — a killed single-cell shard must still be rejected.
+  const std::string root = temp_path("dist_merge_csv_short");
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+  {
+    report::CsvSink full(root + "/s0.csv");
+    full.write_cell("grid", synth_cell(0, {7, 8}));
+    report::CsvSink killed(root + "/s1.csv");
+    killed.write_cell("grid", synth_cell(1, {7}));  // 1 of 2 seed rows
+  }
+  try {
+    merge_csv({root + "/s0.csv", root + "/s1.csv"});
+    FAIL() << "expected incomplete-cell error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("--resume"), std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove_all(root);
+}
+
+TEST(ResumeTest, CsvOnlyResumeDistinguishesPartialTailFromSeedMismatch) {
+  const std::string path = temp_path("dist_resume_csv.csv");
+  {
+    report::CsvSink sink(path);
+    sink.write_cell("grid", synth_cell(0, {7, 8}));
+  }
+  // A strict prefix of the expected seed run is a kill artifact: re-run it.
+  EXPECT_EQ(ResumeIndex::scan(path, "", {7, 8, 9}).size(), 0u);
+  // A complete or contradictory seed set is not — it must throw, not be
+  // silently truncated away.
+  EXPECT_THROW(ResumeIndex::scan(path, "", {8, 9}), std::runtime_error);
+  EXPECT_THROW(ResumeIndex::scan(path, "", {9, 10, 11}), std::runtime_error);
+  EXPECT_EQ(ResumeIndex::scan(path, "", {7, 8}).size(), 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(MergeTest, CorruptAggregateIsDetected) {
+  const std::string root = temp_path("dist_merge_corrupt");
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+  write_shard_jsonl(root + "/s.jsonl", {0});
+
+  // Tamper with a stat inside a run record: the recomputed cell aggregate
+  // no longer matches the recorded summary.
+  std::string bytes = read_file(root + "/s.jsonl");
+  const std::size_t at = bytes.find("\"wall_seconds\":1");
+  ASSERT_NE(at, std::string::npos);
+  bytes.replace(at, 16, "\"wall_seconds\":9");
+  write_file(root + "/s.jsonl", bytes);
+  try {
+    merge_jsonl({root + "/s.jsonl"});
+    FAIL() << "expected aggregate-mismatch error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("recomputed aggregate"),
+              std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove_all(root);
+}
+
+TEST(MergeArgsTest, ClassifiesInputsAndValidatesCombinations) {
+  const char* argv[] = {"mtr_merge", "--csv",  "out.csv", "--jsonl",
+                        "out.jsonl", "a.csv",  "b.jsonl", "c.csv"};
+  const MergeOptions o = parse_merge_args(static_cast<int>(std::size(argv)), argv);
+  EXPECT_EQ(o.csv_out, "out.csv");
+  EXPECT_EQ(o.jsonl_out, "out.jsonl");
+  EXPECT_EQ(o.csv_in, (std::vector<std::string>{"a.csv", "c.csv"}));
+  EXPECT_EQ(o.jsonl_in, (std::vector<std::string>{"b.jsonl"}));
+
+  const char* bad_ext[] = {"mtr_merge", "--csv", "out.csv", "a.parquet"};
+  EXPECT_THROW(parse_merge_args(4, bad_ext), std::runtime_error);
+
+  std::ostringstream out, err;
+  MergeOptions no_output;
+  no_output.csv_in = {"a.csv"};
+  EXPECT_EQ(run_merge(no_output, out, err), 2);
+
+  MergeOptions no_inputs;
+  no_inputs.csv_out = "out.csv";
+  EXPECT_EQ(run_merge(no_inputs, out, err), 2);
+
+  MergeOptions orphan_inputs;
+  orphan_inputs.jsonl_out = "out.jsonl";
+  orphan_inputs.jsonl_in = {"a.jsonl"};
+  orphan_inputs.csv_in = {"a.csv"};  // .csv inputs but no --csv
+  EXPECT_EQ(run_merge(orphan_inputs, out, err), 2);
+
+  MergeOptions help;
+  help.help = true;
+  EXPECT_EQ(run_merge(help, out, err), 0);
+  EXPECT_NE(out.str().find("usage: mtr_merge"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mtr::dist

@@ -1,6 +1,7 @@
 // Report-layer coverage: sink round-trips (every ExperimentResult field
 // survives CSV and JSONL serialization), append safety, MultiSink fan-out,
-// the sweep registry/driver, and the progress reporter.
+// the shared cell-record emitter, the sweep registry, and the progress
+// reporter. The CLI driver moved to src/dist and is covered by dist_test.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -24,6 +25,7 @@ core::CellStats sample_cell() {
   cell.attack_label = "shell, \"quoted\"";  // exercises CSV/JSON escaping
   cell.scheduler = sim::SchedulerKind::kCfs;
   cell.hz = TimerHz{1000};
+  cell.cell_index = 5;
   cell.seeds = {7, 8};
   for (std::uint64_t i = 0; i < 2; ++i) {
     core::ExperimentResult r;
@@ -65,37 +67,6 @@ core::CellStats sample_cell() {
         [&](const char*, RunningStats& stat, auto get) { stat.add(get(r)); });
   }
   return cell;
-}
-
-/// Splits one RFC-4180 CSV line into cells (handles quoted cells with
-/// embedded commas/quotes; our records never embed newlines in practice,
-/// and the tests don't feed any).
-std::vector<std::string> split_csv(const std::string& line) {
-  std::vector<std::string> cells;
-  std::string cur;
-  bool quoted = false;
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    const char ch = line[i];
-    if (quoted) {
-      if (ch == '"' && i + 1 < line.size() && line[i + 1] == '"') {
-        cur += '"';
-        ++i;
-      } else if (ch == '"') {
-        quoted = false;
-      } else {
-        cur += ch;
-      }
-    } else if (ch == '"') {
-      quoted = true;
-    } else if (ch == ',') {
-      cells.push_back(cur);
-      cur.clear();
-    } else {
-      cur += ch;
-    }
-  }
-  cells.push_back(cur);
-  return cells;
 }
 
 std::vector<std::string> lines_of(const std::string& text) {
@@ -151,11 +122,11 @@ TEST(CsvSinkTest, RoundTripsEveryField) {
 
   const auto lines = lines_of(os.str());
   ASSERT_EQ(lines.size(), 3u);  // header + 2 runs
-  const auto header = split_csv(lines[0]);
+  const auto header = split_csv_line(lines[0]);
   ASSERT_EQ(header, run_schema_keys());
 
   for (std::size_t seed_i = 0; seed_i < 2; ++seed_i) {
-    const auto row = split_csv(lines[1 + seed_i]);
+    const auto row = split_csv_line(lines[1 + seed_i]);
     ASSERT_EQ(row.size(), header.size());
     const auto fields = flatten_run("fig04", cell, seed_i);
     ASSERT_EQ(fields.size(), row.size());
@@ -178,7 +149,7 @@ TEST(CsvSinkTest, RoundTripsEveryField) {
   }
 
   // Spot-check load-bearing cells against the source struct directly.
-  const auto row0 = split_csv(lines[1]);
+  const auto row0 = split_csv_line(lines[1]);
   const auto col = [&](const std::string& key) {
     for (std::size_t c = 0; c < header.size(); ++c)
       if (header[c] == key) return row0[c];
@@ -257,9 +228,9 @@ TEST(CsvSinkTest, AppendModeWritesHeaderExactlyOnce) {
   content << in.rdbuf();
   const auto lines = lines_of(content.str());
   EXPECT_EQ(lines.size(), 1u + 3 * 2);
-  EXPECT_EQ(split_csv(lines[0]), run_schema_keys());
+  EXPECT_EQ(split_csv_line(lines[0]), run_schema_keys());
   for (std::size_t i = 1; i < lines.size(); ++i)
-    EXPECT_NE(split_csv(lines[i])[0], "schema") << "duplicated header";
+    EXPECT_NE(split_csv_line(lines[i])[0], "schema") << "duplicated header";
   std::filesystem::remove(path);
 }
 
@@ -307,83 +278,20 @@ TEST(SweepRegistryTest, AddFindAndRejectDuplicates) {
                InvariantError);
 }
 
-TEST(SweepDriverTest, ParsesFlagsOverEnvDefaults) {
-  const char* argv[] = {"mtr_sweep", "fig04",         "tab_countermeasures",
-                        "--scale",   "0.5",           "--seeds",
-                        "4",         "--first-seed",  "100",
-                        "--threads", "3",             "--quiet",
-                        "--no-progress", "--out-dir", "/tmp/x"};
-  const SweepOptions o = parse_sweep_args(static_cast<int>(std::size(argv)), argv);
-  EXPECT_EQ(o.sweeps, (std::vector<std::string>{"fig04", "tab_countermeasures"}));
-  EXPECT_DOUBLE_EQ(o.scale, 0.5);
-  EXPECT_EQ(o.seeds, (std::vector<std::uint64_t>{100, 101, 102, 103}));
-  EXPECT_EQ(o.threads, 3u);
-  EXPECT_TRUE(o.quiet);
-  EXPECT_FALSE(o.progress);
-  EXPECT_EQ(o.out_dir, "/tmp/x");
-  EXPECT_FALSE(o.list);
+TEST(CellRecordTest, SummaryMatchesJsonlSinkOutput) {
+  // write_cell_record over summarize_cell must reproduce exactly the cell
+  // line JsonlSink emits — mtr_merge leans on this emitter for
+  // byte-identical merged aggregates.
+  const core::CellStats cell = sample_cell();
+  std::ostringstream sink_os;
+  JsonlSink(sink_os).write_cell("fig07", cell);
+  const auto lines = lines_of(sink_os.str());
+  ASSERT_EQ(lines.size(), 3u);
 
-  const char* bad[] = {"mtr_sweep", "--bogus"};
-  EXPECT_THROW(parse_sweep_args(2, bad), std::runtime_error);
-}
-
-TEST(SweepDriverTest, ListAndUnknownSelection) {
-  SweepRegistry registry;
-  registry.add({"fig04", "Fig. 4 — Shell attack", [](const SweepContext&) {}});
-
-  SweepOptions list_opts;
-  list_opts.list = true;
-  std::ostringstream out, err;
-  EXPECT_EQ(run_sweeps(registry, list_opts, out, err), 0);
-  EXPECT_NE(out.str().find("fig04  Fig. 4 — Shell attack"), std::string::npos);
-
-  SweepOptions unknown;
-  unknown.sweeps = {"fig99"};
-  EXPECT_EQ(run_sweeps(registry, unknown, out, err), 2);
-  EXPECT_NE(err.str().find("fig99"), std::string::npos);
-
-  SweepOptions nothing;
-  EXPECT_EQ(run_sweeps(registry, nothing, out, err), 2);
-
-  SweepOptions conflicting;
-  conflicting.all = true;
-  conflicting.sweeps = {"fig04"};
-  EXPECT_EQ(run_sweeps(registry, conflicting, out, err), 2);
-  EXPECT_NE(err.str().find("--all conflicts"), std::string::npos);
-}
-
-TEST(SweepDriverTest, BuildsSinksAndRunsSelectedSweeps) {
-  // A fake sweep exercises the driver's sink plumbing without simulating.
-  SweepRegistry registry;
-  registry.add({"fake", "synthetic cell emitter", [](const SweepContext& ctx) {
-                  ctx.os() << "scale=" << ctx.scale << "\n";
-                  ctx.sink->write_cell("fake", sample_cell());
-                }});
-
-  const std::string dir = temp_path("report_test_driver_out");
-  std::filesystem::remove_all(dir);
-  SweepOptions opts;
-  opts.sweeps = {"fake"};
-  opts.out_dir = dir;
-  opts.scale = 0.125;
-  opts.progress = false;
-
-  std::ostringstream out, err;
-  EXPECT_EQ(run_sweeps(registry, opts, out, err), 0);
-  EXPECT_NE(out.str().find("scale=0.125"), std::string::npos);
-  EXPECT_TRUE(std::filesystem::exists(dir + "/fake.csv"));
-  EXPECT_TRUE(std::filesystem::exists(dir + "/fake.jsonl"));
-  EXPECT_GT(std::filesystem::file_size(dir + "/fake.csv"), 100u);
-  EXPECT_GT(std::filesystem::file_size(dir + "/fake.jsonl"), 100u);
-
-  // --quiet swallows rendering but still streams to the sinks.
-  std::filesystem::remove_all(dir);
-  opts.quiet = true;
-  std::ostringstream out2;
-  EXPECT_EQ(run_sweeps(registry, opts, out2, err), 0);
-  EXPECT_EQ(out2.str(), "");
-  EXPECT_TRUE(std::filesystem::exists(dir + "/fake.csv"));
-  std::filesystem::remove_all(dir);
+  std::ostringstream record_os;
+  write_cell_record(record_os, summarize_cell("fig07", cell));
+  EXPECT_EQ(record_os.str(), lines[2] + "\n");
+  EXPECT_EQ(json_raw_value(lines[2], "cell_index"), "5");
 }
 
 TEST(ProgressReporterTest, ReportsCountsElapsedAndEta) {
@@ -409,6 +317,25 @@ TEST(ProgressReporterTest, ReportsCountsElapsedAndEta) {
   disabled.on_cell({0, 2, 0.5, cell});
   disabled.finish();
   EXPECT_EQ(silent.str(), "");
+}
+
+TEST(ProgressReporterTest, ShrinkTotalTracksSkippedCells) {
+  core::CellStats cell;
+  cell.attack_label = "attacked";
+  cell.hz = TimerHz{250};
+
+  std::ostringstream os;
+  ProgressReporter progress(os, /*enabled=*/true);
+  progress.begin("fig04", 8);
+  progress.shrink_total(6);  // a shard that owns 2 of 8 cells
+  progress.on_cell({0, 8, 0.5, cell});
+  EXPECT_NE(os.str().find("[fig04 1/2]"), std::string::npos);
+  progress.on_cell({4, 8, 0.5, cell});
+  EXPECT_NE(os.str().find("[fig04 2/2]"), std::string::npos);
+  // Shrinking below what's already done clamps instead of underflowing.
+  progress.shrink_total(100);
+  progress.finish();
+  EXPECT_NE(os.str().find("done: 2 cell(s)"), std::string::npos);
 }
 
 TEST(ProgressReporterTest, FormatsDurations) {
