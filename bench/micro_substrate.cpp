@@ -1,9 +1,17 @@
 // google-benchmark microbenches for the substrate itself: crypto
 // throughput, simulator event rate, scheduler pick cost, meter hook
-// overhead. These are engineering benchmarks (how fast is the simulator),
-// not paper reproductions.
+// overhead, and end-to-end sweep-cell rates. These are engineering
+// benchmarks (how fast is the simulator), not paper reproductions.
+//
+// The BM_SweepCell_* family is the tracked perf baseline: each iteration
+// runs one BatchRunner-equivalent cell (one run_experiment) of the
+// fig07/fig08 scheduling-attack sweeps at a fixed scale, so successive
+// commits can be compared via bench/perf_baseline.py and BENCH_sim.json.
 #include <benchmark/benchmark.h>
 
+#include "attacks/scheduling_attack.hpp"
+#include "bench/attack_roster.hpp"
+#include "core/experiment.hpp"
 #include "core/integrity.hpp"
 #include "core/meters.hpp"
 #include "crypto/md5.hpp"
@@ -120,6 +128,77 @@ void BM_CfsPickNext(benchmark::State& state) {
   scheduler_pick_bench<kernel::CfsScheduler>(state, CpuHz{});
 }
 BENCHMARK(BM_CfsPickNext);
+
+// ---------------------------------------------------------------------------
+// End-to-end sweep-cell benches — the tracked perf baseline.
+// ---------------------------------------------------------------------------
+
+/// Scale is fixed (not MTR_BENCH_SCALE) so BENCH_sim.json numbers stay
+/// comparable across machines and commits.
+constexpr double kSweepCellScale = 0.05;
+
+/// One iteration = one sweep cell: a full run_experiment with the trusted
+/// metering service attached, as BatchRunner executes it for fig07/fig08.
+/// `attack` null runs the unattacked baseline cell. Reports simulated
+/// virtual megacycles per wall second — the simulator's event rate.
+void sweep_cell_bench(benchmark::State& state, workloads::WorkloadKind kind,
+                      sim::SchedulerKind sched, bool attacked) {
+  double virt_mcycles = 0.0;
+  for (auto _ : state) {
+    core::ExperimentConfig cfg;
+    cfg.kind = kind;
+    cfg.workload.scale = kSweepCellScale;
+    cfg.sim.scheduler = sched;
+    std::unique_ptr<attacks::Attack> attack;
+    if (attacked) {
+      attack = std::make_unique<attacks::SchedulingAttack>(
+          mtr::bench::fork_params(kSweepCellScale, -20));
+    }
+    const core::ExperimentResult r = core::run_experiment(cfg, attack.get());
+    benchmark::DoNotOptimize(r.billed_seconds);
+    virt_mcycles += r.wall_seconds *
+                    static_cast<double>(cfg.sim.kernel.cpu.v) / 1e6;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["virt_mcycles_per_sec"] =
+      benchmark::Counter(virt_mcycles, benchmark::Counter::kIsRate);
+}
+
+void BM_SweepCell_fig07_sched_o1(benchmark::State& state) {
+  sweep_cell_bench(state, workloads::WorkloadKind::kWhetstone,
+                   sim::SchedulerKind::kO1, true);
+}
+BENCHMARK(BM_SweepCell_fig07_sched_o1)->Unit(benchmark::kMillisecond);
+
+void BM_SweepCell_fig07_sched_cfs(benchmark::State& state) {
+  sweep_cell_bench(state, workloads::WorkloadKind::kWhetstone,
+                   sim::SchedulerKind::kCfs, true);
+}
+BENCHMARK(BM_SweepCell_fig07_sched_cfs)->Unit(benchmark::kMillisecond);
+
+void BM_SweepCell_fig08_sched_o1(benchmark::State& state) {
+  sweep_cell_bench(state, workloads::WorkloadKind::kBrute,
+                   sim::SchedulerKind::kO1, true);
+}
+BENCHMARK(BM_SweepCell_fig08_sched_o1)->Unit(benchmark::kMillisecond);
+
+void BM_SweepCell_fig08_sched_cfs(benchmark::State& state) {
+  sweep_cell_bench(state, workloads::WorkloadKind::kBrute,
+                   sim::SchedulerKind::kCfs, true);
+}
+BENCHMARK(BM_SweepCell_fig08_sched_cfs)->Unit(benchmark::kMillisecond);
+
+void BM_SweepCell_baseline_whetstone_o1(benchmark::State& state) {
+  sweep_cell_bench(state, workloads::WorkloadKind::kWhetstone,
+                   sim::SchedulerKind::kO1, false);
+}
+BENCHMARK(BM_SweepCell_baseline_whetstone_o1)->Unit(benchmark::kMillisecond);
+
+void BM_SweepCell_baseline_brute_cfs(benchmark::State& state) {
+  sweep_cell_bench(state, workloads::WorkloadKind::kBrute,
+                   sim::SchedulerKind::kCfs, false);
+}
+BENCHMARK(BM_SweepCell_baseline_brute_cfs)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -123,8 +123,10 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
     s.seeds = g.seeds;
     s.runs.reserve(n_seeds);
     for (std::size_t seed_i = 0; seed_i < n_seeds; ++seed_i) {
-      const ExperimentResult& r = results[pos * n_seeds + seed_i];
-      s.runs.push_back(r);
+      // The per-run slot is dead after aggregation: move it instead of
+      // deep-copying its strings/violation vectors into the cell.
+      s.runs.push_back(std::move(results[pos * n_seeds + seed_i]));
+      const ExperimentResult& r = s.runs.back();
       s.for_each_stat(
           [&](const char*, RunningStats& stat, auto get) { stat.add(get(r)); });
     }

@@ -98,6 +98,9 @@ class HookList final {
  public:
   void add(AccountingHook* hook) { hooks_.push_back(hook); }
 
+  /// Hookless runs skip accounting dispatch entirely (hot-path gate).
+  bool empty() const { return hooks_.empty(); }
+
   template <typename F>
   void each(F&& f) const {
     for (AccountingHook* h : hooks_) f(*h);

@@ -42,8 +42,7 @@ class CfsScheduler final : public Scheduler {
   Cycles sched_latency_;      // target period over all runnable tasks
   Cycles min_granularity_;    // floor on preemption interval
   std::set<Process*, Order> tree_;
-  Process* last_min_ = nullptr;  // cached floor for wakeup placement
-  Cycles floor_{0};              // monotonically advancing min vruntime
+  Cycles floor_{0};  // monotonically advancing min vruntime
 };
 
 }  // namespace mtr::kernel

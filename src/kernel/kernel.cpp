@@ -1,6 +1,7 @@
 #include "kernel/kernel.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/ensure.hpp"
 #include "kernel/syscalls.hpp"
@@ -64,6 +65,17 @@ Kernel::~Kernel() = default;
 
 Pid Kernel::allocate_pid() { return Pid{next_pid_++}; }
 
+const Kernel::GroupRecord& Kernel::group_record(Tgid tg) const {
+  MTR_ENSURE_MSG(tg.v >= 1 && static_cast<std::size_t>(tg.v) <= groups_.size() &&
+                     groups_[static_cast<std::size_t>(tg.v) - 1] != nullptr,
+                 "no processes in thread group " << tg.v);
+  return *groups_[static_cast<std::size_t>(tg.v) - 1];
+}
+
+Kernel::GroupRecord& Kernel::group_record(Tgid tg) {
+  return const_cast<GroupRecord&>(std::as_const(*this).group_record(tg));
+}
+
 Process& Kernel::create_process(std::string name, std::unique_ptr<Program> program,
                                 Pid parent, Tgid tgid, Nice nice, bool privileged) {
   MTR_ENSURE_MSG(program != nullptr, "process needs a program");
@@ -75,13 +87,48 @@ Process& Kernel::create_process(std::string name, std::unique_ptr<Program> progr
   proc->privileged = privileged;
   if (!tgid.valid()) mm_.create_space(group);
   Process& ref = *proc;
-  procs_.emplace(pid, std::move(proc));
+  procs_.push_back(std::move(proc));
+  MTR_ENSURE(procs_.size() == static_cast<std::size_t>(pid.v));  // dense arena
   creation_order_.push_back(pid);
   ++alive_count_;
+
+  // Thread-group accounting record: leaders open one, members join it.
+  groups_.resize(static_cast<std::size_t>(next_pid_ - 1));
+  if (!tgid.valid()) {
+    groups_[static_cast<std::size_t>(group.v) - 1] = std::make_unique<GroupRecord>();
+  }
+  GroupRecord& rec = group_record(group);
+  ref.group_acct = &rec.usage;
+  ++rec.alive;
+
+  // Name index (front() of a bucket = first-in-creation-order holder).
+  name_index_[ref.name].push_back(pid);  // new pid: always the largest
+
+  flush_charges();
   hooks_.each([&](AccountingHook& h) {
     h.on_process_created(now_, pid, group, parent, ref.program->name());
   });
   return ref;
+}
+
+void Kernel::rename_process(Process& p, std::string name) {
+  if (p.name == name) return;
+  auto old_it = name_index_.find(p.name);
+  MTR_ENSURE(old_it != name_index_.end());
+  std::vector<Pid>& old_bucket = old_it->second;
+  const auto pos = std::find(old_bucket.begin(), old_bucket.end(), p.pid);
+  MTR_ENSURE_MSG(pos != old_bucket.end(), p.pid << " missing from name index");
+  old_bucket.erase(pos);
+  if (old_bucket.empty()) name_index_.erase(old_it);
+  p.name = std::move(name);
+  std::vector<Pid>& bucket = name_index_[p.name];
+  bucket.insert(std::lower_bound(bucket.begin(), bucket.end(), p.pid), p.pid);
+}
+
+std::optional<Pid> Kernel::find_pid_by_name(std::string_view name) const {
+  const auto it = name_index_.find(name);
+  if (it == name_index_.end() || it->second.empty()) return std::nullopt;
+  return it->second.front();
 }
 
 Pid Kernel::spawn(SpawnSpec spec) {
@@ -96,35 +143,16 @@ Pid Kernel::spawn(SpawnSpec spec) {
 }
 
 Process& Kernel::process(Pid pid) {
-  const auto it = procs_.find(pid);
-  MTR_ENSURE_MSG(it != procs_.end(), "unknown " << pid);
-  return *it->second;
+  MTR_ENSURE_MSG(has_process(pid), "unknown " << pid);
+  return *procs_[static_cast<std::size_t>(pid.v) - 1];
 }
 
 const Process& Kernel::process(Pid pid) const {
-  const auto it = procs_.find(pid);
-  MTR_ENSURE_MSG(it != procs_.end(), "unknown " << pid);
-  return *it->second;
+  MTR_ENSURE_MSG(has_process(pid), "unknown " << pid);
+  return *procs_[static_cast<std::size_t>(pid.v) - 1];
 }
 
-GroupUsage Kernel::group_usage(Tgid tg) const {
-  GroupUsage u;
-  bool any = false;
-  for (const auto& [pid, proc] : procs_) {
-    if (proc->tgid != tg) continue;
-    any = true;
-    u.ticks += proc->tick_usage;
-    u.true_cycles += proc->true_usage;
-    u.voluntary_switches += proc->voluntary_switches;
-    u.involuntary_switches += proc->involuntary_switches;
-    u.minor_faults += proc->minor_faults;
-    u.major_faults += proc->major_faults;
-    u.signals_received += proc->signals_received;
-    u.debug_exceptions += proc->debug_exceptions;
-  }
-  MTR_ENSURE_MSG(any, "no processes in thread group " << tg.v);
-  return u;
-}
+GroupUsage Kernel::group_usage(Tgid tg) const { return group_record(tg).usage; }
 
 void Kernel::set_nice(Pid pid, Nice nice) {
   Process& p = process(pid);
@@ -162,25 +190,48 @@ void Kernel::charge(Process* p, WorkKind kind, Cycles amount, Pid beneficiary) {
   if (p != nullptr) {
     if (mode_of(kind) == CpuMode::kUser) {
       p->true_usage.user += amount;
+      p->group_acct->true_cycles.user += amount;
     } else {
       p->true_usage.system += amount;
+      p->group_acct->true_cycles.system += amount;
     }
     scheduler_->on_ran(*p, amount);
-    const Pid pid = p->pid;
-    const Tgid tg = p->tgid;
-    hooks_.each([&](AccountingHook& h) {
-      h.on_cycles(now_, pid, tg, kind, amount, beneficiary);
-    });
+    if (!hooks_.empty()) enqueue_charge(p->pid, p->tgid, kind, amount, beneficiary);
   } else {
     if (mode_of(kind) == CpuMode::kUser) {
       idle_cycles_.user += amount;
     } else {
       idle_cycles_.system += amount;
     }
+    if (!hooks_.empty()) enqueue_charge(kIdlePid, Tgid{0}, kind, amount, beneficiary);
+  }
+}
+
+void Kernel::enqueue_charge(Pid pid, Tgid tg, WorkKind kind, Cycles amount,
+                            Pid beneficiary) {
+  if (charge_batch_size_ > 0) {
+    PendingCharge& last = charge_batch_[charge_batch_size_ - 1];
+    if (last.pid == pid && last.kind == kind && last.beneficiary == beneficiary) {
+      // Adjacent same-key charge: coalesce (tg is a function of pid).
+      last.amount += amount;
+      last.now = now_;
+      return;
+    }
+  }
+  if (charge_batch_size_ == kChargeBatchCap) flush_charges();
+  charge_batch_[charge_batch_size_++] =
+      PendingCharge{now_, pid, tg, beneficiary, kind, amount};
+  if (config_.unbatched_accounting) flush_charges();
+}
+
+void Kernel::flush_charges() {
+  for (std::size_t i = 0; i < charge_batch_size_; ++i) {
+    const PendingCharge& c = charge_batch_[i];
     hooks_.each([&](AccountingHook& h) {
-      h.on_cycles(now_, kIdlePid, Tgid{0}, kind, amount, beneficiary);
+      h.on_cycles(c.now, c.pid, c.tg, c.kind, c.amount, c.beneficiary);
     });
   }
+  charge_batch_size_ = 0;
 }
 
 void Kernel::charge_idle(Cycles amount) {
@@ -270,6 +321,8 @@ Cycles Kernel::run(Cycles limit) {
     }
     if (current_ != nullptr && !current_->runnable()) stop_current_and_switch();
   }
+  // The caller may read meters/auditors now: drain the batched charges.
+  flush_charges();
   return now_;
 }
 
@@ -338,12 +391,14 @@ bool Kernel::fetch_next_step(Process& p) {
     Process& p;
 
     void operator()(ComputeStep& s) {
+      k.flush_charges();
       k.hooks_.each([&](AccountingHook& h) {
         h.on_step_begin(k.now_, p.pid, p.tgid, "compute", s.tag);
       });
       k.begin_user_step(p, std::move(s));
     }
     void operator()(SyscallStep& s) {
+      k.flush_charges();
       k.hooks_.each([&](AccountingHook& h) {
         h.on_step_begin(k.now_, p.pid, p.tgid, syscall_name(s.req), "");
       });
@@ -368,6 +423,7 @@ bool Kernel::fetch_next_step(Process& p) {
       k.push_kwork(p, body, WorkKind::kSyscallBody, KernelAction::kApplySyscall);
     }
     void operator()(ExitStep& s) {
+      k.flush_charges();
       k.hooks_.each([&](AccountingHook& h) {
         h.on_step_begin(k.now_, p.pid, p.tgid, "exit", "");
       });
@@ -479,11 +535,13 @@ void Kernel::touch_memory(Process& p) {
       return;
     case mm::FaultKind::kMinor:
       ++p.minor_faults;
+      ++p.group_acct->minor_faults;
       push_kwork(p, config_.costs.page_fault_minor + reclaim_cost,
                  WorkKind::kPageFaultMinor, KernelAction::kNone);
       return;
     case mm::FaultKind::kMajor:
       ++p.major_faults;
+      ++p.group_acct->major_faults;
       push_kwork(p, config_.costs.page_fault_major + reclaim_cost,
                  WorkKind::kPageFaultMajor, KernelAction::kBlockOnDisk);
       return;
@@ -493,6 +551,7 @@ void Kernel::touch_memory(Process& p) {
 void Kernel::hot_access(Process& p, std::size_t hot_index) {
   (void)hot_index;
   ++p.debug_exceptions;
+  ++p.group_acct->debug_exceptions;
   // #DB dispatch runs in the tracee's kernel context, then a SIGTRAP trace
   // stop is delivered — precisely the thrashing attack's cost vehicle. The
   // true beneficiary of all of it is the tracer who armed the breakpoint.
@@ -510,6 +569,7 @@ bool Kernel::process_one_signal(Process& p) {
   const PendingSignal pending = p.pending_signals.front();
   p.pending_signals.pop_front();
   ++p.signals_received;
+  ++p.group_acct->signals_received;
   const Signal sig = pending.sig;
   // Delivery work serves whoever raised the signal (process-aware meters
   // re-attribute on this).
@@ -598,8 +658,10 @@ void Kernel::preempt_current() {
   if (out.runnable()) {
     out.state = ProcState::kReady;
     ++out.involuntary_switches;
+    ++out.group_acct->involuntary_switches;
     scheduler_->enqueue(out, now_, /*preempted=*/true);
   }
+  flush_charges();
   hooks_.each([&](AccountingHook& h) { h.on_context_switch(now_, out.pid, Pid{}); });
   current_ = nullptr;
 }
@@ -609,6 +671,8 @@ void Kernel::stop_current_and_switch() {
   Process& out = *current_;
   charge(&out, WorkKind::kContextSwitch, config_.costs.context_switch, out.pid);
   ++out.voluntary_switches;
+  ++out.group_acct->voluntary_switches;
+  flush_charges();
   hooks_.each([&](AccountingHook& h) { h.on_context_switch(now_, out.pid, Pid{}); });
   current_ = nullptr;
 }
@@ -621,6 +685,7 @@ void Kernel::context_switch_in(Process& next) {
   // Re-derive the hot-access schedule: debug registers may have been armed
   // while the process was stopped.
   if (next.user.active) refresh_hot_schedule(next);
+  flush_charges();
   hooks_.each([&](AccountingHook& h) { h.on_context_switch(now_, Pid{}, next.pid); });
 }
 
@@ -716,13 +781,16 @@ void Kernel::handle_timer_tick() {
   // interrupt, regardless of how little of the tick it actually ran.
   // A late dispatch means the tick was due while an uninterruptible kernel
   // window ran (interrupt handler, context switch): kernel mode.
+  flush_charges();
   if (current_ != nullptr) {
     Process& p = *current_;
     const CpuMode mode = (now_ > due) ? CpuMode::kKernel : current_mode(p);
     if (mode == CpuMode::kUser) {
       p.tick_usage.utime += Ticks{1};
+      p.group_acct->ticks.utime += Ticks{1};
     } else {
       p.tick_usage.stime += Ticks{1};
+      p.group_acct->ticks.stime += Ticks{1};
     }
     const Pid pid = p.pid;
     const Tgid tg = p.tgid;

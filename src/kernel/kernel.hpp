@@ -22,11 +22,13 @@
 // so alternative meters observe the same run.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <queue>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -61,6 +63,11 @@ struct KernelConfig {
   /// just after the tick, so its bursts systematically dodge the next tick.
   bool jiffy_resolution_timers = true;
   std::uint64_t seed = 42;
+  /// Flush every cycle charge to the accounting hooks immediately instead
+  /// of batching to kernel-interaction boundaries. Observed meter totals
+  /// are identical either way (kernel_test proves it); the unbatched mode
+  /// exists for that differential test and for debugging hook streams.
+  bool unbatched_accounting = false;
 };
 
 struct SpawnSpec {
@@ -119,16 +126,25 @@ class Kernel final {
   Xoshiro256& rng() { return rng_; }
 
   /// Looks up a process (alive, zombie, or reaped record). Throws if the
-  /// pid was never issued.
+  /// pid was never issued. Pids are issued sequentially from 1, so the
+  /// process table is a dense arena and lookup is an index, not a hash.
   Process& process(Pid pid);
   const Process& process(Pid pid) const;
-  bool has_process(Pid pid) const { return procs_.contains(pid); }
+  bool has_process(Pid pid) const {
+    return pid.v >= 1 && static_cast<std::size_t>(pid.v) <= procs_.size();
+  }
 
   /// All pids ever created, in creation order.
   const std::vector<Pid>& all_pids() const { return creation_order_; }
 
+  /// Lowest pid whose *current* name equals `name` (i.e. the first such
+  /// process in creation order), from the maintained name index — O(1)
+  /// instead of a scan over every PCB per call.
+  std::optional<Pid> find_pid_by_name(std::string_view name) const;
+
   /// Sum of usage over every process in the thread group (living and dead),
-  /// i.e. what the billed customer is charged for the job.
+  /// i.e. what the billed customer is charged for the job. Served from the
+  /// per-group accumulator maintained on every counter update: O(1).
   GroupUsage group_usage(Tgid tg) const;
 
   /// Ticks charged to the idle context (CPU unclaimed at a tick).
@@ -190,6 +206,7 @@ class Kernel final {
   Pid allocate_pid();
   Process& create_process(std::string name, std::unique_ptr<Program> program,
                           Pid parent, Tgid tgid, Nice nice, bool privileged);
+  void rename_process(Process& p, std::string name);
   void wake_process(Process& p);
   void send_signal(Process& target, Signal sig);
   void notify_stop(Process& stopped);
@@ -206,6 +223,17 @@ class Kernel final {
                   Pid beneficiary = Pid{});
   CpuMode current_mode(const Process& p) const;
 
+  // Batched hook dispatch: charges accumulate (adjacent same-key charges
+  // coalesce) and flush to the hooks at kernel-interaction boundaries —
+  // before any non-on_cycles hook event, when the batch fills, and when
+  // run() returns — collapsing the per-slice virtual dispatch that
+  // dominates the sweep hot path. Every hook is a pure accumulator over
+  // (current, kind, amount, beneficiary), so coalescing adjacent
+  // same-key charges leaves all observed totals bit-identical.
+  void enqueue_charge(Pid pid, Tgid tg, WorkKind kind, Cycles amount,
+                      Pid beneficiary);
+  void flush_charges();
+
   KernelConfig config_;
   std::unique_ptr<Scheduler> scheduler_;
   mm::MemoryManager mm_;
@@ -219,10 +247,51 @@ class Kernel final {
   Process* current_ = nullptr;
   bool need_resched_ = false;
 
-  std::unordered_map<Pid, std::unique_ptr<Process>> procs_;
+  // Dense process arena: slot pid.v - 1 (pids are issued sequentially from
+  // 1 and PCBs are never removed — reaped processes stay as accounting
+  // records — so slots and Process pointers stay valid for the kernel's
+  // lifetime).
+  std::vector<std::unique_ptr<Process>> procs_;
   std::vector<Pid> creation_order_;
   std::int32_t next_pid_ = 1;
   std::uint64_t alive_count_ = 0;
+
+  // Per-thread-group accounting, maintained incrementally at every counter
+  // update site. Slot tgid.v - 1 (a tgid is its leader's pid); non-leader
+  // slots stay null. `alive` makes the last-thread-of-group check in
+  // do_exit O(1) instead of a scan.
+  struct GroupRecord {
+    GroupUsage usage;
+    std::uint32_t alive = 0;
+  };
+  std::vector<std::unique_ptr<GroupRecord>> groups_;
+  GroupRecord& group_record(Tgid tg);
+  const GroupRecord& group_record(Tgid tg) const;
+
+  // name -> pids currently bearing it, ascending (so front() is the first
+  // in creation order). Maintained by create_process/rename_process.
+  struct TransparentStringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, std::vector<Pid>, TransparentStringHash,
+                     std::equal_to<>>
+      name_index_;
+
+  // Pending hook charges (see enqueue_charge/flush_charges).
+  struct PendingCharge {
+    Cycles now;  // clock after the (last coalesced) charge
+    Pid pid;
+    Tgid tg;
+    Pid beneficiary;
+    WorkKind kind;
+    Cycles amount;
+  };
+  static constexpr std::size_t kChargeBatchCap = 32;
+  std::array<PendingCharge, kChargeBatchCap> charge_batch_{};
+  std::size_t charge_batch_size_ = 0;
 
   // nanosleep expiry queue: (wake_at, pid), earliest first.
   using SleepEntry = std::pair<Cycles, Pid>;

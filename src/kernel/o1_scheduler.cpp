@@ -1,6 +1,7 @@
 #include "kernel/o1_scheduler.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/ensure.hpp"
 
@@ -36,36 +37,40 @@ void O1PriorityScheduler::enqueue(Process& p, Cycles now, bool preempted) {
   if (p.sched.quantum_ticks_left == 0)
     p.sched.quantum_ticks_left = timeslice_ticks(p.nice);
   p.sched.queued_level = effective_nice(p);
-  auto& q = queues_[level_of(p.sched.queued_level)];
+  const std::size_t level = level_of(p.sched.queued_level);
+  auto& q = queues_[level];
   if (resume_front) {
     q.push_front(&p);
   } else {
     q.push_back(&p);
   }
+  occupied_ |= std::uint64_t{1} << level;
   p.sched.queued = true;
 }
 
 void O1PriorityScheduler::dequeue(Process& p) {
   if (!p.sched.queued) return;
-  auto& q = queues_[level_of(p.sched.queued_level)];
+  const std::size_t level = level_of(p.sched.queued_level);
+  auto& q = queues_[level];
   const auto it = std::find(q.begin(), q.end(), &p);
   MTR_ENSURE_MSG(it != q.end(), "queued process missing from its level");
   q.erase(it);
+  if (q.empty()) occupied_ &= ~(std::uint64_t{1} << level);
   p.sched.queued = false;
 }
 
 Process* O1PriorityScheduler::pick_next(Cycles now) {
   (void)now;
-  for (auto& q : queues_) {
-    if (q.empty()) continue;
-    Process* p = q.front();
-    q.pop_front();
-    p->sched.queued = false;
-    if (p->sched.quantum_ticks_left == 0)
-      p->sched.quantum_ticks_left = timeslice_ticks(p->nice);
-    return p;
-  }
-  return nullptr;
+  if (occupied_ == 0) return nullptr;
+  const auto level = static_cast<std::size_t>(std::countr_zero(occupied_));
+  auto& q = queues_[level];
+  Process* p = q.front();
+  q.pop_front();
+  if (q.empty()) occupied_ &= ~(std::uint64_t{1} << level);
+  p->sched.queued = false;
+  if (p->sched.quantum_ticks_left == 0)
+    p->sched.quantum_ticks_left = timeslice_ticks(p->nice);
+  return p;
 }
 
 bool O1PriorityScheduler::on_tick(Process& current, Cycles now) {

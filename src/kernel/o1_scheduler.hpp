@@ -6,6 +6,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <deque>
 
 #include "kernel/scheduler.hpp"
@@ -40,6 +41,11 @@ class O1PriorityScheduler final : public Scheduler {
 
   TimerHz hz_;
   std::array<std::deque<Process*>, 40> queues_;
+  /// Occupancy bitmap over the 40 levels (bit i ⇔ queues_[i] non-empty) —
+  /// the real O(1) scheduler's priority bitmap: pick_next finds the
+  /// highest non-empty level with one countr_zero instead of walking all
+  /// 40 deques.
+  std::uint64_t occupied_ = 0;
 };
 
 }  // namespace mtr::kernel

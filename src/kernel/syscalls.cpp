@@ -149,6 +149,7 @@ void Kernel::apply_syscall(Process& p) {
       k.finish_syscall(p);
     }
     void operator()(const SysMapCode& r) {
+      k.flush_charges();
       k.hooks_.each([&](AccountingHook& h) {
         h.on_code_mapped(k.now_, p.tgid, r.mapping);
       });
@@ -199,7 +200,7 @@ void Kernel::do_execve(Process& p, const SysExecve& req) {
   // The old image is torn down; metering continues on the same PCB — time
   // spent before this point (e.g. shell-injected code) stays on the bill.
   p.program = req.image();
-  p.name = req.path;
+  rename_process(p, req.path);
   p.user = UserWork{};
   p.last_syscall_result = 0;
 }
@@ -333,17 +334,17 @@ void Kernel::do_exit(Process& p) {
   p.pending_signals.clear();
   p.pending_syscall.reset();
 
+  flush_charges();
   hooks_.each([&](AccountingHook& h) {
     h.on_process_exited(now_, p.pid, p.tgid, p.exit_code);
   });
 
-  // Last thread of the group releases the address space.
-  bool group_alive = false;
-  for (const auto& [pid, proc] : procs_) {
-    if (proc->tgid == p.tgid && proc->alive() && proc->pid != p.pid)
-      group_alive = true;
-  }
-  if (!group_alive && mm_.has_space(p.tgid)) mm_.destroy_space(p.tgid);
+  // Last thread of the group releases the address space. The group record
+  // counts living members, so no scan over the process table is needed.
+  GroupRecord& rec = group_record(p.tgid);
+  MTR_ENSURE(rec.alive > 0);
+  --rec.alive;
+  if (rec.alive == 0 && mm_.has_space(p.tgid)) mm_.destroy_space(p.tgid);
 
   // Orphan children; zombie orphans are auto-reaped.
   for (const Pid child_pid : p.children) {

@@ -213,12 +213,17 @@ void CsvSink::write_cell(const std::string& sweep, const core::CellStats& cell) 
     write_csv_header(*os_);
     header_written_ = true;
   }
+  if (buf_.capacity() == 0) buf_.reserve(4096);
+  buf_.clear();  // keeps capacity: no steady-state reallocation
   for (std::size_t seed_i = 0; seed_i < cell.runs.size(); ++seed_i) {
     const std::vector<Field> fields = flatten_run(sweep, cell, seed_i);
-    for (std::size_t i = 0; i < fields.size(); ++i)
-      *os_ << (i ? "," : "") << format_csv(fields[i].value);
-    *os_ << '\n';
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i) buf_ += ',';
+      buf_ += format_csv(fields[i].value);
+    }
+    buf_ += '\n';
   }
+  *os_ << buf_;
   os_->flush();
   // ofstream swallows I/O errors into badbit; surface them (ENOSPC etc.)
   // instead of exiting 0 with a truncated artifact.
@@ -264,14 +269,23 @@ void write_cell_record(std::ostream& os, const CellSummary& s) {
 }
 
 void JsonlSink::write_cell(const std::string& sweep, const core::CellStats& cell) {
+  if (buf_.capacity() == 0) buf_.reserve(8192);
+  buf_.clear();  // keeps capacity: no steady-state reallocation
   for (std::size_t seed_i = 0; seed_i < cell.runs.size(); ++seed_i) {
-    *os_ << "{\"record\":\"run\"";
-    for (const Field& f : flatten_run(sweep, cell, seed_i))
-      *os_ << ",\"" << json_escape(f.key) << "\":" << format_json(f.value);
-    *os_ << "}\n";
+    buf_ += "{\"record\":\"run\"";
+    for (const Field& f : flatten_run(sweep, cell, seed_i)) {
+      buf_ += ",\"";
+      buf_ += json_escape(f.key);
+      buf_ += "\":";
+      buf_ += format_json(f.value);
+    }
+    buf_ += "}\n";
   }
+  *os_ << buf_;
 
   // Per-cell aggregate summary — the numbers a figure plots directly.
+  // Emitted through the shared write_cell_record so merged shard output
+  // stays byte-identical to this line.
   write_cell_record(*os_, summarize_cell(sweep, cell));
   os_->flush();
   MTR_ENSURE_MSG(os_->good(), "JSONL sink write failed (disk full or closed?)");

@@ -126,6 +126,9 @@ class CsvSink final : public ResultSink {
   std::unique_ptr<std::ostream> owned_;
   std::ostream* os_;
   bool header_written_ = false;
+  /// Reused per-cell line buffer: rows are assembled here and written with
+  /// one stream insertion, so steady-state sweeps stop reallocating.
+  std::string buf_;
 };
 
 /// One JSON object per line. Run records carry `"record":"run"` and the
@@ -144,6 +147,8 @@ class JsonlSink final : public ResultSink {
  private:
   std::unique_ptr<std::ostream> owned_;
   std::ostream* os_;
+  /// Reused per-cell line buffer (see CsvSink::buf_).
+  std::string buf_;
 };
 
 /// Fans every cell out to each registered sink, in registration order.

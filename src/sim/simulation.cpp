@@ -58,10 +58,11 @@ Pid Simulation::launch(const exec::ImageSpec& image, LaunchOptions opts) {
 
   // Step until the forked child has execve'd the target (its name becomes
   // the image path). An unattacked launch lasts well under a second of
-  // virtual time; 64 ticks is a generous bound.
+  // virtual time; 64 ticks is a generous bound. The kernel's name index
+  // answers each poll in O(1) — no per-tick scan over every PCB.
   const Cycles deadline = kernel_->now() + tick() * 64 + hook_cycles * 3;
   while (kernel_->now() < deadline) {
-    if (auto pid = find_by_name(image.path)) return *pid;
+    if (auto pid = kernel_->find_pid_by_name(image.path)) return *pid;
     kernel_->run(kernel_->now() + tick());
   }
   throw InvariantError("launch: target process never appeared: " + image.path);
@@ -89,11 +90,7 @@ bool Simulation::exited(Pid pid) const {
 }
 
 std::optional<Pid> Simulation::find_by_name(std::string_view name) const {
-  for (const Pid pid : kernel_->all_pids()) {
-    const kernel::Process& p = kernel_->process(pid);
-    if (p.name == name) return pid;
-  }
-  return std::nullopt;
+  return kernel_->find_pid_by_name(name);
 }
 
 std::vector<Pid> Simulation::group_members(Tgid tg) const {

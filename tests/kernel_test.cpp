@@ -1,13 +1,24 @@
 // Kernel engine tests: schedulers, process lifecycle, syscalls, signals,
-// ptrace, jiffy accounting identities and cycle-conservation invariants.
+// ptrace, jiffy accounting identities, cycle-conservation invariants, and
+// batched-vs-unbatched accounting-flush equivalence.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <map>
 #include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
 
+#include "bench/attack_roster.hpp"
+#include "core/meters.hpp"
 #include "exec/program_base.hpp"
 #include "kernel/cfs_scheduler.hpp"
 #include "kernel/kernel.hpp"
 #include "kernel/o1_scheduler.hpp"
+#include "sim/simulation.hpp"
+#include "workloads/workloads.hpp"
 
 namespace mtr::kernel {
 namespace {
@@ -396,6 +407,158 @@ TEST(Admin, SetNiceRepositionsQueuedProcess) {
   k->set_nice(b, Nice{-10});
   k->run(seconds_to_cycles(0.06, CpuHz{}));
   EXPECT_GT(k->process(b).true_usage.user.v, k->process(a).true_usage.user.v);
+}
+
+// --- accounting-flush equivalence ---------------------------------------------
+//
+// Batched hook dispatch (the default) coalesces adjacent same-key cycle
+// charges and flushes them at kernel-interaction boundaries; the unbatched
+// mode (KernelConfig::unbatched_accounting) flushes after every slice.
+// Every per-process counter, per-group usage aggregate, and meter
+// observation must be bit-identical between the two, for every attack
+// program in the roster.
+
+struct AccountingSnapshot {
+  // pid -> (name, tick utime/stime, true user/system, faults, switches,
+  //         signals, debug exceptions)
+  std::map<std::int32_t, std::tuple<std::string, std::uint64_t, std::uint64_t,
+                                    std::uint64_t, std::uint64_t, std::uint64_t,
+                                    std::uint64_t, std::uint64_t, std::uint64_t,
+                                    std::uint64_t, std::uint64_t>>
+      procs;
+  std::map<std::int32_t, std::int32_t> proc_tgid;  // pid -> tgid
+  // tgid -> (tick utime/stime, true user/system, minor/major faults,
+  //          voluntary/involuntary switches, signals, debug exceptions)
+  std::map<std::int32_t, std::array<std::uint64_t, 10>> groups;
+  // tgid -> meter views (tick / tsc / pais), plus machine-wide remainders.
+  std::map<std::int32_t, std::tuple<std::uint64_t, std::uint64_t, std::uint64_t,
+                                    std::uint64_t, std::uint64_t, std::uint64_t>>
+      meters;
+  std::uint64_t tsc_idle = 0;
+  std::uint64_t pais_system = 0;
+  std::uint64_t final_now = 0;
+  /// on_cycles invocations observed — NOT part of the equivalence check
+  /// (batching exists precisely to shrink it).
+  std::uint64_t on_cycles_events = 0;
+};
+
+struct CyclesEventCounter final : AccountingHook {
+  std::uint64_t events = 0;
+  void on_cycles(Cycles, Pid, Tgid, WorkKind, Cycles, Pid) override { ++events; }
+};
+
+AccountingSnapshot run_attack_accounting(const core::AttackFactory& make,
+                                         bool unbatched) {
+  sim::SimConfig sc;
+  sc.kernel.seed = 1234;
+  sc.kernel.unbatched_accounting = unbatched;
+  sim::Simulation s(sc);
+  core::TickMeter tick;
+  core::TscMeter tsc;
+  core::PaisMeter pais;
+  CyclesEventCounter counter;
+  s.kernel().add_hook(&tick);
+  s.kernel().add_hook(&tsc);
+  s.kernel().add_hook(&pais);
+  s.kernel().add_hook(&counter);
+
+  const auto attack = make ? make() : nullptr;
+  sim::LaunchOptions opts;
+  if (attack) attack->prepare(s, opts);
+  const auto info =
+      workloads::make_workload(workloads::WorkloadKind::kWhetstone, {0.02});
+  const Pid victim = s.launch(info.image, std::move(opts));
+  const Tgid victim_tg = s.kernel().process(victim).tgid;
+  attacks::AttackContext ctx{s, victim, victim_tg, info.hot_addr};
+  if (attack) attack->engage(ctx);
+  s.run_until_exit(victim, seconds_to_cycles(30.0, sc.kernel.cpu));
+  if (attack) attack->disengage(ctx);
+  s.run_all(seconds_to_cycles(1.0, sc.kernel.cpu));
+
+  AccountingSnapshot snap;
+  snap.final_now = s.kernel().now().v;
+  for (const Pid pid : s.kernel().all_pids()) {
+    const Process& p = s.kernel().process(pid);
+    snap.procs[pid.v] = {p.name,
+                         p.tick_usage.utime.v,
+                         p.tick_usage.stime.v,
+                         p.true_usage.user.v,
+                         p.true_usage.system.v,
+                         p.minor_faults,
+                         p.major_faults,
+                         p.voluntary_switches,
+                         p.involuntary_switches,
+                         p.signals_received,
+                         p.debug_exceptions};
+    snap.proc_tgid[pid.v] = p.tgid.v;
+    if (snap.groups.contains(p.tgid.v)) continue;
+    const GroupUsage g = s.kernel().group_usage(p.tgid);
+    snap.groups[p.tgid.v] = {g.ticks.utime.v,      g.ticks.stime.v,
+                             g.true_cycles.user.v, g.true_cycles.system.v,
+                             g.minor_faults,       g.major_faults,
+                             g.voluntary_switches, g.involuntary_switches,
+                             g.signals_received,   g.debug_exceptions};
+    const CpuUsageTicks mt = tick.usage(p.tgid);
+    const CpuUsageCycles mc = tsc.usage(p.tgid);
+    const CpuUsageCycles mp = pais.usage(p.tgid);
+    snap.meters[p.tgid.v] = {mt.utime.v, mt.stime.v, mc.user.v,
+                             mc.system.v, mp.user.v,  mp.system.v};
+  }
+  snap.tsc_idle = tsc.idle_cycles().v;
+  snap.pais_system = pais.system_cycles().v;
+  snap.on_cycles_events = counter.events;
+  return snap;
+}
+
+TEST(AccountingFlush, BatchedModeMatchesFlushEverySliceAcrossAllAttacks) {
+  // Baseline (no attack) plus every roster attack.
+  std::vector<std::pair<std::string, core::AttackFactory>> programs;
+  programs.emplace_back("baseline", nullptr);
+  for (auto& e : bench::attack_roster(/*scale=*/0.02))
+    programs.emplace_back(e.label, std::move(e.make));
+
+  for (auto& [label, make] : programs) {
+    SCOPED_TRACE(label);
+    const AccountingSnapshot batched = run_attack_accounting(make, false);
+    const AccountingSnapshot unbatched = run_attack_accounting(make, true);
+    EXPECT_EQ(batched.final_now, unbatched.final_now);
+    EXPECT_EQ(batched.procs, unbatched.procs);
+    EXPECT_EQ(batched.groups, unbatched.groups);
+    EXPECT_EQ(batched.meters, unbatched.meters);
+    EXPECT_EQ(batched.tsc_idle, unbatched.tsc_idle);
+    EXPECT_EQ(batched.pais_system, unbatched.pais_system);
+    // The batch must coalesce *something* on a real run, or the default
+    // mode silently degenerated into the unbatched one.
+    EXPECT_LT(batched.on_cycles_events, unbatched.on_cycles_events);
+  }
+}
+
+// The per-group accumulators must agree with a brute-force sum over every
+// PCB in the group — the invariant the O(1) group_usage rests on. Exercised
+// on a fork-storm run (thousands of short-lived group members).
+TEST(AccountingFlush, GroupAccumulatorsMatchPerProcessSums) {
+  const AccountingSnapshot snap = run_attack_accounting(
+      [] {
+        return std::make_unique<attacks::SchedulingAttack>(
+            bench::fork_params(0.02, -10));
+      },
+      false);
+  std::map<std::int32_t, std::array<std::uint64_t, 10>> sums;
+  for (const auto& [pid, p] : snap.procs) {
+    auto& g = sums[snap.proc_tgid.at(pid)];
+    g[0] += std::get<1>(p);   // tick utime
+    g[1] += std::get<2>(p);   // tick stime
+    g[2] += std::get<3>(p);   // true user
+    g[3] += std::get<4>(p);   // true system
+    g[4] += std::get<5>(p);   // minor faults
+    g[5] += std::get<6>(p);   // major faults
+    g[6] += std::get<7>(p);   // voluntary switches
+    g[7] += std::get<8>(p);   // involuntary switches
+    g[8] += std::get<9>(p);   // signals received
+    g[9] += std::get<10>(p);  // debug exceptions
+  }
+  EXPECT_GT(snap.procs.size(), 100u);  // the fork storm actually forked
+  EXPECT_EQ(sums, snap.groups);
 }
 
 }  // namespace
