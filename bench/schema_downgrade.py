@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Rewrites a schema-v3 sweep artifact as its schema-v2 equivalent.
+
+v3 added only the scenario-axis coordinate columns (cpu_hz, ram_frames,
+reclaim_batch, ptrace, jiffy_timers) and bumped the version stamp; every
+other byte of a default-axes sweep is identical to what a v2 build wrote.
+Stripping those columns (and rewriting the stamp) therefore reproduces the
+v2 file byte for byte — CI uses this to assert that opening the scenario
+axes did not perturb any pre-existing result.
+
+usage: schema_downgrade.py IN.{csv,jsonl} OUT
+"""
+
+import csv
+import io
+import re
+import sys
+
+V3_COLUMNS = ["cpu_hz", "ram_frames", "reclaim_batch", "ptrace", "jiffy_timers"]
+
+# One ,"key":value pair per v3 key; values are numbers, booleans, or a
+# quote-free enum string, so a non-greedy match to the next comma/brace is
+# exact.
+V3_JSON_RE = re.compile(
+    r',"(?:cpu_hz|ram_frames|reclaim_batch|jiffy_timers)":(?:\d+|true|false)'
+    r'|,"ptrace":"[^"]*"'
+)
+
+
+def downgrade_csv(text: str) -> str:
+    rows = list(csv.reader(io.StringIO(text)))
+    header = rows[0]
+    keep = [i for i, key in enumerate(header) if key not in V3_COLUMNS]
+    schema_col = header.index("schema")
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n", quoting=csv.QUOTE_MINIMAL)
+    writer.writerow([header[i] for i in keep])
+    for row in rows[1:]:
+        if row[schema_col] != "3":
+            raise SystemExit(f"expected schema 3 rows, found {row[schema_col]!r}")
+        row[schema_col] = "2"
+        writer.writerow([row[i] for i in keep])
+    return out.getvalue()
+
+
+def downgrade_jsonl(text: str) -> str:
+    lines = []
+    for line in text.splitlines():
+        if '"schema":3' not in line:
+            raise SystemExit(f"expected schema 3 records, got: {line[:80]}")
+        line = line.replace('"schema":3', '"schema":2', 1)
+        lines.append(V3_JSON_RE.sub("", line))
+    return "".join(line + "\n" for line in lines)
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    src, dst = sys.argv[1], sys.argv[2]
+    with open(src, encoding="utf-8", newline="") as f:
+        text = f.read()
+    out = downgrade_csv(text) if src.endswith(".csv") else downgrade_jsonl(text)
+    with open(dst, "w", encoding="utf-8", newline="") as f:
+        f.write(out)
+
+
+if __name__ == "__main__":
+    main()

@@ -21,8 +21,11 @@ void register_tab_attack_comparison(report::SweepRegistry& registry);
 void register_tab_countermeasures(report::SweepRegistry& registry);
 void register_tab_scheduler_ablation(report::SweepRegistry& registry);
 void register_tab_tick_granularity(report::SweepRegistry& registry);
+/// The scenario-axis ablations (abl_cpufreq, abl_ramsize, abl_ptrace,
+/// abl_jiffy_timer) — one per BatchGrid scenario axis.
+void register_ablations(report::SweepRegistry& registry);
 
-/// Every figure and table sweep, in paper order.
+/// Every figure, table, and ablation sweep, in paper order.
 void register_all_sweeps(report::SweepRegistry& registry);
 
 }  // namespace mtr::bench

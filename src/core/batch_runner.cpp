@@ -18,33 +18,80 @@ constexpr std::uint64_t splitmix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// The value a (possibly empty) axis takes at index `i`: normalization in
+/// one place, shared by grid_cell_coords and the runner (which sees axes
+/// pre-filled by normalized_grid, making this the identity).
+template <typename T>
+const T& axis_value(const std::vector<T>& axis, std::size_t i, const T& base) {
+  return axis.empty() ? base : axis[i];
+}
+
+bool axis_value(const std::vector<bool>& axis, std::size_t i, bool base) {
+  return axis.empty() ? base : axis[i];
+}
+
 }  // namespace
 
 BatchGrid normalized_grid(const BatchGrid& grid) {
   BatchGrid g = grid;
+  const kernel::KernelConfig& k = g.base.sim.kernel;
   if (g.attacks.empty()) g.attacks.push_back({"baseline", nullptr});
   if (g.schedulers.empty()) g.schedulers.push_back(g.base.sim.scheduler);
-  if (g.ticks.empty()) g.ticks.push_back(g.base.sim.kernel.hz);
-  if (g.seeds.empty()) g.seeds.push_back(g.base.sim.kernel.seed);
+  if (g.ticks.empty()) g.ticks.push_back(k.hz);
+  if (g.cpu_freqs.empty()) g.cpu_freqs.push_back(k.cpu);
+  if (g.ram.empty()) g.ram.push_back({k.ram_frames, k.reclaim_batch});
+  if (g.ptrace_policies.empty()) g.ptrace_policies.push_back(k.ptrace_policy);
+  if (g.jiffy_timers.empty()) g.jiffy_timers.push_back(k.jiffy_resolution_timers);
+  if (g.seeds.empty()) g.seeds.push_back(k.seed);
+  return g;
+}
+
+GridCellIndices GridGeometry::coords(std::size_t cell) const {
+  GridCellIndices ix;
+  ix.jiffy = cell % jiffies;
+  cell /= jiffies;
+  ix.ptrace = cell % ptraces;
+  cell /= ptraces;
+  ix.ram = cell % rams;
+  cell /= rams;
+  ix.cpu = cell % cpus;
+  cell /= cpus;
+  ix.tick = cell % ticks;
+  cell /= ticks;
+  ix.scheduler = cell % schedulers;
+  ix.attack = cell / schedulers;
+  return ix;
+}
+
+GridGeometry grid_geometry(const BatchGrid& grid) {
+  const auto extent = [](std::size_t n) { return n > 0 ? n : std::size_t{1}; };
+  GridGeometry g;
+  g.attacks = extent(grid.attacks.size());
+  g.schedulers = extent(grid.schedulers.size());
+  g.ticks = extent(grid.ticks.size());
+  g.cpus = extent(grid.cpu_freqs.size());
+  g.rams = extent(grid.ram.size());
+  g.ptraces = extent(grid.ptrace_policies.size());
+  g.jiffies = extent(grid.jiffy_timers.size());
   return g;
 }
 
 std::size_t grid_cell_count(const BatchGrid& grid) {
-  const std::size_t a = grid.attacks.empty() ? 1 : grid.attacks.size();
-  const std::size_t s = grid.schedulers.empty() ? 1 : grid.schedulers.size();
-  const std::size_t t = grid.ticks.empty() ? 1 : grid.ticks.size();
-  return a * s * t;
+  return grid_geometry(grid).cell_count();
 }
 
 GridCellCoords grid_cell_coords(const BatchGrid& grid, std::size_t cell) {
-  const std::size_t s = grid.schedulers.empty() ? 1 : grid.schedulers.size();
-  const std::size_t t = grid.ticks.empty() ? 1 : grid.ticks.size();
+  const GridCellIndices ix = grid_geometry(grid).coords(cell);
+  const kernel::KernelConfig& k = grid.base.sim.kernel;
   GridCellCoords c;
   c.attack_label =
-      grid.attacks.empty() ? "baseline" : grid.attacks[cell / (s * t)].label;
-  c.scheduler = grid.schedulers.empty() ? grid.base.sim.scheduler
-                                        : grid.schedulers[(cell / t) % s];
-  c.hz = grid.ticks.empty() ? grid.base.sim.kernel.hz : grid.ticks[cell % t];
+      grid.attacks.empty() ? "baseline" : grid.attacks[ix.attack].label;
+  c.scheduler = axis_value(grid.schedulers, ix.scheduler, grid.base.sim.scheduler);
+  c.hz = axis_value(grid.ticks, ix.tick, k.hz);
+  c.cpu = axis_value(grid.cpu_freqs, ix.cpu, k.cpu);
+  c.ram = axis_value(grid.ram, ix.ram, RamSpec{k.ram_frames, k.reclaim_batch});
+  c.ptrace = axis_value(grid.ptrace_policies, ix.ptrace, k.ptrace_policy);
+  c.jiffy_timers = axis_value(grid.jiffy_timers, ix.jiffy, k.jiffy_resolution_timers);
   return c;
 }
 
@@ -55,12 +102,26 @@ bool CellStats::all_source_ok() const {
 }
 
 std::uint64_t cell_seed(std::uint64_t grid_seed, std::size_t attack_i,
-                        std::size_t scheduler_i, std::size_t tick_i) {
+                        std::size_t scheduler_i, std::size_t tick_i,
+                        std::size_t cpu_i, std::size_t ram_i,
+                        std::size_t ptrace_i, std::size_t jiffy_i) {
   std::uint64_t h = splitmix64(grid_seed);
   h = splitmix64(h ^ (static_cast<std::uint64_t>(attack_i) + 1));
   h = splitmix64(h ^ ((static_cast<std::uint64_t>(scheduler_i) + 1) << 20));
   h = splitmix64(h ^ ((static_cast<std::uint64_t>(tick_i) + 1) << 40));
+  // Scenario axes mix in only off their base index so unused axes leave
+  // the seed stream exactly as it was before the axis existed. Distinct
+  // odd multipliers keep the axes decorrelated from one another.
+  if (cpu_i) h = splitmix64(h ^ (cpu_i * 0xA24BAED4963EE407ull));
+  if (ram_i) h = splitmix64(h ^ (ram_i * 0x9FB21C651E98DF25ull));
+  if (ptrace_i) h = splitmix64(h ^ (ptrace_i * 0xD6E8FEB86659FD93ull));
+  if (jiffy_i) h = splitmix64(h ^ (jiffy_i * 0xCA5A826395121157ull));
   return h;
+}
+
+std::uint64_t cell_seed(std::uint64_t grid_seed, const GridCellIndices& ix) {
+  return cell_seed(grid_seed, ix.attack, ix.scheduler, ix.tick, ix.cpu, ix.ram,
+                   ix.ptrace, ix.jiffy);
 }
 
 BatchRunner::BatchRunner(unsigned threads) : threads_(threads) {
@@ -71,12 +132,10 @@ BatchRunner::BatchRunner(unsigned threads) : threads_(threads) {
 std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
                                         const CellCallback& on_cell) const {
   const BatchGrid g = normalized_grid(grid);
+  const GridGeometry geom = grid_geometry(g);
 
-  const std::size_t n_attacks = g.attacks.size();
-  const std::size_t n_scheds = g.schedulers.size();
-  const std::size_t n_ticks = g.ticks.size();
   const std::size_t n_seeds = g.seeds.size();
-  const std::size_t n_cells = n_attacks * n_scheds * n_ticks;
+  const std::size_t n_cells = geom.cell_count();
 
   // Grid-order indices of the cells that actually run. Filtering changes
   // nothing about a surviving cell: coordinates, per-cell seeds, and
@@ -110,16 +169,17 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
   std::exception_ptr error;
 
   auto aggregate = [&](std::size_t pos) {
-    const std::size_t cell = active[pos];
-    const std::size_t attack_i = cell / (n_scheds * n_ticks);
-    const std::size_t sched_i = (cell / n_ticks) % n_scheds;
-    const std::size_t tick_i = cell % n_ticks;
+    const GridCellIndices ix = geom.coords(active[pos]);
 
     CellStats& s = cells[pos];
-    s.attack_label = g.attacks[attack_i].label;
-    s.scheduler = g.schedulers[sched_i];
-    s.hz = g.ticks[tick_i];
-    s.cell_index = g.cell_index_base + cell;
+    s.attack_label = g.attacks[ix.attack].label;
+    s.scheduler = g.schedulers[ix.scheduler];
+    s.hz = g.ticks[ix.tick];
+    s.cpu = g.cpu_freqs[ix.cpu];
+    s.ram = g.ram[ix.ram];
+    s.ptrace = g.ptrace_policies[ix.ptrace];
+    s.jiffy_timers = g.jiffy_timers[ix.jiffy];
+    s.cell_index = g.cell_index_base + active[pos];
     s.seeds = g.seeds;
     s.runs.reserve(n_seeds);
     for (std::size_t seed_i = 0; seed_i < n_seeds; ++seed_i) {
@@ -137,21 +197,23 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
       const std::size_t idx = next.fetch_add(1, std::memory_order_relaxed);
       if (idx >= n_runs) return;
       const std::size_t pos = idx / n_seeds;
-      const std::size_t cell = active[pos];
       const std::size_t seed_i = idx % n_seeds;
-      const std::size_t attack_i = cell / (n_scheds * n_ticks);
-      const std::size_t sched_i = (cell / n_ticks) % n_scheds;
-      const std::size_t tick_i = cell % n_ticks;
+      const GridCellIndices ix = geom.coords(active[pos]);
 
       bool ok = true;
       std::exception_ptr run_error;
       const auto t0 = std::chrono::steady_clock::now();
       try {
         ExperimentConfig cfg = g.base;
-        cfg.sim.scheduler = g.schedulers[sched_i];
-        cfg.sim.kernel.hz = g.ticks[tick_i];
-        cfg.sim.kernel.seed = cell_seed(g.seeds[seed_i], attack_i, sched_i, tick_i);
-        const AttackFactory& make = g.attacks[attack_i].make;
+        cfg.sim.scheduler = g.schedulers[ix.scheduler];
+        cfg.sim.kernel.hz = g.ticks[ix.tick];
+        cfg.sim.kernel.cpu = g.cpu_freqs[ix.cpu];
+        cfg.sim.kernel.ram_frames = g.ram[ix.ram].frames;
+        cfg.sim.kernel.reclaim_batch = g.ram[ix.ram].reclaim_batch;
+        cfg.sim.kernel.ptrace_policy = g.ptrace_policies[ix.ptrace];
+        cfg.sim.kernel.jiffy_resolution_timers = g.jiffy_timers[ix.jiffy];
+        cfg.sim.kernel.seed = cell_seed(g.seeds[seed_i], ix);
+        const AttackFactory& make = g.attacks[ix.attack].make;
         const std::unique_ptr<attacks::Attack> attack = make ? make() : nullptr;
         results[idx] = run_experiment(cfg, attack.get());
       } catch (...) {
@@ -182,7 +244,7 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
         aggregate(emit);
         if (!on_cell) continue;
         try {
-          on_cell({active[emit], n_cells, cell_wall[emit], cells[emit]});
+          on_cell({active[emit], n_cells, cell_wall[emit], geom, cells[emit]});
         } catch (...) {
           const std::size_t first_run = emit * n_seeds;
           if (first_run < error_index) {
@@ -215,17 +277,23 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
   }
 
   if (error) {
-    const std::size_t cell = active[error_index / n_seeds];
+    const GridCellIndices ix = geom.coords(active[error_index / n_seeds]);
     const std::size_t seed_i = error_index % n_seeds;
-    const std::size_t attack_i = cell / (n_scheds * n_ticks);
-    const std::size_t sched_i = (cell / n_ticks) % n_scheds;
-    const std::size_t tick_i = cell % n_ticks;
     // A callback failure happened after every run of the cell succeeded, so
-    // name the cell but not a (blameless) seed.
+    // name the cell but not a (blameless) seed. Scenario axes are named
+    // only when actually swept — default-axis grids keep the short form.
     std::string where =
-        std::string("BatchRunner cell [attack=") + g.attacks[attack_i].label +
-        ", scheduler=" + sim::to_string(g.schedulers[sched_i]) +
-        ", hz=" + std::to_string(g.ticks[tick_i].v);
+        std::string("BatchRunner cell [attack=") + g.attacks[ix.attack].label +
+        ", scheduler=" + sim::to_string(g.schedulers[ix.scheduler]) +
+        ", hz=" + std::to_string(g.ticks[ix.tick].v);
+    if (geom.cpus > 1) where += ", cpu_hz=" + std::to_string(g.cpu_freqs[ix.cpu].v);
+    if (geom.rams > 1)
+      where += ", ram_frames=" + std::to_string(g.ram[ix.ram].frames) +
+               ", reclaim_batch=" + std::to_string(g.ram[ix.ram].reclaim_batch);
+    if (geom.ptraces > 1)
+      where += std::string(", ptrace=") + kernel::to_string(g.ptrace_policies[ix.ptrace]);
+    if (geom.jiffies > 1)
+      where += std::string(", jiffy_timers=") + (g.jiffy_timers[ix.jiffy] ? "on" : "off");
     if (!error_from_callback) where += ", seed=" + std::to_string(g.seeds[seed_i]);
     where += error_from_callback ? "] per-cell callback" : "]";
     try {

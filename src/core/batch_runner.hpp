@@ -1,12 +1,16 @@
 // Parallel experiment sweeps.
 //
-// A BatchGrid names the four sweep dimensions of the paper's tables —
-// attack x scheduler x tick granularity x seed — and BatchRunner fans the
-// cross product across a std::thread pool. Each run builds its own
-// Simulation (run_experiment is self-contained), each cell derives its
-// kernel seeds deterministically from the grid seed and the cell
-// coordinates, and cells are aggregated and emitted in grid order — so the
-// output is bit-identical for any thread count.
+// A BatchGrid names the sweep axes of the paper's tables and ablations —
+// attack x scheduler x tick granularity plus the scenario axes (CPU
+// frequency, RAM size / reclaim batch, ptrace policy, jiffy-resolution
+// timers) — and BatchRunner fans the cross product across a std::thread
+// pool. Each run builds its own Simulation (run_experiment is
+// self-contained), each cell derives its kernel seeds deterministically
+// from the grid seed and the cell coordinates, and cells are aggregated
+// and emitted in grid order — so the output is bit-identical for any
+// thread count. Axes left empty default to the grid's `base` value and
+// change nothing: cell indices, per-cell seeds, and sink artifacts are
+// identical to a grid without the axis.
 #pragma once
 
 #include <cstdint>
@@ -31,15 +35,33 @@ struct AttackSpec {
   AttackFactory make;  // null => no attack
 };
 
-/// One sweep. Cells are the cross product attack x scheduler x hz; seeds
-/// are replicate runs within each cell. An empty dimension defaults to the
-/// corresponding value of `base` (one baseline attack, base scheduler,
-/// base HZ, base seed).
+/// One RAM configuration: physical frames plus the kswapd-style batch the
+/// reclaimer frees at a time — swept together because the paper's
+/// memory-pressure behaviour depends on both.
+struct RamSpec {
+  std::uint32_t frames = 16 * 1024;       // KernelConfig::ram_frames
+  std::uint32_t reclaim_batch = 256;      // KernelConfig::reclaim_batch
+  friend constexpr bool operator==(const RamSpec&, const RamSpec&) = default;
+};
+
+/// One sweep. Cells are the cross product
+///   attack x scheduler x hz x cpu x ram x ptrace x jiffy-timer
+/// (attack-major, jiffy-minor); seeds are replicate runs within each cell.
+/// An empty axis defaults to the corresponding value of `base` (one
+/// baseline attack, base scheduler, base HZ, base kernel scenario, base
+/// seed) and leaves the cell numbering of the remaining axes untouched.
 struct BatchGrid {
   ExperimentConfig base{};
   std::vector<AttackSpec> attacks;
   std::vector<sim::SchedulerKind> schedulers;
   std::vector<TimerHz> ticks;
+  /// Scenario axes (ablations): virtual CPU frequency, RAM size / reclaim
+  /// batch, the LSM ptrace gate, and whether nanosleep timeouts ride the
+  /// jiffy tick (the scheduling attack's enabling countermeasure knob).
+  std::vector<CpuHz> cpu_freqs;
+  std::vector<RamSpec> ram;
+  std::vector<kernel::PtracePolicy> ptrace_policies;
+  std::vector<bool> jiffy_timers;
   std::vector<std::uint64_t> seeds;
 
   /// Optional cell-subset filter (sharding, resume): called with each
@@ -57,26 +79,69 @@ struct BatchGrid {
   std::size_t cell_index_base = 0;
 };
 
-/// `grid` with empty dimensions replaced by their `base` defaults.
+/// `grid` with empty axes replaced by their `base` defaults.
 BatchGrid normalized_grid(const BatchGrid& grid);
 
-/// Cells in the grid (attacks x schedulers x ticks, empty dims count 1).
+/// Per-axis indices of one grid-order cell.
+struct GridCellIndices {
+  std::size_t attack = 0;
+  std::size_t scheduler = 0;
+  std::size_t tick = 0;
+  std::size_t cpu = 0;
+  std::size_t ram = 0;
+  std::size_t ptrace = 0;
+  std::size_t jiffy = 0;
+};
+
+/// Normalized per-axis extents of a grid (empty axes count 1) and the cell
+/// index arithmetic over them — the single geometry seam shared by
+/// grid_cell_count, grid_cell_coords, and BatchRunner::run, so a
+/// cell_filter built against a raw grid can never disagree with the
+/// runner's own numbering.
+struct GridGeometry {
+  std::size_t attacks = 1;
+  std::size_t schedulers = 1;
+  std::size_t ticks = 1;
+  std::size_t cpus = 1;
+  std::size_t rams = 1;
+  std::size_t ptraces = 1;
+  std::size_t jiffies = 1;
+
+  std::size_t cell_count() const {
+    return attacks * schedulers * ticks * cpus * rams * ptraces * jiffies;
+  }
+  /// Decomposes a grid-order cell index (attack-major, jiffy-minor).
+  GridCellIndices coords(std::size_t cell) const;
+};
+
+GridGeometry grid_geometry(const BatchGrid& grid);
+
+/// Cells in the grid (the axis cross product; empty axes count 1).
 std::size_t grid_cell_count(const BatchGrid& grid);
 
-/// Coordinates of one grid-order cell, with empty dimensions defaulted the
-/// same way normalized_grid does.
+/// Coordinates of one grid-order cell, with empty axes defaulted the same
+/// way normalized_grid does.
 struct GridCellCoords {
   std::string attack_label;
   sim::SchedulerKind scheduler{};
   TimerHz hz{};
+  CpuHz cpu{};
+  RamSpec ram{};
+  kernel::PtracePolicy ptrace{};
+  bool jiffy_timers = true;
 };
 GridCellCoords grid_cell_coords(const BatchGrid& grid, std::size_t cell);
 
-/// Aggregate for one (attack, scheduler, hz) cell across its seeds.
+/// Aggregate for one grid cell across its seeds. The coordinate block
+/// mirrors GridCellCoords and is stamped into every sink record.
 struct CellStats {
   std::string attack_label;
   sim::SchedulerKind scheduler{};
   TimerHz hz{};
+  CpuHz cpu{};
+  RamSpec ram{};
+  kernel::PtracePolicy ptrace{};
+  bool jiffy_timers = true;
   /// Invocation-global cell index: BatchGrid::cell_index_base plus the
   /// cell's grid-order index. Serialized into every record so sharded
   /// outputs can be merged back into canonical order.
@@ -152,6 +217,10 @@ struct CellEvent {
   std::size_t index = 0;      // grid-order cell index
   std::size_t total = 0;      // cells in this grid
   double wall_seconds = 0.0;  // real compute time, summed over the cell's runs
+  /// Normalized axis extents of the running grid, so consumers can tell a
+  /// swept coordinate (extent > 1) from a constant one — e.g. progress
+  /// lines print exactly the axes this grid opens.
+  GridGeometry geometry;
   const CellStats& cell;
 };
 
@@ -163,8 +232,16 @@ using CellCallback = std::function<void(const CellEvent&)>;
 /// Derives the kernel seed for one run: a splitmix64 mix of the grid seed
 /// with the cell coordinates, so the same grid seed decorrelates across
 /// cells while staying reproducible and independent of scheduling order.
+/// The scenario-axis indices fold in only when non-zero, so a grid that
+/// leaves an axis at its default (index 0 everywhere) reproduces exactly
+/// the seeds — and therefore the results — of a grid without the axis.
 std::uint64_t cell_seed(std::uint64_t grid_seed, std::size_t attack_i,
-                        std::size_t scheduler_i, std::size_t tick_i);
+                        std::size_t scheduler_i, std::size_t tick_i,
+                        std::size_t cpu_i = 0, std::size_t ram_i = 0,
+                        std::size_t ptrace_i = 0, std::size_t jiffy_i = 0);
+
+/// Convenience over decomposed cell indices (see GridGeometry::coords).
+std::uint64_t cell_seed(std::uint64_t grid_seed, const GridCellIndices& ix);
 
 class BatchRunner {
  public:
@@ -173,8 +250,8 @@ class BatchRunner {
 
   unsigned threads() const { return threads_; }
 
-  /// Runs the grid; returns one CellStats per (attack, scheduler, hz)
-  /// combination in attack-major grid order, restricted to the cells
+  /// Runs the grid; returns one CellStats per axis combination
+  /// in attack-major grid order, restricted to the cells
   /// admitted by `grid.cell_filter` (all of them when the filter is null).
   /// `on_cell`, when set, streams each admitted cell as soon as it and all
   /// earlier admitted cells are complete. If any experiment throws, the

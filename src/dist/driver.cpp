@@ -63,22 +63,18 @@ std::vector<std::uint64_t> consecutive_seeds(std::size_t n, std::uint64_t first)
   throw std::runtime_error(message + "\n\n" + kUsage);
 }
 
-/// Strict strtod: the whole value must parse ("2x" is an error, unlike
-/// atof's silent 2.0).
+/// Strict full-match parse ("2x" is an error, unlike atof's silent 2.0);
+/// the same mtr::parse_* helpers the record scanners use.
 double parse_double_flag(std::string_view flag, const std::string& v) {
-  char* end = nullptr;
-  const double x = std::strtod(v.c_str(), &end);
-  if (v.empty() || end != v.c_str() + v.size())
-    bad_usage(std::string(flag) + ": invalid number '" + v + "'");
-  return x;
+  const std::optional<double> x = parse_f64(v);
+  if (!x) bad_usage(std::string(flag) + ": invalid number '" + v + "'");
+  return *x;
 }
 
 long parse_long_flag(std::string_view flag, const std::string& v) {
-  char* end = nullptr;
-  const long x = std::strtol(v.c_str(), &end, 10);
-  if (v.empty() || end != v.c_str() + v.size())
-    bad_usage(std::string(flag) + ": invalid integer '" + v + "'");
-  return x;
+  const std::optional<long> x = parse_number<long>(v);
+  if (!x) bad_usage(std::string(flag) + ": invalid integer '" + v + "'");
+  return *x;
 }
 
 void create_parent_dirs(const std::string& path) {

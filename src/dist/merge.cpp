@@ -39,23 +39,53 @@ std::string describe(const CellBlock& b) {
          ", hz=" + std::to_string(b.hz) + "]";
 }
 
+/// "path:line" of a block's `i`-th run record (run lines are contiguous).
+std::string run_line_at(const std::string& path, const CellBlock& b,
+                        std::size_t i) {
+  return path + ":" + std::to_string(b.first_line + i);
+}
+
 bool has_suffix(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-/// Collects every input's blocks into one cell_index -> (block, source)
-/// map, rejecting incomplete shards, empty inputs, duplicates, and gaps.
-std::map<std::uint64_t, std::pair<CellBlock, std::string>> gather_blocks(
-    const std::vector<std::string>& inputs, bool jsonl) {
+/// Every input's blocks in one cell_index -> (block, source) map, plus the
+/// schema version all of them share.
+struct GatheredBlocks {
   std::map<std::uint64_t, std::pair<CellBlock, std::string>> cells;
+  /// The inputs' common schema version (v2 shards merge into a v2 file,
+  /// v3 into v3; a mix is rejected).
+  std::uint64_t schema = 0;
+};
+
+/// Collects every input's blocks, rejecting incomplete shards, empty
+/// inputs, duplicates, gaps, and inputs whose schema versions disagree.
+GatheredBlocks gather_blocks(const std::vector<std::string>& inputs,
+                             bool jsonl) {
+  GatheredBlocks out;
+  auto& cells = out.cells;
+  std::string schema_source;
   for (const std::string& path : inputs) {
     FileScan scan = jsonl ? scan_jsonl(path) : scan_csv(path);
     if (!scan.clean)
       throw std::runtime_error(
-          path + ": " + scan.tail_error +
+          scan.tail_error +
           " — the shard looks killed mid-write; finish it with --resume "
           "(or re-run it) before merging");
+    if (scan.schema != 0) {
+      if (out.schema == 0) {
+        out.schema = scan.schema;
+        schema_source = path;
+      } else if (out.schema != scan.schema) {
+        throw std::runtime_error(
+            path + ": records carry schema v" + std::to_string(scan.schema) +
+            " but " + schema_source + " carries v" +
+            std::to_string(out.schema) +
+            " — shards of one sweep never mix versions; merge each "
+            "generation separately");
+      }
+    }
     // A blockless file is fine: a shard can own zero cells of a small
     // sweep and still leave its (empty) output behind.
     for (CellBlock& b : scan.blocks) {
@@ -119,38 +149,50 @@ std::map<std::uint64_t, std::pair<CellBlock, std::string>> gather_blocks(
           " — was a shard's output left out of the merge?");
     }
   }
-  return cells;
+  return out;
 }
 
 /// Rebuilds the `record:"cell"` aggregate line from the block's run
-/// records, exactly the way JsonlSink computes it.
+/// records, exactly the way JsonlSink computes it — including the v2
+/// layout for v2 shard files, so old sweeps merge byte-identically too.
 std::string recompute_cell_line(const CellBlock& b, const std::string& path) {
   report::CellSummary s;
+  s.schema = b.schema;
   s.sweep = b.sweep;
   s.cell_index = b.cell_index;
   s.attack = b.attack;
   s.scheduler = b.scheduler;
   s.hz = b.hz;
+  s.cpu_hz = b.cpu_hz;
+  s.ram_frames = b.ram_frames;
+  s.reclaim_batch = b.reclaim_batch;
+  s.ptrace = b.ptrace;
+  s.jiffy_timers = b.jiffy_timers;
   s.seeds = b.run_lines.size();
   for (const std::string& key : cell_stat_keys()) s.stats.push_back({key, {}});
 
-  for (const std::string& line : b.run_lines) {
+  for (std::size_t i = 0; i < b.run_lines.size(); ++i) {
+    const std::string& line = b.run_lines[i];
     std::map<std::string, std::string> f;
     if (!parse_json_line(line, f))
-      throw std::runtime_error(path + ": unparseable run record in " +
-                               describe(b));
+      throw std::runtime_error(run_line_at(path, b, i) +
+                               ": unparseable run record in " + describe(b));
     const auto workload = json_string(f, "workload");
     const auto source_ok = json_bool(f, "source_ok");
     if (!workload || !source_ok)
-      throw std::runtime_error(path + ": run record of " + describe(b) +
-                               " is missing workload/source_ok");
+      throw std::runtime_error(
+          run_line_at(path, b, i) + ": run record of " + describe(b) +
+          " is missing or has an invalid field '" +
+          (!workload ? "workload" : "source_ok") + "'");
     s.workload = *workload;  // constant within a cell
     s.source_ok = s.source_ok && *source_ok;
     for (report::CellStatSummary& st : s.stats) {
       const auto v = json_double(f, st.key);
       if (!v)
-        throw std::runtime_error(path + ": run record of " + describe(b) +
-                                 " is missing stat field " + st.key);
+        throw std::runtime_error(run_line_at(path, b, i) + ": run record of " +
+                                 describe(b) +
+                                 " is missing or has an invalid field '" +
+                                 st.key + "'");
       st.stats.add(*v);
     }
   }
@@ -199,7 +241,7 @@ MergeOptions parse_merge_args(int argc, const char* const* argv) {
 
 std::string merge_jsonl(const std::vector<std::string>& inputs,
                         std::vector<std::uint64_t>* cell_indices) {
-  const auto cells = gather_blocks(inputs, /*jsonl=*/true);
+  const auto& cells = gather_blocks(inputs, /*jsonl=*/true).cells;
   std::string out;
   for (const auto& [index, entry] : cells) {
     const CellBlock& b = entry.first;
@@ -222,9 +264,13 @@ std::string merge_jsonl(const std::vector<std::string>& inputs,
 
 std::string merge_csv(const std::vector<std::string>& inputs,
                       std::vector<std::uint64_t>* cell_indices) {
-  const auto cells = gather_blocks(inputs, /*jsonl=*/false);
+  const GatheredBlocks gathered = gather_blocks(inputs, /*jsonl=*/false);
+  const auto& cells = gathered.cells;
+  const std::uint64_t schema = gathered.schema;
   std::ostringstream os;
-  report::write_csv_header(os);
+  // The header mirrors the shards' version: v2 inputs round-trip into the
+  // byte-identical v2 file a v2 build would have produced.
+  report::write_csv_header(os, schema == 0 ? report::kSchemaVersion : schema);
   std::string out = os.str();
   for (const auto& [index, entry] : cells) {
     for (const std::string& line : entry.first.run_lines) {

@@ -7,17 +7,6 @@
 #include "report/result_sink.hpp"
 
 namespace mtr::dist {
-
-std::optional<std::uint64_t> parse_u64(const std::string& s) {
-  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
-    return std::nullopt;
-  try {
-    return std::stoull(s);
-  } catch (const std::out_of_range&) {
-    return std::nullopt;
-  }
-}
-
 namespace {
 
 /// Index past the closing quote of the string starting at `from` (which
@@ -158,11 +147,95 @@ const std::vector<std::string>& cell_stat_keys() {
 
 namespace {
 
-[[noreturn]] void schema_error(const std::string& path, std::uint64_t found) {
+std::string where(const std::string& path, std::uint64_t line) {
+  return path + ":" + std::to_string(line);
+}
+
+[[noreturn]] void schema_error(const std::string& path, std::uint64_t line,
+                               std::uint64_t found) {
   throw std::runtime_error(
-      path + ": record schema version " + std::to_string(found) +
-      " does not match this build's " + std::to_string(report::kSchemaVersion) +
-      " — refusing to mix schema versions");
+      where(path, line) + ": record schema version " + std::to_string(found) +
+      " is not supported by this build (writes v" +
+      std::to_string(report::kSchemaVersion) + ", reads v" +
+      std::to_string(report::kMinReadSchemaVersion) + "-v" +
+      std::to_string(report::kSchemaVersion) + ")");
+}
+
+[[noreturn]] void mixed_schema_error(const std::string& path, std::uint64_t line,
+                                     std::uint64_t first, std::uint64_t found) {
+  throw std::runtime_error(
+      where(path, line) + ": record schema version changes from " +
+      std::to_string(first) + " to " + std::to_string(found) +
+      " mid-file — refusing to mix schema versions");
+}
+
+/// The coordinate columns of one record, shared between the two scanners.
+/// Scenario-axis members stay at their defaults for v2 records.
+struct RecCoords {
+  std::uint64_t cell_index = 0;
+  std::string sweep, attack, scheduler, ptrace;
+  std::uint64_t hz = 0, cpu_hz = 0, ram_frames = 0, reclaim_batch = 0;
+  bool jiffy_timers = true;
+
+  friend bool operator==(const RecCoords&, const RecCoords&) = default;
+
+  bool same_cell(const CellBlock& b) const {
+    return b.cell_index == cell_index && b.sweep == sweep && b.attack == attack &&
+           b.scheduler == scheduler && b.hz == hz && b.cpu_hz == cpu_hz &&
+           b.ram_frames == ram_frames && b.reclaim_batch == reclaim_batch &&
+           b.ptrace == ptrace && b.jiffy_timers == jiffy_timers;
+  }
+  void stamp(CellBlock& b) const {
+    b.cell_index = cell_index;
+    b.sweep = sweep;
+    b.attack = attack;
+    b.scheduler = scheduler;
+    b.hz = hz;
+    b.cpu_hz = cpu_hz;
+    b.ram_frames = ram_frames;
+    b.reclaim_batch = reclaim_batch;
+    b.ptrace = ptrace;
+    b.jiffy_timers = jiffy_timers;
+  }
+};
+
+/// Pulls the coordinates out of a parsed JSONL record; on failure returns
+/// the name of the missing/invalid field.
+const char* extract_json_coords(const std::map<std::string, std::string>& f,
+                                std::uint64_t schema, RecCoords& out) {
+  const auto sweep = json_string(f, "sweep");
+  const auto cell_index = json_u64(f, "cell_index");
+  const auto attack = json_string(f, "attack");
+  const auto scheduler = json_string(f, "scheduler");
+  const auto hz = json_u64(f, "hz");
+  if (!sweep) return "sweep";
+  if (!cell_index) return "cell_index";
+  if (!attack) return "attack";
+  if (!scheduler) return "scheduler";
+  if (!hz) return "hz";
+  out.sweep = *sweep;
+  out.cell_index = *cell_index;
+  out.attack = *attack;
+  out.scheduler = *scheduler;
+  out.hz = *hz;
+  if (schema >= 3) {
+    const auto cpu_hz = json_u64(f, "cpu_hz");
+    const auto ram_frames = json_u64(f, "ram_frames");
+    const auto reclaim_batch = json_u64(f, "reclaim_batch");
+    const auto ptrace = json_string(f, "ptrace");
+    const auto jiffy = json_bool(f, "jiffy_timers");
+    if (!cpu_hz) return "cpu_hz";
+    if (!ram_frames) return "ram_frames";
+    if (!reclaim_batch) return "reclaim_batch";
+    if (!ptrace) return "ptrace";
+    if (!jiffy) return "jiffy_timers";
+    out.cpu_hz = *cpu_hz;
+    out.ram_frames = *ram_frames;
+    out.reclaim_batch = *reclaim_batch;
+    out.ptrace = *ptrace;
+    out.jiffy_timers = *jiffy;
+  }
+  return nullptr;
 }
 
 }  // namespace
@@ -175,6 +248,7 @@ FileScan scan_jsonl(const std::string& path) {
   CellBlock open;
   bool has_open = false;
   std::uint64_t offset = 0;
+  std::uint64_t line_no = 0;
   std::string line;
   const auto stop = [&](std::string why) {
     scan.clean = false;
@@ -182,32 +256,38 @@ FileScan scan_jsonl(const std::string& path) {
   };
 
   while (std::getline(in, line)) {
+    ++line_no;
     if (in.eof()) {
       // The last line had no trailing newline: a mid-write kill.
-      stop("truncated final line");
+      stop(where(path, line_no) + ": truncated final line");
       break;
     }
     const std::uint64_t line_end = offset + line.size() + 1;
 
     std::map<std::string, std::string> f;
     if (!parse_json_line(line, f)) {
-      stop("unparseable record at byte " + std::to_string(offset));
+      stop(where(path, line_no) + ": unparseable record (byte " +
+           std::to_string(offset) + ")");
       break;
     }
     const auto record = json_string(f, "record");
     const auto schema = json_u64(f, "schema");
     if (!record || !schema) {
-      stop("record without type/schema at byte " + std::to_string(offset));
+      stop(where(path, line_no) + ": record missing or invalid field '" +
+           (!record ? "record" : "schema") + "'");
       break;
     }
-    if (*schema != report::kSchemaVersion) schema_error(path, *schema);
-    const auto sweep = json_string(f, "sweep");
-    const auto cell_index = json_u64(f, "cell_index");
-    const auto attack = json_string(f, "attack");
-    const auto scheduler = json_string(f, "scheduler");
-    const auto hz = json_u64(f, "hz");
-    if (!sweep || !cell_index || !attack || !scheduler || !hz) {
-      stop("record missing cell coordinates at byte " + std::to_string(offset));
+    if (*schema < report::kMinReadSchemaVersion ||
+        *schema > report::kSchemaVersion)
+      schema_error(path, line_no, *schema);
+    if (scan.schema == 0) scan.schema = *schema;
+    else if (scan.schema != *schema)
+      mixed_schema_error(path, line_no, scan.schema, *schema);
+
+    RecCoords c;
+    if (const char* bad = extract_json_coords(f, *schema, c)) {
+      stop(where(path, line_no) + ": record missing or invalid field '" +
+           bad + "'");
       break;
     }
 
@@ -215,45 +295,41 @@ FileScan scan_jsonl(const std::string& path) {
       const auto seed = json_u64(f, "seed");
       const auto seed_index = json_u64(f, "seed_index");
       if (!seed || !seed_index) {
-        stop("run record missing seed/seed_index at byte " + std::to_string(offset));
+        stop(where(path, line_no) + ": run record missing or invalid field '" +
+             (!seed ? "seed" : "seed_index") + "'");
         break;
       }
       if (!has_open) {
         if (*seed_index != 0) {
-          stop("run records of cell " + std::to_string(*cell_index) +
-               " start mid-cell");
+          stop(where(path, line_no) + ": run records of cell " +
+               std::to_string(c.cell_index) + " start mid-cell");
           break;
         }
         open = CellBlock{};
-        open.cell_index = *cell_index;
-        open.sweep = *sweep;
-        open.attack = *attack;
-        open.scheduler = *scheduler;
-        open.hz = *hz;
+        open.schema = *schema;
+        open.first_line = line_no;
+        c.stamp(open);
         has_open = true;
-      } else if (open.cell_index != *cell_index || open.sweep != *sweep ||
-                 open.attack != *attack || open.scheduler != *scheduler ||
-                 open.hz != *hz) {
-        stop("cell " + std::to_string(open.cell_index) +
+      } else if (!c.same_cell(open)) {
+        stop(where(path, line_no) + ": cell " + std::to_string(open.cell_index) +
              " has run records but no summary");
         break;
       } else if (*seed_index != open.seeds.size()) {
-        stop("seed_index discontinuity in cell " + std::to_string(*cell_index));
+        stop(where(path, line_no) + ": seed_index discontinuity in cell " +
+             std::to_string(c.cell_index));
         break;
       }
       open.seeds.push_back(*seed);
       open.run_lines.push_back(line);
     } else if (*record == "cell") {
       const auto n = json_u64(f, "seeds");
-      if (!has_open || open.cell_index != *cell_index || open.sweep != *sweep ||
-          open.attack != *attack || open.scheduler != *scheduler ||
-          open.hz != *hz) {
-        stop("cell summary for cell " + std::to_string(*cell_index) +
-             " without its run records");
+      if (!has_open || !c.same_cell(open)) {
+        stop(where(path, line_no) + ": cell summary for cell " +
+             std::to_string(c.cell_index) + " without its run records");
         break;
       }
       if (!n || *n != open.seeds.size()) {
-        stop("cell " + std::to_string(*cell_index) +
+        stop(where(path, line_no) + ": cell " + std::to_string(c.cell_index) +
              " summary seed count disagrees with its run records");
         break;
       }
@@ -265,14 +341,15 @@ FileScan scan_jsonl(const std::string& path) {
       open = CellBlock{};
       has_open = false;
     } else {
-      stop("unknown record type '" + *record + "'");
+      stop(where(path, line_no) + ": unknown record type '" + *record + "'");
       break;
     }
     offset = line_end;
   }
 
   if (scan.clean && has_open)
-    stop("incomplete cell " + std::to_string(open.cell_index) +
+    stop(where(path, open.first_line) + ": incomplete cell " +
+         std::to_string(open.cell_index) +
          " at end of file (runs without a summary)");
   return scan;
 }
@@ -286,16 +363,28 @@ FileScan scan_csv(const std::string& path) {
   if (!std::getline(in, line)) return scan;  // empty file: nothing done yet
   if (in.eof()) {
     scan.clean = false;
-    scan.tail_error = "truncated header row";
+    scan.tail_error = where(path, 1) + ": truncated header row";
     return scan;
   }
   const std::vector<std::string> header = report::split_csv_line(line);
-  const std::vector<std::string> canonical = report::run_schema_keys();
-  if (header != canonical)
+  // The header row names the layout: the current schema or any older one
+  // this build still reads.
+  std::uint64_t version = 0;
+  for (std::uint64_t v = report::kSchemaVersion;
+       v >= report::kMinReadSchemaVersion; --v) {
+    if (header == report::run_schema_keys(v)) {
+      version = v;
+      break;
+    }
+  }
+  if (version == 0)
     throw std::runtime_error(
-        path + ": CSV header does not match this build's schema (version " +
+        where(path, 1) + ": CSV header matches no supported schema layout "
+        "(this build writes v" + std::to_string(report::kSchemaVersion) +
+        ", reads v" + std::to_string(report::kMinReadSchemaVersion) + "-v" +
         std::to_string(report::kSchemaVersion) +
         ") — refusing to mix schema versions");
+  scan.schema = version;
   const auto col = [&](const char* key) {
     for (std::size_t i = 0; i < header.size(); ++i)
       if (header[i] == key) return i;
@@ -305,8 +394,15 @@ FileScan scan_csv(const std::string& path) {
                     c_cell = col("cell_index"), c_attack = col("attack"),
                     c_sched = col("scheduler"), c_hz = col("hz"),
                     c_seed = col("seed"), c_seed_i = col("seed_index");
+  const bool v3 = version >= 3;
+  const std::size_t c_cpu = v3 ? col("cpu_hz") : 0;
+  const std::size_t c_ram = v3 ? col("ram_frames") : 0;
+  const std::size_t c_reclaim = v3 ? col("reclaim_batch") : 0;
+  const std::size_t c_ptrace = v3 ? col("ptrace") : 0;
+  const std::size_t c_jiffy = v3 ? col("jiffy_timers") : 0;
 
   std::uint64_t offset = line.size() + 1;
+  std::uint64_t line_no = 1;
   scan.valid_bytes = offset;
   scan.header_bytes = offset;
   CellBlock open;
@@ -317,39 +413,80 @@ FileScan scan_csv(const std::string& path) {
   };
 
   while (std::getline(in, line)) {
+    ++line_no;
     if (in.eof()) {
-      stop("truncated final row");
+      stop(where(path, line_no) + ": truncated final row");
       break;
     }
     const std::uint64_t line_end = offset + line.size() + 1;
     const std::vector<std::string> row = report::split_csv_line(line);
     if (row.size() != header.size()) {
-      stop("malformed row at byte " + std::to_string(offset));
+      stop(where(path, line_no) + ": malformed row (" +
+           std::to_string(row.size()) + " of " +
+           std::to_string(header.size()) + " columns)");
       break;
     }
-    const auto schema = parse_u64(row[c_schema]);
-    if (!schema) {
-      stop("bad schema value at byte " + std::to_string(offset));
-      break;
-    }
-    if (*schema != report::kSchemaVersion) schema_error(path, *schema);
-    const auto cell_index = parse_u64(row[c_cell]);
-    const auto hz = parse_u64(row[c_hz]);
-    const auto seed = parse_u64(row[c_seed]);
-    const auto seed_index = parse_u64(row[c_seed_i]);
-    if (!cell_index || !hz || !seed || !seed_index) {
-      stop("bad numeric cell coordinates at byte " + std::to_string(offset));
-      break;
+    // Strict full-match parsing on every numeric coordinate: a corrupt
+    // row must stop the scan at a named field, not round-trip a mangled
+    // value into resume/merge decisions.
+    const auto num = [&](std::size_t c, const char* key) {
+      const std::optional<std::uint64_t> v = parse_u64(row[c]);
+      if (!v)
+        stop(where(path, line_no) + ": field '" + key +
+             "' has non-numeric value '" + row[c] + "'");
+      return v;
+    };
+    const auto schema = num(c_schema, "schema");
+    if (!schema) break;
+    if (*schema < report::kMinReadSchemaVersion ||
+        *schema > report::kSchemaVersion)
+      schema_error(path, line_no, *schema);
+    if (*schema != version)
+      mixed_schema_error(path, line_no, version, *schema);
+    const auto cell_index = num(c_cell, "cell_index");
+    if (!cell_index) break;
+    const auto hz = num(c_hz, "hz");
+    if (!hz) break;
+    const auto seed = num(c_seed, "seed");
+    if (!seed) break;
+    const auto seed_index = num(c_seed_i, "seed_index");
+    if (!seed_index) break;
+
+    RecCoords c;
+    c.cell_index = *cell_index;
+    c.sweep = row[c_sweep];
+    c.attack = row[c_attack];
+    c.scheduler = row[c_sched];
+    c.hz = *hz;
+    if (v3) {
+      const auto cpu_hz = num(c_cpu, "cpu_hz");
+      if (!cpu_hz) break;
+      const auto ram_frames = num(c_ram, "ram_frames");
+      if (!ram_frames) break;
+      const auto reclaim_batch = num(c_reclaim, "reclaim_batch");
+      if (!reclaim_batch) break;
+      c.cpu_hz = *cpu_hz;
+      c.ram_frames = *ram_frames;
+      c.reclaim_batch = *reclaim_batch;
+      c.ptrace = row[c_ptrace];
+      if (row[c_jiffy] != "true" && row[c_jiffy] != "false") {
+        stop(where(path, line_no) +
+             ": field 'jiffy_timers' has non-boolean value '" + row[c_jiffy] +
+             "'");
+        break;
+      }
+      c.jiffy_timers = row[c_jiffy] == "true";
     }
 
-    if (has_open && open.cell_index == *cell_index) {
-      if (open.sweep != row[c_sweep] || open.attack != row[c_attack] ||
-          open.scheduler != row[c_sched] || open.hz != *hz) {
-        stop("conflicting coordinates within cell " + std::to_string(*cell_index));
+    if (has_open && open.cell_index == c.cell_index) {
+      if (!c.same_cell(open)) {
+        stop(where(path, line_no) + ": conflicting coordinates within cell " +
+             std::to_string(c.cell_index));
         break;
       }
       if (*seed_index != open.seeds.size()) {
-        stop("seed_index discontinuity in cell " + std::to_string(*cell_index));
+        stop(where(path, line_no) + ": seed_index discontinuity in cell " +
+             std::to_string(c.cell_index));
         break;
       }
     } else {
@@ -360,14 +497,13 @@ FileScan scan_csv(const std::string& path) {
         scan.blocks.push_back(std::move(open));
       }
       open = CellBlock{};
-      open.cell_index = *cell_index;
-      open.sweep = row[c_sweep];
-      open.attack = row[c_attack];
-      open.scheduler = row[c_sched];
-      open.hz = *hz;
+      open.schema = *schema;
+      open.first_line = line_no;
+      c.stamp(open);
       has_open = true;
       if (*seed_index != 0) {
-        stop("rows of cell " + std::to_string(*cell_index) + " start mid-cell");
+        stop(where(path, line_no) + ": rows of cell " +
+             std::to_string(c.cell_index) + " start mid-cell");
         has_open = false;
         break;
       }

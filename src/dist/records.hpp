@@ -4,8 +4,9 @@
 // `record:"cell"` summary), possibly ending in the partial tail a killed
 // sweep left behind. Scanners collect the complete blocks, remember where
 // the valid prefix ends (so resume can truncate the tail away), and reject
-// wrong or mixed schema versions outright. Shared by ResumeIndex and
-// mtr_merge.
+// unsupported or mixed schema versions outright; the current (v3) and the
+// previous (v2, pre-scenario-axes) layouts both scan. Shared by
+// ResumeIndex and mtr_merge.
 #pragma once
 
 #include <cstdint>
@@ -14,17 +15,34 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.hpp"
+
 namespace mtr::dist {
+
+// Strict integer parsing (mtr::parse_u64 in common/parse.hpp) is shared
+// with the CLI flag parsers: "12abc", " 12", "+0x1f" and negatives are all
+// rejected instead of silently accepted the way bare std::stoull would.
 
 /// One reconstructed cell block. `run_lines` hold the input lines verbatim
 /// (no trailing newline), so consumers that re-emit them preserve the
 /// original bytes exactly.
 struct CellBlock {
+  /// Schema version of the file this block came from (2 or 3).
+  std::uint64_t schema = 0;
   std::uint64_t cell_index = 0;
   std::string sweep;
   std::string attack;
   std::string scheduler;
   std::uint64_t hz = 0;
+  // Scenario-axis coordinates; zero/default for v2 blocks (their records
+  // predate the axes).
+  std::uint64_t cpu_hz = 0;
+  std::uint64_t ram_frames = 0;
+  std::uint64_t reclaim_batch = 0;
+  std::string ptrace;
+  bool jiffy_timers = true;
+  /// 1-based line number of the block's first run record (error reports).
+  std::uint64_t first_line = 0;
   std::vector<std::uint64_t> seeds;    // one per run record, in file order
   std::vector<std::string> run_lines;  // verbatim rows / JSONL run lines
   std::string cell_line;               // JSONL only: the summary line
@@ -38,6 +56,8 @@ struct CellBlock {
 
 struct FileScan {
   std::vector<CellBlock> blocks;  // in file order; only the last may be open
+  /// Schema version every record in the file carries (0: no records seen).
+  std::uint64_t schema = 0;
   /// Offset just past the last closed block (for CSV: at least the header),
   /// i.e. the safe truncation point that drops any partial tail.
   std::uint64_t valid_bytes = 0;
@@ -48,14 +68,16 @@ struct FileScan {
   std::string tail_error;   // why, when !clean
 };
 
-/// Scans a JsonlSink file. Throws std::runtime_error when the file cannot
-/// be opened or any record carries a schema version other than
-/// report::kSchemaVersion; malformed structure instead stops the scan
+/// Scans a JsonlSink file. Throws std::runtime_error (naming the file and
+/// line) when the file cannot be opened, any record carries a schema
+/// version outside [kMinReadSchemaVersion, kSchemaVersion], or the file
+/// mixes versions; malformed structure instead stops the scan
 /// (clean=false) so callers can treat the tail as a crash artifact.
 FileScan scan_jsonl(const std::string& path);
 
-/// Scans a CsvSink file. Throws on open failure, on a header that is not
-/// the canonical run_schema_keys() row, and on schema column mismatches.
+/// Scans a CsvSink file. Throws on open failure, on a header that matches
+/// no supported run_schema_keys() layout, and on schema column mismatches
+/// against the header's version.
 FileScan scan_csv(const std::string& path);
 
 /// Splits one of our one-line JSON objects into key -> raw-token pairs
@@ -78,10 +100,5 @@ std::optional<bool> json_bool(const std::map<std::string, std::string>& fields,
 /// The canonical aggregate keys of a `record:"cell"` line, in
 /// CellStats::for_each_stat order — what mtr_merge recomputes.
 const std::vector<std::string>& cell_stat_keys();
-
-/// Strict non-negative decimal: no sign, no trailing garbage; nullopt on
-/// anything else (including overflow). The one integer parser behind
-/// record scanning, shard specs, and the driver's --first-seed.
-std::optional<std::uint64_t> parse_u64(const std::string& s);
 
 }  // namespace mtr::dist

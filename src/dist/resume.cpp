@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "dist/records.hpp"
+#include "report/result_sink.hpp"
 
 namespace mtr::dist {
 namespace {
@@ -17,13 +18,26 @@ std::string describe(const std::string& sweep, const std::string& attack,
          ", hz=" + std::to_string(hz) + "]";
 }
 
+/// Appending v3 records to a v2 file would corrupt it (the CSV header
+/// lacks the scenario-axis columns); refuse with a pointer at the escape
+/// hatches instead of failing later with a confusing mismatch.
+void check_resumable_schema(const std::string& path, const FileScan& scan) {
+  if (scan.schema == 0 || scan.schema == report::kSchemaVersion) return;
+  throw std::runtime_error(
+      path + ": recorded with schema v" + std::to_string(scan.schema) +
+      " but this build appends v" + std::to_string(report::kSchemaVersion) +
+      " records — a cross-version resume would corrupt the file; merge the "
+      "old output with mtr_merge or start the sweep fresh");
+}
+
 /// Enforces that a block recorded the seed set this invocation sweeps —
 /// resume cannot mix replicate counts or first seeds.
 void check_seeds(const std::string& path, const CellBlock& b,
                  const std::vector<std::uint64_t>& expected) {
   if (b.seeds == expected) return;
   throw std::runtime_error(
-      path + ": " + describe(b.sweep, b.attack, b.scheduler, b.hz, b.cell_index) +
+      path + ":" + std::to_string(b.first_line) + ": " +
+      describe(b.sweep, b.attack, b.scheduler, b.hz, b.cell_index) +
       " was recorded with " + std::to_string(b.seeds.size()) +
       " seed(s) starting at " +
       (b.seeds.empty() ? std::string("?") : std::to_string(b.seeds.front())) +
@@ -51,6 +65,7 @@ ResumeIndex ResumeIndex::scan(const std::string& csv_path,
   if (!jsonl_path.empty() && std::filesystem::exists(jsonl_path)) {
     index.have_jsonl_ = true;
     FileScan scan = scan_jsonl(jsonl_path);
+    check_resumable_schema(jsonl_path, scan);
     for (CellBlock& b : scan.blocks) {
       check_seeds(jsonl_path, b, expected_seeds);
       jsonl_done.push_back(std::move(b));
@@ -59,6 +74,7 @@ ResumeIndex ResumeIndex::scan(const std::string& csv_path,
   if (!csv_path.empty() && std::filesystem::exists(csv_path)) {
     index.have_csv_ = true;
     FileScan scan = scan_csv(csv_path);
+    check_resumable_schema(csv_path, scan);
     // Until a block makes it into the agreed prefix below, only the header
     // is safe to keep — e.g. a corrupt JSONL next to an intact CSV must
     // roll the CSV back too, or the re-run cells would append duplicates.
@@ -83,21 +99,29 @@ ResumeIndex ResumeIndex::scan(const std::string& csv_path,
                       : std::max(csv_done.size(), jsonl_done.size());
   const std::vector<CellBlock>& primary =
       index.have_jsonl_ ? jsonl_done : csv_done;
+  const std::string& primary_path =
+      index.have_jsonl_ ? jsonl_path : csv_path;
   for (std::size_t i = 0; i < n; ++i) {
     const CellBlock& b = primary[i];
     if (index.have_csv_ && index.have_jsonl_) {
       const CellBlock& c = csv_done[i];
       if (c.cell_index != b.cell_index || c.sweep != b.sweep ||
-          c.attack != b.attack || c.scheduler != b.scheduler || c.hz != b.hz)
+          c.attack != b.attack || c.scheduler != b.scheduler || c.hz != b.hz ||
+          c.cpu_hz != b.cpu_hz || c.ram_frames != b.ram_frames ||
+          c.reclaim_batch != b.reclaim_batch || c.ptrace != b.ptrace ||
+          c.jiffy_timers != b.jiffy_timers)
         throw std::runtime_error(
-            "resume: " + csv_path + " and " + jsonl_path +
+            "resume: " + csv_path + ":" + std::to_string(c.first_line) +
+            " and " + jsonl_path + ":" + std::to_string(b.first_line) +
             " disagree at block " + std::to_string(i) + " (" +
             describe(c.sweep, c.attack, c.scheduler, c.hz, c.cell_index) +
             " vs " + describe(b.sweep, b.attack, b.scheduler, b.hz, b.cell_index) +
             ") — were they written by the same invocation?");
     }
-    index.done_.emplace(
-        b.cell_index, Done{b.sweep, b.attack, b.scheduler, b.hz});
+    Done done{b.sweep, b.attack,     b.scheduler,      b.ptrace,
+              b.hz,    b.cpu_hz,     b.ram_frames,     b.reclaim_batch,
+              b.jiffy_timers, primary_path, b.first_line};
+    index.done_.emplace(b.cell_index, std::move(done));
     if (index.have_jsonl_) index.jsonl_valid_ = b.end_offset;
     if (index.have_csv_) index.csv_valid_ = csv_done[i].end_offset;
   }
@@ -136,15 +160,28 @@ bool ResumeIndex::completed(const report::GridCellInfo& cell) const {
   const auto it = done_.find(cell.index);
   if (it == done_.end()) return false;
   const Done& d = it->second;
-  if (d.sweep != cell.sweep || d.attack != cell.attack ||
-      d.scheduler != cell.scheduler || d.hz != cell.hz)
+  // Field-by-field so the error can name exactly what contradicts the
+  // recorded output.
+  const char* mismatch =
+      d.sweep != cell.sweep             ? "sweep"
+      : d.attack != cell.attack         ? "attack"
+      : d.scheduler != cell.scheduler   ? "scheduler"
+      : d.hz != cell.hz                 ? "hz"
+      : d.cpu_hz != cell.cpu_hz         ? "cpu_hz"
+      : d.ram_frames != cell.ram_frames ? "ram_frames"
+      : d.reclaim_batch != cell.reclaim_batch ? "reclaim_batch"
+      : d.ptrace != cell.ptrace         ? "ptrace"
+      : d.jiffy_timers != cell.jiffy_timers ? "jiffy_timers"
+                                        : nullptr;
+  if (mismatch != nullptr)
     throw std::runtime_error(
-        "resume: existing output recorded " +
+        "resume: " + d.path + ":" + std::to_string(d.line) + ": recorded " +
         describe(d.sweep, d.attack, d.scheduler, d.hz, cell.index) +
         " but this invocation's grid puts " +
         describe(cell.sweep, cell.attack, cell.scheduler, cell.hz, cell.index) +
-        " there — resume requires the original sweep selection; start fresh "
-        "or rerun with the original arguments");
+        " there (field '" + mismatch + "' differs) — resume requires the "
+        "original sweep selection; start fresh or rerun with the original "
+        "arguments");
   return true;
 }
 

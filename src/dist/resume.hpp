@@ -20,7 +20,10 @@ class ResumeIndex {
   /// Scans the existing outputs of one sweep invocation. Either path may
   /// be empty (sink not configured) or name a file that does not exist yet
   /// (fresh start) — both contribute nothing. Throws std::runtime_error on
-  /// a schema-version mismatch, when a complete cell was recorded with a
+  /// a schema-version mismatch (including output recorded with the older
+  /// v2 layout — this build appends v3 records, so v2 files must be merged
+  /// with mtr_merge or restarted, never appended to), when a complete cell
+  /// was recorded with a
   /// seed set other than `expected_seeds` (resume requires the original
   /// --seeds/--first-seed), or when the CSV and JSONL disagree about a
   /// cell. When both files exist, only cells complete in BOTH count (a
@@ -44,8 +47,12 @@ class ResumeIndex {
 
  private:
   struct Done {
-    std::string sweep, attack, scheduler;
-    std::uint64_t hz = 0;
+    std::string sweep, attack, scheduler, ptrace;
+    std::uint64_t hz = 0, cpu_hz = 0, ram_frames = 0, reclaim_batch = 0;
+    bool jiffy_timers = true;
+    /// Where the block was recorded (error reports): path + first line.
+    std::string path;
+    std::uint64_t line = 0;
   };
   std::map<std::uint64_t, Done> done_;
   std::string csv_path_, jsonl_path_;

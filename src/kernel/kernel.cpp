@@ -8,6 +8,10 @@
 
 namespace mtr::kernel {
 
+const char* to_string(PtracePolicy p) {
+  return p == PtracePolicy::kPrivilegedOnly ? "privileged_only" : "allow_all";
+}
+
 const char* to_string(WorkKind k) {
   switch (k) {
     case WorkKind::kUserCompute: return "user";

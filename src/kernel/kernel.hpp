@@ -49,6 +49,10 @@ namespace mtr::kernel {
 /// thrashing attack needs privileges controlled by the security modules.
 enum class PtracePolicy : std::uint8_t { kAllowAll, kPrivilegedOnly };
 
+/// "allow_all" / "privileged_only" — the serialized form (sweep records,
+/// progress lines).
+const char* to_string(PtracePolicy p);
+
 struct KernelConfig {
   CpuHz cpu{};
   TimerHz hz{};

@@ -6,17 +6,20 @@
 namespace mtr::report {
 
 std::string fmt_duration(double seconds) {
-  if (seconds < 0.0) seconds = 0.0;
+  if (!(seconds > 0.0)) seconds = 0.0;  // also squashes NaN
   char buf[32];
-  if (seconds < 60.0) {
-    std::snprintf(buf, sizeof buf, "%.1fs", seconds);
-  } else if (seconds < 3600.0) {
-    const long m = static_cast<long>(seconds) / 60;
-    std::snprintf(buf, sizeof buf, "%ldm%02lds", m, static_cast<long>(seconds) % 60);
+  // Round to the displayed precision *before* picking the unit bucket:
+  // 59.97 s must carry into "1m00s", not render as "60.0s" (and likewise
+  // 3599.7 s into "1h00m", not "60m00s").
+  const double tenths = std::round(seconds * 10.0) / 10.0;
+  const long whole = std::lround(seconds);
+  if (tenths < 60.0) {
+    std::snprintf(buf, sizeof buf, "%.1fs", tenths);
+  } else if (whole < 3600) {
+    std::snprintf(buf, sizeof buf, "%ldm%02lds", whole / 60, whole % 60);
   } else {
-    const long h = static_cast<long>(seconds) / 3600;
-    std::snprintf(buf, sizeof buf, "%ldh%02ldm", h,
-                  (static_cast<long>(seconds) % 3600) / 60);
+    const long minutes = std::lround(seconds / 60.0);
+    std::snprintf(buf, sizeof buf, "%ldh%02ldm", minutes / 60, minutes % 60);
   }
   return buf;
 }
@@ -43,7 +46,19 @@ void ProgressReporter::on_cell(const core::CellEvent& ev) {
   const std::size_t total = total_ > 0 ? total_ : done_;
   os_ << "[" << label_ << " " << done_ << "/" << total << "] attack="
       << ev.cell.attack_label << " scheduler=" << sim::to_string(ev.cell.scheduler)
-      << " hz=" << ev.cell.hz.v << " cell=" << fmt_duration(ev.wall_seconds)
+      << " hz=" << ev.cell.hz.v;
+  // Scenario-axis coordinates appear exactly when the grid sweeps the
+  // axis (extent > 1), so ablation lines are unambiguous — every cell of
+  // the sweep names its value, including the default one — while plain
+  // (default-axes) grids keep the short line.
+  if (ev.geometry.cpus > 1) os_ << " cpu_hz=" << ev.cell.cpu.v;
+  if (ev.geometry.rams > 1)
+    os_ << " ram=" << ev.cell.ram.frames << "f/" << ev.cell.ram.reclaim_batch;
+  if (ev.geometry.ptraces > 1)
+    os_ << " ptrace=" << kernel::to_string(ev.cell.ptrace);
+  if (ev.geometry.jiffies > 1)
+    os_ << " jiffy_timers=" << (ev.cell.jiffy_timers ? "on" : "off");
+  os_ << " cell=" << fmt_duration(ev.wall_seconds)
       << " elapsed=" << fmt_duration(elapsed.count());
   if (done_ < total) {
     const double eta =

@@ -1,5 +1,6 @@
 #include "report/result_sink.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -52,6 +53,11 @@ std::vector<Field> flatten_run(const std::string& sweep,
   f.push_back({"attack", cell.attack_label});
   f.push_back({"scheduler", std::string(sim::to_string(cell.scheduler))});
   f.push_back({"hz", u64(cell.hz.v)});
+  f.push_back({"cpu_hz", u64(cell.cpu.v)});
+  f.push_back({"ram_frames", u64(cell.ram.frames)});
+  f.push_back({"reclaim_batch", u64(cell.ram.reclaim_batch)});
+  f.push_back({"ptrace", std::string(kernel::to_string(cell.ptrace))});
+  f.push_back({"jiffy_timers", cell.jiffy_timers});
   f.push_back({"seed", u64(cell.seeds.at(seed_i))});
   f.push_back({"seed_index", u64(seed_i)});
 
@@ -97,12 +103,26 @@ std::vector<Field> flatten_run(const std::string& sweep,
   return f;
 }
 
-std::vector<std::string> run_schema_keys() {
+const std::vector<std::string>& schema_v3_columns() {
+  static const std::vector<std::string> kColumns = {
+      "cpu_hz", "ram_frames", "reclaim_batch", "ptrace", "jiffy_timers"};
+  return kColumns;
+}
+
+std::vector<std::string> run_schema_keys(std::uint64_t version) {
+  MTR_ENSURE_MSG(version >= kMinReadSchemaVersion && version <= kSchemaVersion,
+                 "unsupported record schema version " << version);
   core::CellStats cell;
   cell.seeds = {0};
   cell.runs.emplace_back();
   std::vector<std::string> keys;
   for (Field& f : flatten_run("", cell, 0)) keys.push_back(std::move(f.key));
+  if (version < 3) {
+    const auto& v3 = schema_v3_columns();
+    std::erase_if(keys, [&](const std::string& k) {
+      return std::find(v3.begin(), v3.end(), k) != v3.end();
+    });
+  }
   return keys;
 }
 
@@ -134,8 +154,8 @@ std::vector<std::string> split_csv_line(const std::string& line) {
   return cells;
 }
 
-void write_csv_header(std::ostream& os) {
-  const std::vector<std::string> keys = run_schema_keys();
+void write_csv_header(std::ostream& os, std::uint64_t version) {
+  const std::vector<std::string> keys = run_schema_keys(version);
   for (std::size_t i = 0; i < keys.size(); ++i)
     os << (i ? "," : "") << csv_escape(keys[i]);
   os << '\n';
@@ -242,6 +262,11 @@ CellSummary summarize_cell(const std::string& sweep, const core::CellStats& cell
   s.attack = cell.attack_label;
   s.scheduler = sim::to_string(cell.scheduler);
   s.hz = cell.hz.v;
+  s.cpu_hz = cell.cpu.v;
+  s.ram_frames = cell.ram.frames;
+  s.reclaim_batch = cell.ram.reclaim_batch;
+  s.ptrace = kernel::to_string(cell.ptrace);
+  s.jiffy_timers = cell.jiffy_timers;
   s.workload = cell.runs.empty() ? "" : workloads::short_name(cell.runs.front().kind);
   s.seeds = cell.runs.size();
   s.source_ok = cell.all_source_ok();
@@ -255,8 +280,15 @@ void write_cell_record(std::ostream& os, const CellSummary& s) {
   os << "{\"record\":\"cell\",\"schema\":" << s.schema << ",\"sweep\":\""
      << json_escape(s.sweep) << "\",\"cell_index\":" << s.cell_index
      << ",\"attack\":\"" << json_escape(s.attack) << "\",\"scheduler\":\""
-     << json_escape(s.scheduler) << "\",\"hz\":" << s.hz << ",\"workload\":\""
-     << json_escape(s.workload) << "\",\"seeds\":" << s.seeds
+     << json_escape(s.scheduler) << "\",\"hz\":" << s.hz;
+  // The scenario-axis coordinates joined the record in schema v3;
+  // mtr_merge re-emits v2 summaries for v2 shard files.
+  if (s.schema >= 3)
+    os << ",\"cpu_hz\":" << s.cpu_hz << ",\"ram_frames\":" << s.ram_frames
+       << ",\"reclaim_batch\":" << s.reclaim_batch << ",\"ptrace\":\""
+       << json_escape(s.ptrace) << "\",\"jiffy_timers\":"
+       << (s.jiffy_timers ? "true" : "false");
+  os << ",\"workload\":\"" << json_escape(s.workload) << "\",\"seeds\":" << s.seeds
      << ",\"source_ok\":" << (s.source_ok ? "true" : "false");
   for (const CellStatSummary& st : s.stats) {
     os << ",\"" << json_escape(st.key) << "\":{\"n\":" << st.stats.count()

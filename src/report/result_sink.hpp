@@ -23,7 +23,17 @@ namespace mtr::report {
 /// whenever a field is added, removed, renamed, or reordered.
 /// v2: added `cell_index` (invocation-global cell ordinal) to run and cell
 /// records — the merge key for sharded sweeps.
-inline constexpr std::uint64_t kSchemaVersion = 2;
+/// v3: added the scenario-axis coordinates — `cpu_hz`, `ram_frames`,
+/// `reclaim_batch`, `ptrace`, `jiffy_timers` — to run and cell records;
+/// every other column is unchanged, so v2 content is exactly a v3 record
+/// with those columns removed (and the version rewritten).
+inline constexpr std::uint64_t kSchemaVersion = 3;
+/// Oldest schema the dist-layer scanners (mtr_merge) still read. Sinks
+/// always write kSchemaVersion.
+inline constexpr std::uint64_t kMinReadSchemaVersion = 2;
+
+/// The run-record keys v3 added over v2, in emission order.
+const std::vector<std::string>& schema_v3_columns();
 
 /// One serialized field. The variant arm picks the CSV/JSON rendering:
 /// bools become true/false, doubles render round-trippably (%.17g).
@@ -43,8 +53,10 @@ std::vector<Field> flatten_run(const std::string& sweep,
                                std::size_t seed_i);
 
 /// The record's keys in emission order (the CSV header), derived from a
-/// flatten_run of a default-constructed cell.
-std::vector<std::string> run_schema_keys();
+/// flatten_run of a default-constructed cell. `version` selects the
+/// layout: kSchemaVersion (the default) or kMinReadSchemaVersion (v2 —
+/// what mtr_merge re-emits for v2 shard inputs).
+std::vector<std::string> run_schema_keys(std::uint64_t version = kSchemaVersion);
 
 std::string format_csv(const FieldValue& v);
 std::string format_json(const FieldValue& v);
@@ -60,8 +72,9 @@ std::string json_escape(const std::string& s);
 std::vector<std::string> split_csv_line(const std::string& line);
 
 /// Writes the canonical CSV header row (run_schema_keys, escaped). Shared
-/// by CsvSink and mtr_merge so merged files are byte-identical.
-void write_csv_header(std::ostream& os);
+/// by CsvSink and mtr_merge so merged files are byte-identical; mtr_merge
+/// passes the shard files' version so v2 inputs merge into a v2 file.
+void write_csv_header(std::ostream& os, std::uint64_t version = kSchemaVersion);
 
 /// The aggregate half of a `record:"cell"` JSONL line, decoupled from
 /// CellStats so mtr_merge can recompute it from parsed run records.
@@ -70,12 +83,19 @@ struct CellStatSummary {
   RunningStats stats;
 };
 struct CellSummary {
+  /// Emission layout: the scenario-axis keys below are only written for
+  /// schema >= 3 (mtr_merge recomputes v2 summaries for v2 shards).
   std::uint64_t schema = kSchemaVersion;
   std::string sweep;
   std::uint64_t cell_index = 0;
   std::string attack;
   std::string scheduler;
   std::uint64_t hz = 0;
+  std::uint64_t cpu_hz = 0;
+  std::uint64_t ram_frames = 0;
+  std::uint64_t reclaim_batch = 0;
+  std::string ptrace;
+  bool jiffy_timers = true;
   std::string workload;
   std::uint64_t seeds = 0;
   bool source_ok = true;

@@ -42,6 +42,11 @@ std::vector<core::CellStats> SweepContext::run_grid(
       info.attack = c.attack_label;
       info.scheduler = sim::to_string(c.scheduler);
       info.hz = c.hz.v;
+      info.cpu_hz = c.cpu.v;
+      info.ram_frames = c.ram.frames;
+      info.reclaim_batch = c.ram.reclaim_batch;
+      info.ptrace = kernel::to_string(c.ptrace);
+      info.jiffy_timers = c.jiffy_timers;
       if (!gate(info)) {
         owned[i] = 0;
         --n_owned;
@@ -54,13 +59,20 @@ std::vector<core::CellStats> SweepContext::run_grid(
     std::ostream& p = plan ? *plan : os();
     p << sweep_name << ": cells [" << base << "," << base + n_cells << ")";
     if (n_owned == n_cells) {
-      p << " — runs all " << n_cells << '\n';
+      p << " — runs all " << n_cells;
     } else {
       p << " — runs " << n_owned << "/" << n_cells << ":";
       for (std::size_t i = 0; i < n_cells; ++i)
         if (owned[i]) p << ' ' << base + i;
-      p << '\n';
     }
+    // Grids that open a scenario axis get their shape spelled out, so a
+    // planned ablation shows which axes multiply the cell count.
+    const core::GridGeometry geom = core::grid_geometry(grid);
+    if (geom.cpus > 1 || geom.rams > 1 || geom.ptraces > 1 || geom.jiffies > 1)
+      p << " (axes: attack=" << geom.attacks << " scheduler=" << geom.schedulers
+        << " hz=" << geom.ticks << " cpu=" << geom.cpus << " ram=" << geom.rams
+        << " ptrace=" << geom.ptraces << " jiffy=" << geom.jiffies << ")";
+    p << '\n';
     return {};
   }
 

@@ -41,6 +41,37 @@ TEST(CellSeed, DeterministicAndDecorrelated) {
   EXPECT_NE(cell_seed(42, 0, 0, 0), cell_seed(42, 0, 0, 1));
 }
 
+TEST(CellSeed, UnusedScenarioAxesDoNotPerturbSeeds) {
+  // Axis index 0 (the base value of an unused axis) must leave the seed
+  // stream exactly as it was before the axis existed — per axis and for
+  // any combination of zeros.
+  for (std::uint64_t grid_seed : {7ull, 42ull, 12345ull}) {
+    for (std::size_t a = 0; a < 3; ++a)
+      for (std::size_t s = 0; s < 2; ++s)
+        for (std::size_t t = 0; t < 2; ++t) {
+          const std::uint64_t legacy = cell_seed(grid_seed, a, s, t);
+          EXPECT_EQ(legacy, cell_seed(grid_seed, a, s, t, 0, 0, 0, 0));
+          EXPECT_EQ(legacy, cell_seed(grid_seed, GridCellIndices{a, s, t}));
+        }
+  }
+  // Each scenario axis decorrelates when actually swept, each differently.
+  const std::uint64_t base = cell_seed(42, 1, 1, 1);
+  const std::uint64_t cpu = cell_seed(42, 1, 1, 1, 1, 0, 0, 0);
+  const std::uint64_t ram = cell_seed(42, 1, 1, 1, 0, 1, 0, 0);
+  const std::uint64_t ptr = cell_seed(42, 1, 1, 1, 0, 0, 1, 0);
+  const std::uint64_t jfy = cell_seed(42, 1, 1, 1, 0, 0, 0, 1);
+  EXPECT_NE(base, cpu);
+  EXPECT_NE(base, ram);
+  EXPECT_NE(base, ptr);
+  EXPECT_NE(base, jfy);
+  EXPECT_NE(cpu, ram);
+  EXPECT_NE(cpu, ptr);
+  EXPECT_NE(cpu, jfy);
+  EXPECT_NE(ram, ptr);
+  EXPECT_NE(ram, jfy);
+  EXPECT_NE(ptr, jfy);
+}
+
 TEST(BatchRunner, EmptyDimensionsDefaultToBase) {
   BatchGrid g;
   g.base = test::quick_experiment(workloads::WorkloadKind::kOurs);
@@ -135,6 +166,56 @@ TEST(BatchRunner, GridGeometryHelpersMatchRunOrder) {
   EXPECT_EQ(grid_cell_count(empty), 1u);
   EXPECT_EQ(grid_cell_coords(empty, 0).attack_label, "baseline");
   EXPECT_EQ(grid_cell_coords(empty, 0).scheduler, empty.base.sim.scheduler);
+  EXPECT_EQ(grid_cell_coords(empty, 0).cpu, empty.base.sim.kernel.cpu);
+  EXPECT_EQ(grid_cell_coords(empty, 0).ram,
+            (RamSpec{empty.base.sim.kernel.ram_frames,
+                     empty.base.sim.kernel.reclaim_batch}));
+  EXPECT_EQ(grid_cell_coords(empty, 0).ptrace, empty.base.sim.kernel.ptrace_policy);
+  EXPECT_EQ(grid_cell_coords(empty, 0).jiffy_timers,
+            empty.base.sim.kernel.jiffy_resolution_timers);
+}
+
+TEST(BatchRunner, RawAndNormalizedGridsShareOneGeometry) {
+  // The old geometry helpers re-implemented empty-axis fallbacks; a
+  // cell_filter built against a raw (non-normalized) grid must see exactly
+  // the numbering BatchRunner::run derives after normalization.
+  BatchGrid raw;
+  raw.base = test::quick_experiment(workloads::WorkloadKind::kOurs);
+  raw.base.sim.kernel.ptrace_policy = kernel::PtracePolicy::kPrivilegedOnly;
+  raw.attacks.push_back({"baseline", nullptr});
+  raw.attacks.push_back({"scheduling", tiny_scheduling_attack()});
+  raw.ticks = {TimerHz{100}, TimerHz{250}};
+  raw.jiffy_timers = {true, false};
+  // schedulers / cpu / ram / ptrace axes left empty on purpose.
+  const BatchGrid norm = normalized_grid(raw);
+
+  ASSERT_EQ(grid_cell_count(raw), grid_cell_count(norm));
+  ASSERT_EQ(grid_cell_count(raw), 8u);  // 2 attacks x 2 ticks x 2 jiffy
+  for (std::size_t i = 0; i < 8; ++i) {
+    const GridCellCoords a = grid_cell_coords(raw, i);
+    const GridCellCoords b = grid_cell_coords(norm, i);
+    EXPECT_EQ(a.attack_label, b.attack_label) << i;
+    EXPECT_EQ(a.scheduler, b.scheduler) << i;
+    EXPECT_EQ(a.hz, b.hz) << i;
+    EXPECT_EQ(a.cpu, b.cpu) << i;
+    EXPECT_EQ(a.ram, b.ram) << i;
+    EXPECT_EQ(a.ptrace, b.ptrace) << i;
+    EXPECT_EQ(a.jiffy_timers, b.jiffy_timers) << i;
+    // Non-swept axes pull their value from base, not the global defaults.
+    EXPECT_EQ(a.ptrace, kernel::PtracePolicy::kPrivilegedOnly) << i;
+  }
+
+  // GridGeometry::coords round-trips the axis-major flattening.
+  const GridGeometry geom = grid_geometry(raw);
+  EXPECT_EQ(geom.cell_count(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const GridCellIndices ix = geom.coords(i);
+    const std::size_t flat =
+        ((((((ix.attack * geom.schedulers + ix.scheduler) * geom.ticks +
+             ix.tick) * geom.cpus + ix.cpu) * geom.rams + ix.ram) *
+          geom.ptraces + ix.ptrace) * geom.jiffies) + ix.jiffy;
+    EXPECT_EQ(flat, i);
+  }
 }
 
 TEST(BatchRunner, CellFilterRunsSubsetWithFullGridIdentity) {
@@ -172,6 +253,71 @@ TEST(BatchRunner, CellFilterRunsSubsetWithFullGridIdentity) {
   // Filtering everything out runs nothing and returns nothing.
   g.cell_filter = [](std::size_t) { return false; };
   EXPECT_TRUE(BatchRunner(2).run(g).empty());
+}
+
+TEST(BatchRunner, SingleValueDefaultAxesChangeNothing) {
+  // A grid that spells out the scenario axes with one base-valued entry
+  // each must reproduce the no-axes grid exactly: same geometry, same
+  // seeds, same per-run results. This is what keeps pre-axes artifacts
+  // byte-identical.
+  BatchGrid plain = small_grid();
+  BatchGrid spelled = small_grid();
+  const kernel::KernelConfig& k = spelled.base.sim.kernel;
+  spelled.cpu_freqs = {k.cpu};
+  spelled.ram = {{k.ram_frames, k.reclaim_batch}};
+  spelled.ptrace_policies = {k.ptrace_policy};
+  spelled.jiffy_timers = {k.jiffy_resolution_timers};
+
+  EXPECT_EQ(grid_cell_count(plain), grid_cell_count(spelled));
+  const auto a = BatchRunner(2).run(plain);
+  const auto b = BatchRunner(2).run(spelled);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].attack_label, b[i].attack_label);
+    EXPECT_EQ(a[i].cell_index, b[i].cell_index);
+    ASSERT_EQ(a[i].runs.size(), b[i].runs.size());
+    for (std::size_t j = 0; j < a[i].runs.size(); ++j) {
+      EXPECT_EQ(a[i].runs[j].true_cycles.total().v, b[i].runs[j].true_cycles.total().v);
+      EXPECT_EQ(a[i].runs[j].billed_ticks.total().v, b[i].runs[j].billed_ticks.total().v);
+      EXPECT_EQ(a[i].runs[j].overcharge, b[i].runs[j].overcharge);
+      EXPECT_EQ(a[i].runs[j].witness_steps, b[i].runs[j].witness_steps);
+    }
+  }
+}
+
+TEST(BatchRunner, ScenarioAxesAreSweptAndStamped) {
+  BatchGrid g;
+  g.base = test::quick_experiment(workloads::WorkloadKind::kOurs);
+  g.attacks.push_back({"baseline", nullptr});
+  g.cpu_freqs = {CpuHz{2'530'000'000}, CpuHz{1'000'000'000}};
+  g.jiffy_timers = {true, false};
+  const auto cells = BatchRunner(2).run(g);
+  ASSERT_EQ(cells.size(), 4u);  // cpu-major over jiffy (jiffy is minor)
+  EXPECT_EQ(cells[0].cpu.v, 2'530'000'000u);
+  EXPECT_TRUE(cells[0].jiffy_timers);
+  EXPECT_EQ(cells[1].cpu.v, 2'530'000'000u);
+  EXPECT_FALSE(cells[1].jiffy_timers);
+  EXPECT_EQ(cells[2].cpu.v, 1'000'000'000u);
+  EXPECT_TRUE(cells[2].jiffy_timers);
+  EXPECT_EQ(cells[3].cpu.v, 1'000'000'000u);
+  EXPECT_FALSE(cells[3].jiffy_timers);
+  for (const CellStats& c : cells) {
+    ASSERT_EQ(c.runs.size(), 1u);
+    EXPECT_TRUE(c.first_run().victim_exited);
+    // Non-swept scenario axes are stamped with the base values.
+    EXPECT_EQ(c.ram, (RamSpec{g.base.sim.kernel.ram_frames,
+                              g.base.sim.kernel.reclaim_batch}));
+    EXPECT_EQ(c.ptrace, g.base.sim.kernel.ptrace_policy);
+  }
+  // The CPU-frequency axis actually reached the kernel config: identical
+  // compute takes the same cycles but maps to different seconds.
+  EXPECT_GT(cells[2].wall_seconds.mean(), cells[0].wall_seconds.mean());
+  // Geometry helpers agree with the run, scenario axes included.
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const GridCellCoords c = grid_cell_coords(g, i);
+    EXPECT_EQ(c.cpu, cells[i].cpu);
+    EXPECT_EQ(c.jiffy_timers, cells[i].jiffy_timers);
+  }
 }
 
 TEST(BatchRunner, WorkerExceptionPropagates) {

@@ -6,6 +6,7 @@
 // single-process run).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <filesystem>
 #include <fstream>
@@ -129,6 +130,64 @@ void write_shard_jsonl(const std::string& path,
   report::JsonlSink sink(path);
   for (const std::uint64_t i : cell_indices)
     sink.write_cell("grid", synth_cell(i, {7, 8}));
+}
+
+/// Strips one `,"key":value` pair from a single-line JSON record.
+void strip_json_key(std::string& line, const std::string& key) {
+  const std::string needle = ",\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return;
+  std::size_t end = at + needle.size();
+  if (line[end] == '"') {
+    end = line.find('"', end + 1) + 1;  // our axis strings never escape
+  } else {
+    while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  }
+  line.erase(at, end - at);
+}
+
+/// Rewrites sink output as its schema-v2 equivalent (the inverse of what
+/// v3 added): drop the scenario-axis fields, restamp the version. The C++
+/// twin of bench/schema_downgrade.py, used to fixture cross-version tests.
+std::string downgrade_jsonl_v2(const std::string& text) {
+  std::string out;
+  for (std::string line : lines_of(text)) {
+    const std::size_t schema_at = line.find("\"schema\":3");
+    EXPECT_NE(schema_at, std::string::npos) << line;
+    line.replace(schema_at, 10, "\"schema\":2");
+    for (const std::string& key : report::schema_v3_columns())
+      strip_json_key(line, key);
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string downgrade_csv_v2(const std::string& text) {
+  const auto lines = lines_of(text);
+  const std::vector<std::string> header = report::split_csv_line(lines.at(0));
+  const auto& extra = report::schema_v3_columns();
+  std::vector<std::size_t> keep;
+  std::size_t schema_col = 0;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == "schema") schema_col = i;
+    if (std::find(extra.begin(), extra.end(), header[i]) == extra.end())
+      keep.push_back(i);
+  }
+  std::string out;
+  for (std::size_t r = 0; r < lines.size(); ++r) {
+    std::vector<std::string> row = report::split_csv_line(lines[r]);
+    if (r > 0) {
+      EXPECT_EQ(row.at(schema_col), "3");
+      row[schema_col] = "2";
+    }
+    for (std::size_t i = 0; i < keep.size(); ++i) {
+      if (i) out += ',';
+      out += report::csv_escape(row.at(keep[i]));
+    }
+    out += '\n';
+  }
+  return out;
 }
 
 TEST(ShardSpecTest, ParsesAndPartitionsDeterministically) {
@@ -370,6 +429,11 @@ TEST(ResumeTest, CoordinateMismatchIsRejected) {
   match.attack = "a0";
   match.scheduler = "o1";
   match.hz = 250;
+  match.cpu_hz = 2'530'000'000;  // synth_cell's CellStats defaults
+  match.ram_frames = 16 * 1024;
+  match.reclaim_batch = 256;
+  match.ptrace = "allow_all";
+  match.jiffy_timers = true;
   EXPECT_TRUE(index.completed(match));
 
   report::GridCellInfo absent = match;
@@ -377,10 +441,30 @@ TEST(ResumeTest, CoordinateMismatchIsRejected) {
   EXPECT_FALSE(index.completed(absent));
 
   // Same index, different grid: resuming into foreign output must abort,
-  // not silently skip.
+  // not silently skip — and the error names the differing field.
   report::GridCellInfo conflicting = match;
   conflicting.attack = "something else";
-  EXPECT_THROW(index.completed(conflicting), std::runtime_error);
+  try {
+    index.completed(conflicting);
+    FAIL() << "expected a coordinate-mismatch error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("field 'attack'"), std::string::npos) << what;
+    EXPECT_NE(what.find(path + ":1"), std::string::npos) << what;
+  }
+
+  // A scenario-axis contradiction is caught the same way: the recorded
+  // output came from a different machine configuration.
+  report::GridCellInfo wrong_axis = match;
+  wrong_axis.jiffy_timers = false;
+  try {
+    index.completed(wrong_axis);
+    FAIL() << "expected a coordinate-mismatch error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("field 'jiffy_timers'"),
+              std::string::npos)
+        << e.what();
+  }
   std::filesystem::remove(path);
 }
 
@@ -629,6 +713,165 @@ TEST(MergeTest, CorruptAggregateIsDetected) {
         << e.what();
   }
   std::filesystem::remove_all(root);
+}
+
+TEST(RecordsTest, StrictParseRejectsGarbageIntegers) {
+  EXPECT_EQ(parse_u64("0"), std::uint64_t{0});
+  EXPECT_EQ(parse_u64("12"), std::uint64_t{12});
+  EXPECT_EQ(parse_u64("18446744073709551615"), UINT64_MAX);
+  // Everything bare std::stoull would have let through: trailing garbage,
+  // leading whitespace, explicit signs, hex, wrapped negatives, overflow.
+  for (const char* bad : {"", " 12", "12 ", "12abc", "+12", "+0x1f", "-3",
+                          "0x1f", "1e3", "18446744073709551616",
+                          "99999999999999999999"})
+    EXPECT_FALSE(parse_u64(bad).has_value()) << "'" << bad << "'";
+  // The double parser backing --scale is full-match strict too.
+  EXPECT_TRUE(parse_f64("2.5").has_value());
+  EXPECT_FALSE(parse_f64("2x").has_value());
+  EXPECT_FALSE(parse_f64(" 2").has_value());
+}
+
+TEST(RecordsTest, ScanErrorsNameFileLineAndField) {
+  // JSONL: mangle the second run record's cell_index into "+0" — strict
+  // parsing must stop the scan naming the file, the 1-based line, and the
+  // field, and keep the (empty) valid prefix.
+  const std::string jsonl = temp_path("dist_err_field.jsonl");
+  write_shard_jsonl(jsonl, {0});
+  {
+    auto lines = lines_of(read_file(jsonl));
+    ASSERT_EQ(lines.size(), 3u);
+    const std::size_t at = lines[1].find("\"cell_index\":0");
+    ASSERT_NE(at, std::string::npos);
+    lines[1].replace(at, 14, "\"cell_index\":+0");
+    write_file(jsonl, lines[0] + "\n" + lines[1] + "\n" + lines[2] + "\n");
+  }
+  FileScan scan = scan_jsonl(jsonl);
+  EXPECT_FALSE(scan.clean);
+  EXPECT_NE(scan.tail_error.find(jsonl + ":2"), std::string::npos)
+      << scan.tail_error;
+  EXPECT_NE(scan.tail_error.find("'cell_index'"), std::string::npos)
+      << scan.tail_error;
+
+  // CSV: same corruption in the second data row (file line 3).
+  const std::string csv = temp_path("dist_err_field.csv");
+  {
+    report::CsvSink sink(csv);
+    sink.write_cell("grid", synth_cell(0, {7, 8}));
+    auto lines = lines_of(read_file(csv));
+    ASSERT_EQ(lines.size(), 3u);
+    ASSERT_EQ(lines[2].rfind("3,grid,0,", 0), 0u) << lines[2];
+    lines[2].replace(0, 9, "3,grid,0x0,");
+    write_file(csv, lines[0] + "\n" + lines[1] + "\n" + lines[2] + "\n");
+  }
+  scan = scan_csv(csv);
+  EXPECT_FALSE(scan.clean);
+  EXPECT_NE(scan.tail_error.find(csv + ":3"), std::string::npos)
+      << scan.tail_error;
+  EXPECT_NE(scan.tail_error.find("'cell_index'"), std::string::npos)
+      << scan.tail_error;
+  EXPECT_NE(scan.tail_error.find("'0x0'"), std::string::npos)
+      << scan.tail_error;
+  std::filesystem::remove(jsonl);
+  std::filesystem::remove(csv);
+}
+
+TEST(MergeTest, V2ShardsMergeByteIdenticallyIntoV2Output) {
+  // Shard outputs written by the previous (pre-scenario-axes) schema still
+  // merge, and the merged file is the byte-identical v2 dataset a v2 build
+  // would have produced — including the recomputed v2 cell summaries and
+  // the v2 CSV header.
+  const std::string root = temp_path("dist_merge_v2");
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+  write_shard_jsonl(root + "/all.jsonl", {0, 1, 2, 3});
+  write_shard_jsonl(root + "/s0.jsonl", {0, 2});
+  write_shard_jsonl(root + "/s1.jsonl", {1, 3});
+  for (const char* name : {"/all.jsonl", "/s0.jsonl", "/s1.jsonl"})
+    write_file(root + name, downgrade_jsonl_v2(read_file(root + name)));
+  EXPECT_EQ(merge_jsonl({root + "/s1.jsonl", root + "/s0.jsonl"}),
+            read_file(root + "/all.jsonl"));
+
+  {
+    report::CsvSink all(root + "/all.csv");
+    report::CsvSink s0(root + "/s0.csv");
+    report::CsvSink s1(root + "/s1.csv");
+    for (const std::uint64_t i : {0, 2}) s0.write_cell("grid", synth_cell(i, {7, 8}));
+    for (const std::uint64_t i : {1, 3}) s1.write_cell("grid", synth_cell(i, {7, 8}));
+    for (const std::uint64_t i : {0, 1, 2, 3})
+      all.write_cell("grid", synth_cell(i, {7, 8}));
+  }
+  for (const char* name : {"/all.csv", "/s0.csv", "/s1.csv"})
+    write_file(root + name, downgrade_csv_v2(read_file(root + name)));
+  EXPECT_EQ(merge_csv({root + "/s0.csv", root + "/s1.csv"}),
+            read_file(root + "/all.csv"));
+  std::filesystem::remove_all(root);
+}
+
+TEST(MergeTest, MixedSchemaVersionShardsAreRejected) {
+  const std::string root = temp_path("dist_merge_mixed");
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+  write_shard_jsonl(root + "/s0.jsonl", {0});
+  write_shard_jsonl(root + "/s1.jsonl", {1});
+  write_file(root + "/s1.jsonl", downgrade_jsonl_v2(read_file(root + "/s1.jsonl")));
+  try {
+    merge_jsonl({root + "/s0.jsonl", root + "/s1.jsonl"});
+    FAIL() << "expected a mixed-schema error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("schema v2"), std::string::npos) << what;
+    EXPECT_NE(what.find("carries v3"), std::string::npos) << what;
+  }
+  std::filesystem::remove_all(root);
+}
+
+TEST(ResumeTest, V2OutputIsRefusedWithAPointerAtMerge) {
+  // Appending v3 records to a v2 file would corrupt it: resume must refuse
+  // outright and tell the operator what to do with the old output.
+  const std::string jsonl = temp_path("dist_resume_v2.jsonl");
+  write_shard_jsonl(jsonl, {0});
+  write_file(jsonl, downgrade_jsonl_v2(read_file(jsonl)));
+  try {
+    ResumeIndex::scan("", jsonl, {7, 8});
+    FAIL() << "expected a cross-version resume error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("schema v2"), std::string::npos) << what;
+    EXPECT_NE(what.find("mtr_merge"), std::string::npos) << what;
+  }
+  std::filesystem::remove(jsonl);
+
+  const std::string csv = temp_path("dist_resume_v2.csv");
+  {
+    report::CsvSink sink(csv);
+    sink.write_cell("grid", synth_cell(0, {7, 8}));
+  }
+  write_file(csv, downgrade_csv_v2(read_file(csv)));
+  EXPECT_THROW(ResumeIndex::scan(csv, "", {7, 8}), std::runtime_error);
+  std::filesystem::remove(csv);
+}
+
+TEST(SweepDriverTest, DryRunPlanNamesOpenScenarioAxes) {
+  report::SweepRegistry registry;
+  registry.add({"abl", "jiffy ablation", [](const report::SweepContext& ctx) {
+                  core::BatchGrid grid;
+                  grid.base = test::quick_experiment(
+                      workloads::WorkloadKind::kOurs, ctx.scale);
+                  grid.seeds = ctx.seeds;
+                  grid.jiffy_timers = {true, false};
+                  core::BatchRunner runner(ctx.threads);
+                  ctx.begin_progress("abl", 2);
+                  ctx.run_grid("abl", runner, std::move(grid));
+                }});
+  SweepOptions opts = grid_options("");
+  opts.sweeps = {"abl"};
+  opts.dry_run = true;
+  std::ostringstream out, err;
+  EXPECT_EQ(run_sweeps(registry, opts, out, err), 0);
+  EXPECT_NE(out.str().find("abl: cells [0,2) — runs all 2 (axes: attack=1 "
+                           "scheduler=1 hz=1 cpu=1 ram=1 ptrace=1 jiffy=2)"),
+            std::string::npos)
+      << out.str();
 }
 
 TEST(MergeArgsTest, ClassifiesInputsAndValidatesCombinations) {

@@ -4,6 +4,7 @@
 // reporter. The CLI driver moved to src/dist and is covered by dist_test.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -25,6 +26,10 @@ core::CellStats sample_cell() {
   cell.attack_label = "shell, \"quoted\"";  // exercises CSV/JSON escaping
   cell.scheduler = sim::SchedulerKind::kCfs;
   cell.hz = TimerHz{1000};
+  cell.cpu = CpuHz{1'600'000'000};
+  cell.ram = {4 * 1024, 64};
+  cell.ptrace = kernel::PtracePolicy::kPrivilegedOnly;
+  cell.jiffy_timers = false;
   cell.cell_index = 5;
   cell.seeds = {7, 8};
   for (std::uint64_t i = 0; i < 2; ++i) {
@@ -114,6 +119,33 @@ TEST(ResultSinkSchema, KeysAreUniqueAndVersioned) {
       EXPECT_NE(keys[i], keys[j]) << "duplicate column " << keys[i];
 }
 
+TEST(ResultSinkSchema, V2LayoutIsV3MinusTheScenarioAxisColumns) {
+  const auto v3 = run_schema_keys(kSchemaVersion);
+  const auto v2 = run_schema_keys(2);
+  ASSERT_EQ(v3.size(), v2.size() + schema_v3_columns().size());
+  // v2 is exactly the v3 list with the documented columns removed — the
+  // property the schema_downgrade.py CI check and mtr_merge's v2 output
+  // both lean on.
+  std::vector<std::string> stripped;
+  for (const std::string& key : v3) {
+    const auto& extra = schema_v3_columns();
+    if (std::find(extra.begin(), extra.end(), key) == extra.end())
+      stripped.push_back(key);
+  }
+  EXPECT_EQ(stripped, v2);
+  // The v3 additions sit with the other cell coordinates, before `seed`.
+  const auto at = [&](const std::string& key) {
+    return static_cast<std::size_t>(
+        std::find(v3.begin(), v3.end(), key) - v3.begin());
+  };
+  EXPECT_LT(at("hz"), at("cpu_hz"));
+  EXPECT_LT(at("cpu_hz"), at("ram_frames"));
+  EXPECT_LT(at("ram_frames"), at("reclaim_batch"));
+  EXPECT_LT(at("reclaim_batch"), at("ptrace"));
+  EXPECT_LT(at("ptrace"), at("jiffy_timers"));
+  EXPECT_LT(at("jiffy_timers"), at("seed"));
+}
+
 TEST(CsvSinkTest, RoundTripsEveryField) {
   const core::CellStats cell = sample_cell();
   std::ostringstream os;
@@ -159,6 +191,11 @@ TEST(CsvSinkTest, RoundTripsEveryField) {
   EXPECT_EQ(col("attack"), "shell, \"quoted\"");
   EXPECT_EQ(col("scheduler"), "cfs");
   EXPECT_EQ(col("hz"), "1000");
+  EXPECT_EQ(col("cpu_hz"), "1600000000");
+  EXPECT_EQ(col("ram_frames"), "4096");
+  EXPECT_EQ(col("reclaim_batch"), "64");
+  EXPECT_EQ(col("ptrace"), "privileged_only");
+  EXPECT_EQ(col("jiffy_timers"), "false");
   EXPECT_EQ(col("seed"), "7");
   EXPECT_EQ(col("workload"), "W");
   EXPECT_EQ(col("billed_utime_ticks"), "3000");
@@ -200,14 +237,33 @@ TEST(JsonlSinkTest, RoundTripsRunsAndCellSummary) {
     }
   }
 
-  // The cell summary carries the aggregates a figure plots.
+  // The cell summary carries the aggregates a figure plots, plus (since
+  // schema v3) the scenario-axis coordinates.
   const std::string& summary = lines[2];
   EXPECT_EQ(json_raw_value(summary, "sweep"), "fig07");
   EXPECT_EQ(json_raw_value(summary, "workload"), "W");
   EXPECT_EQ(json_raw_value(summary, "seeds"), "2");
   EXPECT_EQ(json_raw_value(summary, "source_ok"), "false");
+  EXPECT_EQ(json_raw_value(summary, "cpu_hz"), "1600000000");
+  EXPECT_EQ(json_raw_value(summary, "ram_frames"), "4096");
+  EXPECT_EQ(json_raw_value(summary, "reclaim_batch"), "64");
+  EXPECT_EQ(json_raw_value(summary, "ptrace"), "privileged_only");
+  EXPECT_EQ(json_raw_value(summary, "jiffy_timers"), "false");
   EXPECT_NE(summary.find("\"overcharge\":{\"n\":2,"), std::string::npos);
   EXPECT_NE(summary.find("\"attacker_true_seconds\":{"), std::string::npos);
+}
+
+TEST(CellRecordTest, V2SummarySkipsTheScenarioAxisKeys) {
+  CellSummary s = summarize_cell("fig07", sample_cell());
+  s.schema = 2;
+  std::ostringstream os;
+  write_cell_record(os, s);
+  const std::string line = os.str();
+  EXPECT_NE(line.find("\"schema\":2"), std::string::npos);
+  for (const std::string& key : schema_v3_columns())
+    EXPECT_EQ(line.find("\"" + key + "\""), std::string::npos) << key;
+  // Everything else is still there, in the v2 shape.
+  EXPECT_NE(line.find("\"hz\":1000,\"workload\":"), std::string::npos);
 }
 
 TEST(CsvSinkTest, AppendModeWritesHeaderExactlyOnce) {
@@ -302,11 +358,11 @@ TEST(ProgressReporterTest, ReportsCountsElapsedAndEta) {
   std::ostringstream os;
   ProgressReporter progress(os, /*enabled=*/true);
   progress.begin("fig04", 2);
-  progress.on_cell({0, 2, 0.5, cell});
+  progress.on_cell({0, 2, 0.5, {}, cell});
   EXPECT_NE(os.str().find("[fig04 1/2]"), std::string::npos);
   EXPECT_NE(os.str().find("attack=attacked"), std::string::npos);
   EXPECT_NE(os.str().find("eta="), std::string::npos);
-  progress.on_cell({1, 2, 0.5, cell});
+  progress.on_cell({1, 2, 0.5, {}, cell});
   EXPECT_NE(os.str().find("[fig04 2/2]"), std::string::npos);
   progress.finish();
   EXPECT_NE(os.str().find("done: 2 cell(s)"), std::string::npos);
@@ -314,9 +370,43 @@ TEST(ProgressReporterTest, ReportsCountsElapsedAndEta) {
   std::ostringstream silent;
   ProgressReporter disabled(silent, /*enabled=*/false);
   disabled.begin("fig04", 2);
-  disabled.on_cell({0, 2, 0.5, cell});
+  disabled.on_cell({0, 2, 0.5, {}, cell});
   disabled.finish();
   EXPECT_EQ(silent.str(), "");
+}
+
+TEST(ProgressReporterTest, CellLineShowsSweptScenarioAxes) {
+  core::CellStats cell;
+  cell.attack_label = "scheduling";
+  cell.hz = TimerHz{250};
+  cell.cpu = CpuHz{2'530'000'000};  // the stock default — still printed,
+  cell.ram = {4096, 64};            // because the axis is swept
+  cell.ptrace = kernel::PtracePolicy::kPrivilegedOnly;
+  cell.jiffy_timers = false;
+  core::GridGeometry swept;
+  swept.cpus = 3;
+  swept.rams = 2;
+  swept.ptraces = 2;
+  swept.jiffies = 2;
+
+  std::ostringstream os;
+  ProgressReporter progress(os, /*enabled=*/true);
+  progress.begin("abl", 1);
+  progress.on_cell({0, 1, 0.5, swept, cell});
+  EXPECT_NE(os.str().find("cpu_hz=2530000000"), std::string::npos) << os.str();
+  EXPECT_NE(os.str().find("ram=4096f/64"), std::string::npos) << os.str();
+  EXPECT_NE(os.str().find("ptrace=privileged_only"), std::string::npos) << os.str();
+  EXPECT_NE(os.str().find("jiffy_timers=off"), std::string::npos) << os.str();
+
+  // Non-swept axes keep the short line, whatever their value.
+  std::ostringstream quiet;
+  ProgressReporter stock(quiet, /*enabled=*/true);
+  stock.begin("fig", 1);
+  stock.on_cell({0, 1, 0.5, core::GridGeometry{}, cell});
+  EXPECT_EQ(quiet.str().find("cpu_hz="), std::string::npos) << quiet.str();
+  EXPECT_EQ(quiet.str().find("ram="), std::string::npos) << quiet.str();
+  EXPECT_EQ(quiet.str().find("ptrace="), std::string::npos) << quiet.str();
+  EXPECT_EQ(quiet.str().find("jiffy_timers="), std::string::npos) << quiet.str();
 }
 
 TEST(ProgressReporterTest, ShrinkTotalTracksSkippedCells) {
@@ -328,9 +418,9 @@ TEST(ProgressReporterTest, ShrinkTotalTracksSkippedCells) {
   ProgressReporter progress(os, /*enabled=*/true);
   progress.begin("fig04", 8);
   progress.shrink_total(6);  // a shard that owns 2 of 8 cells
-  progress.on_cell({0, 8, 0.5, cell});
+  progress.on_cell({0, 8, 0.5, {}, cell});
   EXPECT_NE(os.str().find("[fig04 1/2]"), std::string::npos);
-  progress.on_cell({4, 8, 0.5, cell});
+  progress.on_cell({4, 8, 0.5, {}, cell});
   EXPECT_NE(os.str().find("[fig04 2/2]"), std::string::npos);
   // Shrinking below what's already done clamps instead of underflowing.
   progress.shrink_total(100);
@@ -340,9 +430,27 @@ TEST(ProgressReporterTest, ShrinkTotalTracksSkippedCells) {
 
 TEST(ProgressReporterTest, FormatsDurations) {
   EXPECT_EQ(fmt_duration(0.0), "0.0s");
+  EXPECT_EQ(fmt_duration(-3.0), "0.0s");
   EXPECT_EQ(fmt_duration(43.21), "43.2s");
   EXPECT_EQ(fmt_duration(126.0), "2m06s");
   EXPECT_EQ(fmt_duration(3726.0), "1h02m");
+}
+
+TEST(ProgressReporterTest, DurationUnitBoundariesCarryInsteadOfOverflowing) {
+  // 59.95–59.99 s used to render as "60.0s": %.1f rounded up after the
+  // <60 bucket was already chosen. Rounding happens first now.
+  EXPECT_EQ(fmt_duration(59.94), "59.9s");
+  EXPECT_EQ(fmt_duration(59.95), "1m00s");
+  EXPECT_EQ(fmt_duration(59.99), "1m00s");
+  EXPECT_EQ(fmt_duration(60.0), "1m00s");
+  EXPECT_EQ(fmt_duration(60.4), "1m00s");
+  EXPECT_EQ(fmt_duration(89.6), "1m30s");
+  // The same carry at the hour boundary: 3599.6 s is 1h00m, not 60m00s.
+  EXPECT_EQ(fmt_duration(3599.4), "59m59s");
+  EXPECT_EQ(fmt_duration(3599.6), "1h00m");
+  EXPECT_EQ(fmt_duration(3629.0), "1h00m");
+  EXPECT_EQ(fmt_duration(3689.9), "1h01m");
+  EXPECT_EQ(fmt_duration(3690.0), "1h02m");
 }
 
 }  // namespace
