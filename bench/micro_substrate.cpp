@@ -19,6 +19,7 @@
 #include "crypto/sha512.hpp"
 #include "kernel/cfs_scheduler.hpp"
 #include "exec/program_base.hpp"
+#include "kernel/kernel.hpp"
 #include "kernel/o1_scheduler.hpp"
 #include "sim/simulation.hpp"
 #include "workloads/workloads.hpp"
@@ -199,6 +200,90 @@ void BM_SweepCell_baseline_brute_cfs(benchmark::State& state) {
                    sim::SchedulerKind::kCfs, false);
 }
 BENCHMARK(BM_SweepCell_baseline_brute_cfs)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Engine benches — event-driven calendar queue vs slice-stepped reference
+// loop on the workload classes where the queue pays off: mostly-idle and
+// I/O-bound cells, where the slice loop burns one iteration (and one hook
+// round) per jiffy while the event loop leaps whole sleep/transfer windows
+// in O(1). The BM_EngineCell_* pairs are tracked in BENCH_sim.json, and CI
+// gates the slice/event wall-time ratio (hardware-independent) via
+// perf_baseline.py --ratio-floor.
+// ---------------------------------------------------------------------------
+
+/// A periodic daemon: a sliver of compute, then a 150-jiffy nap (~0.6 s at
+/// HZ=250) — cron-style housekeeping, the canonical mostly-idle cell.
+std::vector<exec::Step> idle_daemon_steps() {
+  const kernel::KernelConfig cfg;
+  const Cycles tick = tick_length(cfg.cpu, cfg.hz);
+  std::vector<exec::Step> steps;
+  for (int i = 0; i < 200; ++i) {
+    steps.push_back(exec::compute(Cycles{tick.v / 10}));
+    steps.push_back(exec::syscall(kernel::SysNanosleep{Cycles{tick.v * 150}}));
+  }
+  return steps;
+}
+
+/// A bulk-transfer job against a slow device: short request setup, then a
+/// blocking disk I/O spanning many jiffies.
+std::vector<exec::Step> io_heavy_steps() {
+  std::vector<exec::Step> steps;
+  for (int i = 0; i < 150; ++i) {
+    steps.push_back(exec::compute(Cycles{500'000}));
+    steps.push_back(exec::syscall(kernel::SysDiskIo{}));
+  }
+  return steps;
+}
+
+void engine_cell_bench(benchmark::State& state, bool event_driven, bool io) {
+  double virt_mcycles = 0.0;
+  for (auto _ : state) {
+    kernel::KernelConfig cfg;
+    cfg.seed = 1234;
+    cfg.event_driven = event_driven;
+    // The I/O cell models a saturated cold-storage device (~400 ms per
+    // request at the default 2.53 GHz) so each transfer spans ~99 jiffies.
+    if (io) cfg.costs.disk_latency = Cycles{1'000'000'000};
+    kernel::Kernel k(cfg,
+                     std::make_unique<kernel::O1PriorityScheduler>(cfg.hz));
+    core::TickMeter tick;
+    core::TscMeter tsc;
+    core::PaisMeter pais;
+    k.add_hook(&tick);
+    k.add_hook(&tsc);
+    k.add_hook(&pais);
+    k.spawn({io ? "bulk-reader" : "idle-daemon",
+             exec::make_step_list(io ? "bulk-reader" : "idle-daemon",
+                                  io ? io_heavy_steps() : idle_daemon_steps()),
+             Nice{0}, true});
+    k.run();
+    benchmark::DoNotOptimize(tsc.grand_total().v);
+    virt_mcycles += static_cast<double>(k.now().v) / 1e6;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["virt_mcycles_per_sec"] =
+      benchmark::Counter(virt_mcycles, benchmark::Counter::kIsRate);
+}
+
+void BM_EngineCell_idle_daemon_event(benchmark::State& state) {
+  engine_cell_bench(state, /*event_driven=*/true, /*io=*/false);
+}
+BENCHMARK(BM_EngineCell_idle_daemon_event)->Unit(benchmark::kMillisecond);
+
+void BM_EngineCell_idle_daemon_slice(benchmark::State& state) {
+  engine_cell_bench(state, /*event_driven=*/false, /*io=*/false);
+}
+BENCHMARK(BM_EngineCell_idle_daemon_slice)->Unit(benchmark::kMillisecond);
+
+void BM_EngineCell_io_heavy_event(benchmark::State& state) {
+  engine_cell_bench(state, /*event_driven=*/true, /*io=*/true);
+}
+BENCHMARK(BM_EngineCell_io_heavy_event)->Unit(benchmark::kMillisecond);
+
+void BM_EngineCell_io_heavy_slice(benchmark::State& state) {
+  engine_cell_bench(state, /*event_driven=*/false, /*io=*/true);
+}
+BENCHMARK(BM_EngineCell_io_heavy_slice)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

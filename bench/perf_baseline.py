@@ -14,6 +14,13 @@ google-benchmark's JSON reporter and either
     benchmark is more than ``--tolerance`` (default 0.30 = 30%) slower
     than the baseline — the CI perf-smoke gate.
 
+``--ratio-floor SLOW/FAST:MIN`` (repeatable) additionally asserts that the
+current run's SLOW benchmark takes at least MIN times as long as FAST.
+Because both sides come from the same run on the same machine, the gate is
+hardware-independent — it pins a speedup (e.g. the event-driven kernel
+loop's >=3x over the slice-stepped loop on idle/IO-heavy cells), not an
+absolute time.
+
 Only the Python standard library is used.
 """
 
@@ -26,7 +33,7 @@ import subprocess
 import sys
 
 SCHEMA = 1
-DEFAULT_FILTER = "BM_SweepCell_"
+DEFAULT_FILTER = "BM_(Sweep|Engine)Cell_"
 
 
 def cpu_model():
@@ -108,6 +115,39 @@ def write_baseline(path, benches, archive_label):
     print(f"wrote {path} ({len(benches)} benchmark(s), {len(history)} history entr(ies))")
 
 
+def parse_ratio_floor(spec):
+    """'BM_slow/BM_fast:3.0' -> (slow, fast, 3.0)."""
+    pair, sep, floor = spec.rpartition(":")
+    names = pair.split("/")
+    if not sep or len(names) != 2 or not all(names):
+        sys.exit(f"error: bad --ratio-floor {spec!r}, expected SLOW/FAST:MIN")
+    try:
+        return names[0], names[1], float(floor)
+    except ValueError:
+        sys.exit(f"error: bad --ratio-floor minimum in {spec!r}")
+
+
+def check_ratio_floors(benches, floors):
+    failures = []
+    for slow, fast, floor in floors:
+        missing = [n for n in (slow, fast) if n not in benches]
+        if missing:
+            failures.append(f"{slow}/{fast}: missing benchmark(s) {missing}")
+            continue
+        ratio = benches[slow]["real_time_ms"] / benches[fast]["real_time_ms"]
+        status = "ok" if ratio >= floor else "TOO SLOW"
+        print(f"ratio {slow}/{fast}: {ratio:.2f}x (floor {floor:.2f}x)  {status}")
+        if ratio < floor:
+            failures.append(
+                f"{slow}/{fast}: {ratio:.2f}x, below the {floor:.2f}x floor")
+    if failures:
+        print(f"\nFAIL: {len(failures)} ratio floor(s) not met:")
+        for f_ in failures:
+            print(f"  - {f_}")
+        return 1
+    return 0
+
+
 def check_against(path, benches, tolerance):
     baseline = load_json(path)
     if baseline.get("schema") != SCHEMA:
@@ -158,20 +198,26 @@ def main():
                     help="allowed slowdown fraction for --check (default 0.30)")
     ap.add_argument("--save-current", metavar="PATH",
                     help="with --check: also write the raw current numbers to PATH")
+    ap.add_argument("--ratio-floor", action="append", default=[],
+                    metavar="SLOW/FAST:MIN",
+                    help="assert current real_time(SLOW)/real_time(FAST) >= MIN "
+                         "(repeatable; hardware-independent speedup gate)")
     args = ap.parse_args()
     if bool(args.out) == bool(args.check):
         ap.error("exactly one of --out / --check is required")
+    floors = [parse_ratio_floor(s) for s in args.ratio_floor]
 
     benches = run_benches(args.binary, args.filter, args.min_time)
+    ratio_rc = check_ratio_floors(benches, floors)
 
     if args.out:
         write_baseline(args.out, benches, args.archive_current)
-        return 0
+        return ratio_rc
     if args.save_current:
         with open(args.save_current, "w", encoding="utf-8") as f:
             json.dump({"schema": SCHEMA, "benchmarks": benches}, f, indent=2)
             f.write("\n")
-    return check_against(args.check, benches, args.tolerance)
+    return max(ratio_rc, check_against(args.check, benches, args.tolerance))
 
 
 if __name__ == "__main__":

@@ -7,12 +7,13 @@
 namespace mtr::attacks {
 
 void InterruptFloodAttack::engage(AttackContext& ctx) {
-  kernel::Kernel& k = ctx.sim.kernel();
-  k.nic().start_flood(k.now(), rate_, k.rng());
+  // Through the kernel, not the device: the event-driven engine needs the
+  // first arrival in its calendar queue.
+  ctx.sim.kernel().start_nic_flood(rate_);
 }
 
 void InterruptFloodAttack::disengage(AttackContext& ctx) {
-  ctx.sim.kernel().nic().stop_flood();
+  ctx.sim.kernel().stop_nic_flood();
 }
 
 namespace {

@@ -19,6 +19,20 @@ void TickMeter::on_tick(Cycles, Pid current, Tgid tg, CpuMode mode) {
   }
 }
 
+void TickMeter::on_ticks(Cycles, Cycles, std::uint64_t count, Pid current,
+                         Tgid tg, CpuMode mode) {
+  if (current == kIdlePid) {
+    idle_ += Ticks{count};
+    return;
+  }
+  CpuUsageTicks& u = usage_[tg];
+  if (mode == CpuMode::kUser) {
+    u.utime += Ticks{count};
+  } else {
+    u.stime += Ticks{count};
+  }
+}
+
 CpuUsageTicks TickMeter::usage(Tgid tg) const {
   const auto it = usage_.find(tg);
   return it == usage_.end() ? CpuUsageTicks{} : it->second;

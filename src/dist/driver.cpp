@@ -36,6 +36,10 @@ constexpr const char* kUsage =
     "  --seeds N          replicate seeds per cell (default MTR_BENCH_SEEDS)\n"
     "  --first-seed S     first replicate seed (default 42)\n"
     "  --scale X          workload scale (default MTR_BENCH_SCALE)\n"
+    "  --engine E         kernel step loop: 'event' (calendar queue) or\n"
+    "                     'slice' (reference loop); default: the kernel's\n"
+    "                     own setting. Either engine yields byte-identical\n"
+    "                     CSV/JSONL artifacts — CI diffs the two\n"
     "  --shard I/N        run only the cells with global index % N == I\n"
     "                     (0-based); point each shard at its own output and\n"
     "                     stitch them with mtr_merge\n"
@@ -143,6 +147,11 @@ SweepOptions parse_sweep_args(int argc, const char* const* argv) {
       const double v = parse_double_flag(arg, value(i, arg));
       if (v <= 0.0) bad_usage("--scale must be > 0");
       o.scale = v;
+    } else if (arg == "--engine") {
+      const std::string v = value(i, arg);
+      if (v == "event") o.event_driven = true;
+      else if (v == "slice") o.event_driven = false;
+      else bad_usage("--engine must be 'event' or 'slice', got '" + v + "'");
     } else if (arg == "--seeds") {
       const long v = parse_long_flag(arg, value(i, arg));
       if (v <= 0) bad_usage("--seeds must be >= 1");
@@ -283,6 +292,7 @@ int run_sweeps(const report::SweepRegistry& registry, const SweepOptions& option
     ctx.scale = options.scale;
     ctx.seeds = options.seeds;
     ctx.threads = options.threads;
+    ctx.event_driven = options.event_driven;
     ctx.sink = multi.empty() ? static_cast<report::ResultSink*>(&null_sink) : &multi;
     ctx.progress = &progress;
     ctx.out = options.quiet || options.dry_run ? &null_stream() : &out;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -33,6 +34,10 @@ struct SweepOptions {
   double scale = 0.25;
   std::vector<std::uint64_t> seeds;
   unsigned threads = 0;
+  /// --engine event|slice: force the kernel step loop across every cell.
+  /// Unset leaves the KernelConfig default. Not a grid axis: records carry
+  /// no engine column, so runs differing only here are byte-comparable.
+  std::optional<bool> event_driven;
 };
 
 /// Options with every default resolved from the environment

@@ -18,4 +18,12 @@ void TimerDevice::acknowledge(Cycles now) {
   ++fired_;
 }
 
+void TimerDevice::acknowledge_run(Cycles last_due, std::uint64_t count) {
+  MTR_ENSURE_MSG(count >= 1, "empty tick run");
+  MTR_ENSURE_MSG(last_due == next_fire_ + Cycles{period_.v * (count - 1)},
+                 "tick run out of phase with the fire grid");
+  next_fire_ = last_due + period_;
+  fired_ += count;
+}
+
 }  // namespace mtr::hw

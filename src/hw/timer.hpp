@@ -19,6 +19,11 @@ class TimerDevice {
   /// Acknowledges the tick at `now` and schedules the next one.
   void acknowledge(Cycles now);
 
+  /// Acknowledges `count` consecutive ticks at once, the last of which was
+  /// due at `last_due` — the event-driven core's idle/compute coalescing
+  /// path. Equivalent to `count` acknowledge() calls at their due times.
+  void acknowledge_run(Cycles last_due, std::uint64_t count);
+
   /// Total ticks fired since boot.
   std::uint64_t ticks_fired() const { return fired_; }
 

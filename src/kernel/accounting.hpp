@@ -65,6 +65,18 @@ class AccountingHook {
     (void)now; (void)current; (void)current_tg; (void)mode;
   }
 
+  /// `count` back-to-back timer ticks fired at `first`, `first + period`,
+  /// …, while `current` ran (or the CPU idled) in `mode` throughout — the
+  /// event-driven core's coalesced form of on_tick for stretches it proved
+  /// observation-free. The default replays the exact per-tick stream, so a
+  /// hook that doesn't override sees nothing different; pure accumulators
+  /// (e.g. the commodity tick meter) override to O(1).
+  virtual void on_ticks(Cycles first, Cycles period, std::uint64_t count,
+                        Pid current, Tgid current_tg, CpuMode mode) {
+    for (std::uint64_t i = 0; i < count; ++i)
+      on_tick(first + Cycles{period.v * i}, current, current_tg, mode);
+  }
+
   virtual void on_context_switch(Cycles now, Pid from, Pid to) {
     (void)now; (void)from; (void)to;
   }

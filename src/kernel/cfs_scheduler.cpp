@@ -1,6 +1,7 @@
 #include "kernel/cfs_scheduler.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/ensure.hpp"
 
@@ -80,6 +81,37 @@ bool CfsScheduler::on_tick(Process& current, Cycles now) {
   // minimum granularity.
   return current.sched.vruntime >
          leftmost->sched.vruntime + min_granularity_;
+}
+
+std::uint64_t CfsScheduler::ticks_until_preemption(const Process& current,
+                                                   Cycles tick_period) const {
+  // With an empty tree on_tick never preempts: the sole runnable task can
+  // absorb ticks until some wakeup ends the coalescing window anyway.
+  if (tree_.empty()) return std::numeric_limits<std::uint64_t>::max();
+  const Process* leftmost = *tree_.begin();
+  const Cycles limit = leftmost->sched.vruntime + min_granularity_;
+  if (current.sched.vruntime >= limit) return 0;
+  const Cycles headroom = limit - current.sched.vruntime;
+  // Ceiling on per-tick vruntime growth. A coalesced tick window charges at
+  // most tick_period cycles across at most two on_ran() calls (user gap +
+  // timer IRQ), each advancing vruntime by floor(ran*1024/weight) but never
+  // less than 1 — so +2 absorbs both rounding floors and the estimate can
+  // only undershoot the real headroom.
+  const std::uint64_t per_tick =
+      tick_period.v * kNice0Weight / weight_of(current.nice) + 2;
+  return headroom.v / per_tick;
+}
+
+void CfsScheduler::on_ticks(Process& current, std::uint64_t count) {
+  (void)count;
+  // CFS keeps no per-tick state: vruntime already advanced through the
+  // regular on_ran() charges during the window. Just re-check that the
+  // window really was preemption-free (every replayed on_tick would have
+  // returned false).
+  if (tree_.empty()) return;
+  MTR_ENSURE_MSG(current.sched.vruntime <=
+                     (*tree_.begin())->sched.vruntime + min_granularity_,
+                 "coalesced tick run crossed the CFS preemption bound");
 }
 
 bool CfsScheduler::should_preempt(const Process& current,

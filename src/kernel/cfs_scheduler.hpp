@@ -22,6 +22,9 @@ class CfsScheduler final : public Scheduler {
   bool on_tick(Process& current, Cycles now) override;
   void on_ran(Process& current, Cycles ran) override;
   bool should_preempt(const Process& current, const Process& woken) const override;
+  std::uint64_t ticks_until_preemption(const Process& current,
+                                       Cycles tick_period) const override;
+  void on_ticks(Process& current, std::uint64_t count) override;
   std::string name() const override { return "cfs"; }
 
   /// Load weight for a nice level (Linux prio_to_weight table).

@@ -1,0 +1,47 @@
+#include "kernel/event_queue.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace mtr::kernel {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kTimerTick: return "timer-tick";
+    case EventKind::kDiskCompletion: return "disk-completion";
+    case EventKind::kNicArrival: return "nic-arrival";
+    case EventKind::kSleepExpiry: return "sleep-expiry";
+  }
+  return "?";
+}
+
+bool EventQueue::later(const Event& a, const Event& b) {
+  if (a.at != b.at) return a.at > b.at;
+  if (a.kind != b.kind) return a.kind > b.kind;
+  if (a.kind == EventKind::kSleepExpiry && a.pid != b.pid)
+    return a.pid.v > b.pid.v;
+  return a.seq > b.seq;
+}
+
+void EventQueue::push(Cycles at, EventKind kind, Pid pid) {
+  heap_.push_back(Event{at, kind, pid, next_seq_++});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+const Event* EventQueue::peek_second() const {
+  // Children of the root; with the root gone one of them wins.
+  if (heap_.size() < 2) return nullptr;
+  if (heap_.size() == 2) return &heap_[1];
+  return later(heap_[1], heap_[2]) ? &heap_[2] : &heap_[1];
+}
+
+Event EventQueue::pop() {
+  MTR_ENSURE_MSG(!heap_.empty(), "pop from an empty event queue");
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  const Event e = heap_.back();
+  heap_.pop_back();
+  return e;
+}
+
+}  // namespace mtr::kernel

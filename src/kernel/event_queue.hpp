@@ -1,0 +1,72 @@
+// The event-driven core's calendar queue: every future kernel interaction
+// (timer tick, disk completion, NIC arrival, nanosleep expiry) is a queue
+// entry, and the engine leaps `now` from event to event instead of
+// re-scanning each device's next-time once per slice.
+//
+// Ordering contract (mirrors the slice-stepped reference loop exactly):
+//  * earliest fire time first;
+//  * at equal times, the reference dispatch priority: timer, disk, nic,
+//    sleep expiries (EventKind's numeric order);
+//  * at equal time and kind, sleep expiries order by pid ascending (the
+//    reference sleeper queue's tie-break) and every other kind is stable
+//    by insertion order.
+//
+// Entries are never removed in place: cancellation (a sleeper woken early
+// by a signal, a NIC flood stopped) leaves a stale entry that the kernel
+// validates against device/process state when it pops — the classic lazy
+// invalidation of a timer wheel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mtr::kernel {
+
+/// Numeric order is the dispatch priority at equal timestamps.
+enum class EventKind : std::uint8_t {
+  kTimerTick = 0,
+  kDiskCompletion = 1,
+  kNicArrival = 2,
+  kSleepExpiry = 3,
+};
+
+const char* to_string(EventKind k);
+
+struct Event {
+  Cycles at;
+  EventKind kind;
+  Pid pid;            // sleep expiry: the sleeper; other kinds: invalid
+  std::uint64_t seq;  // insertion counter (stable same-kind ties)
+};
+
+class EventQueue final {
+ public:
+  void push(Cycles at, EventKind kind, Pid pid = Pid{});
+
+  /// Earliest pending event, or nullptr when empty. The pointer is
+  /// invalidated by the next push/pop.
+  const Event* peek() const { return heap_.empty() ? nullptr : &heap_.front(); }
+
+  /// The event that would be at the front after one pop(), or nullptr.
+  /// O(1): in a binary heap the runner-up is one of the root's children.
+  const Event* peek_second() const;
+
+  /// Removes and returns the earliest event. Precondition: !empty().
+  Event pop();
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+ private:
+  /// True when `a` dispatches after `b` (the max-heap comparator that puts
+  /// the earliest event on top).
+  static bool later(const Event& a, const Event& b);
+
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mtr::kernel

@@ -63,6 +63,9 @@ Kernel::Kernel(KernelConfig config, std::unique_ptr<Scheduler> scheduler)
       disk_(config.costs.disk_latency),
       rng_(config.seed) {
   MTR_ENSURE_MSG(scheduler_ != nullptr, "kernel requires a scheduler");
+  // The timer is perpetual: the calendar queue always holds exactly one
+  // live tick entry, re-armed by every dispatch.
+  if (config_.event_driven) events_.push(timer_.next_fire(), EventKind::kTimerTick);
 }
 
 Kernel::~Kernel() = default;
@@ -271,6 +274,10 @@ std::optional<Cycles> Kernel::next_external_event() const {
 }
 
 Cycles Kernel::run(Cycles limit) {
+  return config_.event_driven ? run_events(limit) : run_slices(limit);
+}
+
+Cycles Kernel::run_slices(Cycles limit) {
   while (now_ < limit) {
     // Deliver any events that are already due (late interrupts fire first).
     while (auto evt = next_external_event()) {
@@ -328,6 +335,225 @@ Cycles Kernel::run(Cycles limit) {
   // The caller may read meters/auditors now: drain the batched charges.
   flush_charges();
   return now_;
+}
+
+// ---------------------------------------------------------------------------
+// Event-driven loop.
+//
+// Same phase structure as run_slices, but the next external event comes
+// from the calendar queue instead of a scan over every device, and two
+// coalescing paths (idle_leap, running_leap) collapse stretches the engine
+// can prove observation-free into O(1) updates. Every observable — jiffy
+// counters, ground-truth cycles, hook totals, RNG draws, scheduler state —
+// is bit-identical to the slice loop; the differential suite in
+// kernel_test enforces this across the attack roster.
+// ---------------------------------------------------------------------------
+
+Cycles Kernel::run_events(Cycles limit) {
+  while (now_ < limit) {
+    // Deliver any events that are already due (late interrupts fire first).
+    while (const Event* e = events_.peek()) {
+      if (e->at > now_) break;
+      dispatch_event(events_.pop());
+      if (current_ != nullptr && !current_->runnable()) stop_current_and_switch();
+    }
+
+    if (current_ == nullptr || need_resched_) {
+      if (current_ != nullptr) {
+        preempt_current();
+      }
+      Process* next = scheduler_->pick_next(now_);
+      if (next != nullptr) context_switch_in(*next);
+    }
+
+    if (current_ == nullptr) {
+      if (all_work_done()) break;
+      if (!idle_leap(limit)) break;
+      continue;
+    }
+
+    // Pure-compute stretch spanning several ticks? Coalesce it first.
+    running_leap(limit);
+
+    // Run the current process up to the next pending event (or the limit).
+    // A stale queue entry only shortens the boundary: the resulting split
+    // user charge re-coalesces in the batch, and the entry is validated
+    // away when it pops.
+    Cycles boundary = limit;
+    if (const Event* e = events_.peek()) boundary = std::min(boundary, e->at);
+    boundary = std::max(boundary, now_);
+
+    const RunStop stop = run_current(boundary);
+    switch (stop) {
+      case RunStop::kBoundary: {
+        const Event* e = events_.peek();
+        if (e != nullptr && e->at <= now_) dispatch_event(events_.pop());
+        break;
+      }
+      case RunStop::kBlocked:
+        stop_current_and_switch();
+        break;
+      case RunStop::kResched:
+        // Loop top performs the preemption.
+        break;
+    }
+    if (current_ != nullptr && !current_->runnable()) stop_current_and_switch();
+  }
+  flush_charges();
+  return now_;
+}
+
+void Kernel::dispatch_event(const Event& e) {
+  switch (e.kind) {
+    case EventKind::kTimerTick:
+      MTR_ENSURE_MSG(e.at == timer_.next_fire(), "timer event off the fire grid");
+      handle_timer_tick();
+      events_.push(timer_.next_fire(), EventKind::kTimerTick);
+      return;
+    case EventKind::kDiskCompletion:
+      // Disk entries are never stale: one entry per submit, completions are
+      // FIFO with monotone times, and requests are never cancelled.
+      MTR_ENSURE_MSG(disk_.next_completion() && *disk_.next_completion() == e.at,
+                     "disk event does not match the device queue");
+      handle_disk_completion();
+      return;
+    case EventKind::kNicArrival: {
+      // Stale after stop_flood (or a flood restart): validate by time.
+      const auto due = nic_.next_arrival();
+      if (!due || *due != e.at) return;
+      handle_nic_arrival();
+      if (const auto next = nic_.next_arrival())
+        events_.push(*next, EventKind::kNicArrival);
+      return;
+    }
+    case EventKind::kSleepExpiry:
+      handle_sleep_expiry(e);
+      return;
+  }
+}
+
+bool Kernel::idle_leap(Cycles limit) {
+  MTR_ENSURE_MSG(!events_.empty(), "sleepers exist but no wake event");
+  const Event* head = events_.peek();
+  if (head->at >= limit) {
+    charge_idle(limit - now_);
+    return false;
+  }
+  if (head->kind != EventKind::kTimerTick) {
+    // Single leap: the handler itself charges the idle gap up to its due.
+    dispatch_event(events_.pop());
+    return true;
+  }
+
+  const Event tick = events_.pop();
+  MTR_ENSURE_MSG(tick.at == timer_.next_fire(), "timer event off the fire grid");
+  const Cycles period = timer_.period();
+  const Cycles irq = config_.costs.interrupt_entry + config_.costs.timer_handler +
+                     config_.costs.interrupt_exit;
+
+  // While the CPU idles nothing can enqueue new events ahead of the ones
+  // already queued (no process runs to submit I/O, draw arrivals, or
+  // sleep), so every tick strictly before the next queued event — or the
+  // limit — plays out identically: idle gap, idle tick, timer IRQ billed
+  // to nobody. Process the whole run in O(1) instead of O(ticks). Ticks
+  // exactly at the horizon re-enter through the queue, where the kind rank
+  // preserves the timer-first tie order.
+  std::uint64_t count = 1;
+  if (!config_.unbatched_accounting && irq < period && tick.at > now_) {
+    Cycles horizon = limit;
+    if (const Event* second = events_.peek()) horizon = std::min(horizon, second->at);
+    if (horizon > tick.at) {
+      const std::uint64_t span = horizon.v - tick.at.v;
+      count = (span + period.v - 1) / period.v;
+    }
+  }
+
+  if (count <= 1) {
+    handle_timer_tick();
+    events_.push(timer_.next_fire(), EventKind::kTimerTick);
+    return true;
+  }
+
+  // Bulk form of `count` handle_timer_tick() calls from the idle context:
+  // one coalesced idle charge, one coalesced IRQ charge, one batched hook
+  // event. Totals, final `now`, and tick counters are bit-identical to the
+  // per-tick replay (the per-tick stream interleaved gap/IRQ; the sums and
+  // keys are the same).
+  const Cycles last_due = tick.at + Cycles{period.v * (count - 1)};
+  charge_idle(Cycles{(tick.at.v - now_.v) + (count - 1) * (period.v - irq.v)});
+  timer_.acknowledge_run(last_due, count);
+  flush_charges();
+  idle_ticks_ += Ticks{count};
+  hooks_.each([&](AccountingHook& h) {
+    h.on_ticks(tick.at, period, count, kIdlePid, Tgid{0}, CpuMode::kKernel);
+  });
+  charge(nullptr, WorkKind::kTimerIrq, Cycles{irq.v * count}, Pid{});
+  events_.push(timer_.next_fire(), EventKind::kTimerTick);
+  return true;
+}
+
+void Kernel::running_leap(Cycles limit) {
+  if (config_.unbatched_accounting || need_resched_) return;
+  Process& p = *current_;
+  if (!p.kwork.empty() || !p.pending_signals.empty() || !p.user.active) return;
+  UserWork& u = p.user;
+  // Memory touches and armed breakpoints are mid-compute engine events the
+  // leap would skip: bail to the exact micro-sliced path.
+  if (u.step.mem.touches_memory()) return;
+  for (const Cycles h : u.until_hot) {
+    if (h.v != UINT64_MAX) return;
+  }
+
+  const Event* head = events_.peek();
+  if (head == nullptr || head->kind != EventKind::kTimerTick || head->at <= now_)
+    return;
+  const Cycles first_due = head->at;
+  const Cycles period = timer_.period();
+  const Cycles irq = config_.costs.interrupt_entry + config_.costs.timer_handler +
+                     config_.costs.interrupt_exit;
+  if (irq >= period) return;  // ticks run late: no coalescible user gap
+  const std::uint64_t gap = period.v - irq.v;  // user cycles per later tick
+
+  // Ticks strictly before the next non-tick event or the limit...
+  Cycles horizon = limit;
+  if (const Event* second = events_.peek_second())
+    horizon = std::min(horizon, second->at);
+  if (horizon <= first_due) return;
+  std::uint64_t count = (horizon.v - first_due.v + period.v - 1) / period.v;
+
+  // ...bounded by the compute the step still owns. Strictly: a step ending
+  // exactly on a tick flips the charged mode to kernel ("between steps"),
+  // so the leap requires compute left over after the last tick's gap.
+  const std::uint64_t first_gap = first_due.v - now_.v;
+  if (u.remaining.v <= first_gap) return;
+  count = std::min(count, (u.remaining.v - first_gap - 1) / gap + 1);
+
+  // ...and by the scheduler's guarantee that none of the ticks preempts.
+  count = std::min(count, scheduler_->ticks_until_preemption(p, period));
+  if (count < 2) return;  // nothing to coalesce over the normal path
+
+  // Replay the exact per-tick charge sequence — CFS vruntime rounds once
+  // per on_ran, so the user-gap and IRQ charges must stay per-tick — while
+  // bulking the tick bookkeeping, the timer acknowledgements, the hook
+  // dispatch, and the scheduler's quantum updates.
+  events_.pop();
+  for (std::uint64_t k = 0; k < count; ++k) {
+    const Cycles due = first_due + Cycles{period.v * k};
+    charge(&p, WorkKind::kUserCompute, due - now_, p.pid);
+    charge(&p, WorkKind::kTimerIrq, irq, p.pid);
+  }
+  u.remaining -= Cycles{first_gap + (count - 1) * gap};
+  timer_.acknowledge_run(first_due + Cycles{period.v * (count - 1)}, count);
+  p.tick_usage.utime += Ticks{count};
+  p.group_acct->ticks.utime += Ticks{count};
+  flush_charges();
+  const Pid pid = p.pid;
+  const Tgid tg = p.tgid;
+  hooks_.each([&](AccountingHook& h) {
+    h.on_ticks(first_due, period, count, pid, tg, CpuMode::kUser);
+  });
+  scheduler_->on_ticks(p, count);
+  events_.push(timer_.next_fire(), EventKind::kTimerTick);
 }
 
 // ---------------------------------------------------------------------------
@@ -864,6 +1090,52 @@ void Kernel::handle_sleep_expiries() {
            current_ != nullptr ? current_->pid : Pid{});
     wake_process(p);
   }
+}
+
+void Kernel::handle_sleep_expiry(const Event& e) {
+  // Mirrors handle_sleep_expiries exactly, including charging the idle gap
+  // up to the entry's due time *before* finding out it is stale (a sleeper
+  // woken early by a signal leaves its entry behind).
+  if (now_ < e.at) charge_idle(e.at - now_);
+  if (!has_process(e.pid)) return;
+  Process& p = process(e.pid);
+  if (p.alive() && p.state == ProcState::kSleeping &&
+      p.sleep_reason == SleepReason::kNanosleep && p.wake_at == e.at) {
+    charge(current_, WorkKind::kTimerIrq, config_.costs.interrupt_entry,
+           current_ != nullptr ? current_->pid : Pid{});
+    wake_process(p);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Future-event registration.
+// ---------------------------------------------------------------------------
+
+void Kernel::schedule_sleep_expiry(const Process& p) {
+  MTR_ENSURE(p.sleep_reason == SleepReason::kNanosleep);
+  if (config_.event_driven) {
+    events_.push(p.wake_at, EventKind::kSleepExpiry, p.pid);
+  } else {
+    sleepers_.push({p.wake_at, p.pid});
+  }
+}
+
+void Kernel::submit_disk_request(Pid waiter) {
+  const Cycles done = disk_.submit(now_, waiter);
+  if (config_.event_driven) events_.push(done, EventKind::kDiskCompletion);
+}
+
+void Kernel::start_nic_flood(double packets_per_second) {
+  nic_.start_flood(now_, packets_per_second, rng_);
+  if (config_.event_driven) {
+    if (const auto t = nic_.next_arrival())
+      events_.push(*t, EventKind::kNicArrival);
+  }
+}
+
+void Kernel::stop_nic_flood() {
+  // The queued arrival entry goes stale and is validated away on pop.
+  nic_.stop_flood();
 }
 
 }  // namespace mtr::kernel

@@ -39,6 +39,7 @@
 #include "hw/nic.hpp"
 #include "hw/timer.hpp"
 #include "kernel/accounting.hpp"
+#include "kernel/event_queue.hpp"
 #include "kernel/process.hpp"
 #include "kernel/scheduler.hpp"
 #include "mm/memory_manager.hpp"
@@ -67,6 +68,15 @@ struct KernelConfig {
   /// just after the tick, so its bursts systematically dodge the next tick.
   bool jiffy_resolution_timers = true;
   std::uint64_t seed = 42;
+  /// Drive the engine from the event/calendar queue: leap `now` between
+  /// pending events (timer ticks, I/O completions, sleep expiries) and
+  /// coalesce stretches it proves observation-free — long idle or pure-
+  /// compute runs collapse from O(cycles-in-ticks) to O(events). The
+  /// slice-stepped loop is kept as the reference implementation
+  /// (`event_driven = false`); the differential suite in kernel_test and
+  /// the CI equivalence job prove every meter/billing/hook observation
+  /// bit-identical between the two.
+  bool event_driven = true;
   /// Flush every cycle charge to the accounting hooks immediately instead
   /// of batching to kernel-interaction boundaries. Observed meter totals
   /// are identical either way (kernel_test proves it); the unbatched mode
@@ -124,10 +134,19 @@ class Kernel final {
   const KernelConfig& config() const { return config_; }
   Scheduler& scheduler() { return *scheduler_; }
   mm::MemoryManager& memory() { return mm_; }
-  hw::NicModel& nic() { return nic_; }
-  hw::DiskModel& disk() { return disk_; }
+  /// Devices are read-only from outside: mutations must route through the
+  /// kernel (start_nic_flood, submit via syscalls) so the event-driven
+  /// engine sees every future completion/arrival in its queue.
+  const hw::NicModel& nic() const { return nic_; }
+  const hw::DiskModel& disk() const { return disk_; }
   const hw::TimerDevice& timer() const { return timer_; }
   Xoshiro256& rng() { return rng_; }
+
+  /// Starts/stops the junk-packet flood (the interrupt-flooding attack's
+  /// device side). Routed through the kernel so the first arrival enters
+  /// the event queue.
+  void start_nic_flood(double packets_per_second);
+  void stop_nic_flood();
 
   /// Looks up a process (alive, zombie, or reaped record). Throws if the
   /// pid was never issued. Pids are issued sequentially from 1, so the
@@ -175,14 +194,28 @@ class Kernel final {
     kBlockOnDisk,    // submit one swap request for self and sleep on it
   };
 
-  // Engine phases.
+  // Engine phases (run_current and the handlers are shared between the two
+  // loops; the slice loop scans device next-times, the event loop pops the
+  // calendar queue).
+  Cycles run_slices(Cycles limit);
+  Cycles run_events(Cycles limit);
   RunStop run_current(Cycles boundary);
   void dispatch_external();
   std::optional<Cycles> next_external_event() const;
+  void dispatch_event(const Event& e);
+  bool idle_leap(Cycles limit);
+  void running_leap(Cycles limit);
   void handle_timer_tick();
   void handle_nic_arrival();
   void handle_disk_completion();
   void handle_sleep_expiries();
+  void handle_sleep_expiry(const Event& e);
+
+  // Future-event registration, branching on the engine mode. Every path
+  // that makes a device completion or timer expiry pending goes through
+  // these so the calendar queue never misses a wakeup.
+  void schedule_sleep_expiry(const Process& p);
+  void submit_disk_request(Pid waiter);
 
   // Current-process micro-execution.
   bool run_kernel_work(Cycles boundary);   // true if progress was made
@@ -305,6 +338,13 @@ class Kernel final {
     }
   };
   std::priority_queue<SleepEntry, std::vector<SleepEntry>, SleepLater> sleepers_;
+
+  // Calendar queue driving run_events (unused by the slice loop). Holds
+  // exactly one live timer-tick entry at timer_.next_fire(), one entry per
+  // in-flight disk request, one live NIC-arrival entry while flooding, and
+  // one entry per pending sleep expiry (stale entries are validated away
+  // on pop).
+  EventQueue events_;
 
   Ticks idle_ticks_{};
   CpuUsageCycles idle_cycles_{};

@@ -90,6 +90,25 @@ void O1PriorityScheduler::on_ran(Process& current, Cycles ran) {
   (void)ran;  // the O(1) policy accounts in ticks only
 }
 
+std::uint64_t O1PriorityScheduler::ticks_until_preemption(
+    const Process& current, Cycles tick_period) const {
+  (void)tick_period;  // O(1) slices are counted in ticks, not cycles
+  // The quantum'th tick preempts; set_nice can zero the slice mid-run, in
+  // which case the very next tick round-robins.
+  const std::uint32_t q = current.sched.quantum_ticks_left;
+  return q == 0 ? 0 : q - 1;
+}
+
+void O1PriorityScheduler::on_ticks(Process& current, std::uint64_t count) {
+  // Mirrors `count` on_tick() calls that all returned false: the wake
+  // boost expires on the first tick and the quantum shrinks one per tick
+  // without reaching zero.
+  MTR_ENSURE_MSG(current.sched.quantum_ticks_left > count,
+                 "coalesced tick run would exhaust the quantum");
+  current.sched.wake_boost = false;
+  current.sched.quantum_ticks_left -= static_cast<std::uint32_t>(count);
+}
+
 bool O1PriorityScheduler::should_preempt(const Process& current,
                                          const Process& woken) const {
   // Strictly higher dynamic priority wins the CPU; the wake boost is what

@@ -23,6 +23,9 @@ class O1PriorityScheduler final : public Scheduler {
   bool on_tick(Process& current, Cycles now) override;
   void on_ran(Process& current, Cycles ran) override;
   bool should_preempt(const Process& current, const Process& woken) const override;
+  std::uint64_t ticks_until_preemption(const Process& current,
+                                       Cycles tick_period) const override;
+  void on_ticks(Process& current, std::uint64_t count) override;
   std::string name() const override { return "o1"; }
 
   /// Linux 2.6 task_timeslice(): higher priority ⇒ longer slice, in ticks.

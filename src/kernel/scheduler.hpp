@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "common/ensure.hpp"
 #include "common/types.hpp"
 #include "kernel/process.hpp"
 
@@ -42,6 +43,31 @@ class Scheduler {
   /// The wakeup-preemption path is what lets the scheduling attack's
   /// high-priority Fork process snatch the CPU mid-jiffy.
   virtual bool should_preempt(const Process& current, const Process& woken) const = 0;
+
+  /// Lower bound on how many more consecutive timer ticks `current` can
+  /// absorb before on_tick() would request preemption, assuming no wakeups
+  /// in between and at most `tick_period` cycles charged per tick. The
+  /// event-driven engine uses this to coalesce pure-compute stretches;
+  /// underestimates are always safe (it falls back to per-tick stepping),
+  /// overestimates are not. Returns UINT64_MAX for "never". The default
+  /// (0) opts a policy out of tick coalescing.
+  virtual std::uint64_t ticks_until_preemption(const Process& current,
+                                               Cycles tick_period) const {
+    (void)current;
+    (void)tick_period;
+    return 0;
+  }
+
+  /// Applies the per-tick scheduler state updates for `count` consecutive
+  /// ticks that ticks_until_preemption() guaranteed preemption-free; must
+  /// leave `current` exactly as `count` on_tick() calls (each returning
+  /// false) would have. Never called on a policy whose
+  /// ticks_until_preemption() stays at the default 0.
+  virtual void on_ticks(Process& current, std::uint64_t count) {
+    (void)current;
+    (void)count;
+    MTR_ENSURE_MSG(false, "on_ticks without a ticks_until_preemption override");
+  }
 
   virtual std::string name() const = 0;
 };

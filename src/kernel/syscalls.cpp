@@ -53,7 +53,7 @@ void Kernel::apply_action(KernelAction action) {
       return;
     }
     case KernelAction::kBlockOnDisk: {
-      disk_.submit(now_, p.pid);
+      submit_disk_request(p.pid);
       p.state = ProcState::kSleeping;
       p.sleep_reason = SleepReason::kDiskIo;
       return;
@@ -126,7 +126,7 @@ void Kernel::apply_syscall(Process& p) {
       }
       p.state = ProcState::kSleeping;
       p.sleep_reason = SleepReason::kNanosleep;
-      k.sleepers_.push({p.wake_at, p.pid});
+      k.schedule_sleep_expiry(p);
       p.last_syscall_result = 0;
       k.finish_syscall(p);
     }
@@ -137,7 +137,7 @@ void Kernel::apply_syscall(Process& p) {
       k.finish_syscall(p);
     }
     void operator()(const SysDiskIo&) {
-      k.disk_.submit(k.now_, p.pid);
+      k.submit_disk_request(p.pid);
       p.state = ProcState::kSleeping;
       p.sleep_reason = SleepReason::kDiskIo;
       p.last_syscall_result = 0;

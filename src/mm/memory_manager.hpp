@@ -3,6 +3,13 @@
 // memory pressure. Major faults (swap-in) are reported to the kernel, which
 // charges the handler CPU to the faulting process and blocks it on the disk
 // — the accounting path exploited by the exception-flooding attack.
+//
+// Reclaim itself is synchronous by design: scans and evictions run inline
+// in the faulting process's charge stream (direct-reclaim semantics), so
+// the mm layer schedules nothing. The only asynchronous consequence of a
+// fault is the swap-in disk completion, which the kernel submits through
+// its own wrapper — under the event-driven engine that completion is a
+// calendar-queue event, so no mm state needs to know which engine runs.
 #pragma once
 
 #include <cstdint>

@@ -24,6 +24,7 @@ std::vector<core::CellStats> SweepContext::run_grid(
     core::BatchGrid grid) const {
   MTR_ENSURE_MSG(cell_cursor != nullptr,
                  "SweepContext::run_grid needs a driver-owned cell counter");
+  if (event_driven) grid.base.sim.kernel.event_driven = *event_driven;
   const std::size_t n_cells = core::grid_cell_count(grid);
   const std::size_t base = *cell_cursor;
   *cell_cursor += n_cells;

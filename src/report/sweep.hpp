@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -45,6 +46,13 @@ struct SweepContext {
   double scale = 0.25;                 // workload scale (MTR_BENCH_SCALE)
   std::vector<std::uint64_t> seeds;    // replicate grid seeds per cell
   unsigned threads = 0;                // BatchRunner pool; 0 = hardware
+  /// --engine override: forces every grid's kernel onto the event-driven
+  /// or the slice-stepped loop. Engine choice is not a grid axis — cell
+  /// indices, seeds, and record columns are untouched, so two runs that
+  /// differ only here must produce byte-identical sink artifacts (the CI
+  /// equivalence job diffs exactly that). Unset keeps each grid's own
+  /// KernelConfig default.
+  std::optional<bool> event_driven;
   ResultSink* sink = nullptr;          // never null (NullSink when unused)
   ProgressReporter* progress = nullptr;  // may be null
   std::ostream* out = nullptr;         // never null; may be a null stream

@@ -233,9 +233,19 @@ TEST(SweepArgsTest, ParsesFlagsOverEnvDefaults) {
   EXPECT_TRUE(o.resume);
   EXPECT_TRUE(o.dry_run);
   EXPECT_FALSE(o.list);
+  EXPECT_FALSE(o.event_driven.has_value());  // default: kernel's own choice
 
   const char* bad[] = {"mtr_sweep", "--bogus"};
   EXPECT_THROW(parse_sweep_args(2, bad), std::runtime_error);
+}
+
+TEST(SweepArgsTest, EngineSelectsTheKernelStepLoop) {
+  const char* ev[] = {"mtr_sweep", "--engine", "event"};
+  EXPECT_EQ(parse_sweep_args(3, ev).event_driven, std::optional<bool>{true});
+  const char* sl[] = {"mtr_sweep", "--engine", "slice"};
+  EXPECT_EQ(parse_sweep_args(3, sl).event_driven, std::optional<bool>{false});
+  const char* bad[] = {"mtr_sweep", "--engine", "warp"};
+  EXPECT_THROW(parse_sweep_args(3, bad), std::runtime_error);
 }
 
 TEST(SweepArgsTest, RejectsTrailingGarbageInNumericFlags) {

@@ -448,10 +448,11 @@ struct CyclesEventCounter final : AccountingHook {
 };
 
 AccountingSnapshot run_attack_accounting(const core::AttackFactory& make,
-                                         bool unbatched) {
-  sim::SimConfig sc;
+                                         bool unbatched, bool event_driven = true,
+                                         sim::SimConfig sc = {}) {
   sc.kernel.seed = 1234;
   sc.kernel.unbatched_accounting = unbatched;
+  sc.kernel.event_driven = event_driven;
   sim::Simulation s(sc);
   core::TickMeter tick;
   core::TscMeter tsc;
@@ -510,26 +511,119 @@ AccountingSnapshot run_attack_accounting(const core::AttackFactory& make,
   return snap;
 }
 
-TEST(AccountingFlush, BatchedModeMatchesFlushEverySliceAcrossAllAttacks) {
-  // Baseline (no attack) plus every roster attack.
+void expect_snapshots_equal(const AccountingSnapshot& a,
+                            const AccountingSnapshot& b) {
+  EXPECT_EQ(a.final_now, b.final_now);
+  EXPECT_EQ(a.procs, b.procs);
+  EXPECT_EQ(a.proc_tgid, b.proc_tgid);
+  EXPECT_EQ(a.groups, b.groups);
+  EXPECT_EQ(a.meters, b.meters);
+  EXPECT_EQ(a.tsc_idle, b.tsc_idle);
+  EXPECT_EQ(a.pais_system, b.pais_system);
+}
+
+/// Baseline (no attack) plus every roster attack.
+std::vector<std::pair<std::string, core::AttackFactory>> roster_programs() {
   std::vector<std::pair<std::string, core::AttackFactory>> programs;
   programs.emplace_back("baseline", nullptr);
   for (auto& e : bench::attack_roster(/*scale=*/0.02))
     programs.emplace_back(e.label, std::move(e.make));
+  return programs;
+}
 
-  for (auto& [label, make] : programs) {
+TEST(AccountingFlush, BatchedModeMatchesFlushEverySliceAcrossAllAttacks) {
+  for (auto& [label, make] : roster_programs()) {
     SCOPED_TRACE(label);
     const AccountingSnapshot batched = run_attack_accounting(make, false);
     const AccountingSnapshot unbatched = run_attack_accounting(make, true);
-    EXPECT_EQ(batched.final_now, unbatched.final_now);
-    EXPECT_EQ(batched.procs, unbatched.procs);
-    EXPECT_EQ(batched.groups, unbatched.groups);
-    EXPECT_EQ(batched.meters, unbatched.meters);
-    EXPECT_EQ(batched.tsc_idle, unbatched.tsc_idle);
-    EXPECT_EQ(batched.pais_system, unbatched.pais_system);
+    expect_snapshots_equal(batched, unbatched);
     // The batch must coalesce *something* on a real run, or the default
     // mode silently degenerated into the unbatched one.
     EXPECT_LT(batched.on_cycles_events, unbatched.on_cycles_events);
+  }
+}
+
+// --- event-engine equivalence -------------------------------------------------
+//
+// The event-driven engine (KernelConfig::event_driven, the default) must
+// reproduce the slice-stepped reference loop bit-for-bit on every
+// observable: jiffy counters, cycle-exact ground truth, every meter's
+// verdict, fault/switch/signal counts, and the final clock — for every
+// attack in the roster and across every scenario axis the sweeps vary.
+
+TEST(EventEngine, MatchesSliceEngineAcrossAllAttacks) {
+  for (auto& [label, make] : roster_programs()) {
+    SCOPED_TRACE(label);
+    const AccountingSnapshot event =
+        run_attack_accounting(make, false, /*event_driven=*/true);
+    const AccountingSnapshot slice =
+        run_attack_accounting(make, false, /*event_driven=*/false);
+    expect_snapshots_equal(event, slice);
+  }
+}
+
+TEST(EventEngine, MatchesSliceEngineAcrossScenarioAxes) {
+  struct Scenario {
+    const char* label;
+    sim::SimConfig sc;
+  };
+  std::vector<Scenario> scenarios;
+  {
+    Scenario s{"cfs", {}};
+    s.sc.scheduler = sim::SchedulerKind::kCfs;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s{"hz100", {}};
+    s.sc.kernel.hz = TimerHz{100};
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s{"hz1000", {}};
+    s.sc.kernel.hz = TimerHz{1000};
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s{"cpu1ghz", {}};
+    s.sc.kernel.cpu = CpuHz{1'000'000'000};
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s{"hires-timers", {}};
+    s.sc.kernel.jiffy_resolution_timers = false;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s{"ptrace-privileged", {}};
+    s.sc.kernel.ptrace_policy = PtracePolicy::kPrivilegedOnly;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s{"low-ram", {}};
+    s.sc.kernel.ram_frames = 512;
+    scenarios.push_back(s);
+  }
+
+  // Probes chosen to stress each event source: the quiet baseline (long
+  // idle stretches), the scheduling attack (sleeps + fork storms), the
+  // interrupt flood (NIC arrivals) and the exception flood (disk I/O).
+  const std::vector<std::string> probes = {"scheduling", "interrupt-flood",
+                                           "exception-flood"};
+  for (const Scenario& scenario : scenarios) {
+    SCOPED_TRACE(scenario.label);
+    {
+      SCOPED_TRACE("baseline");
+      expect_snapshots_equal(
+          run_attack_accounting(nullptr, false, true, scenario.sc),
+          run_attack_accounting(nullptr, false, false, scenario.sc));
+    }
+    for (const std::string& probe : probes) {
+      SCOPED_TRACE(probe);
+      const core::AttackFactory make = bench::roster_attack(0.02, probe);
+      expect_snapshots_equal(
+          run_attack_accounting(make, false, true, scenario.sc),
+          run_attack_accounting(make, false, false, scenario.sc));
+    }
   }
 }
 
