@@ -1,0 +1,278 @@
+#!/usr/bin/env python3
+"""Validates observability artifacts: Perfetto trace JSONs and metrics.json.
+
+Trace files (mtr_sweep --trace-dir) must parse as Chrome trace-event JSON,
+carry the mtr-trace-1 schema tag, contain well-formed events (known phase
+types, numeric timestamps, metadata naming every referenced track), and
+have a consistent recorded/dropped accounting. Metrics files (mtr_sweep
+--metrics, or mtr_merge --metrics) must carry metrics schema v1 with the
+full kernel counter set, phase entries, and pool utilization per sweep.
+
+usage: validate_trace.py [TRACE.json...] [--metrics METRICS.json]...
+                         [--expect-shards N]
+
+Stdlib only; exits non-zero with a message naming the offending file and
+field on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+TRACE_SCHEMA = "mtr-trace-1"
+METRICS_SCHEMA = 1
+
+KERNEL_COUNTERS = [
+    "events_popped",
+    "idle_leaps",
+    "running_leaps",
+    "ticks_coalesced",
+    "timer_ticks",
+    "charges_enqueued",
+    "charge_flushes",
+    "context_switches",
+    "stale_events",
+    "max_event_queue_depth",
+]
+
+
+class Violation(SystemExit):
+    def __init__(self, path: str, message: str):
+        super().__init__(f"validate_trace: {path}: {message}")
+
+
+def require(cond: bool, path: str, message: str) -> None:
+    if not cond:
+        raise Violation(path, message)
+
+
+def is_number(x) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def load_json(path: str):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise Violation(path, f"unreadable or invalid JSON: {e}")
+
+
+def validate_trace(path: str) -> dict:
+    doc = load_json(path)
+    require(isinstance(doc, dict), path, "top level is not an object")
+    other = doc.get("otherData")
+    require(isinstance(other, dict), path, "missing otherData")
+    require(
+        other.get("schema") == TRACE_SCHEMA,
+        path,
+        f"schema tag {other.get('schema')!r} != {TRACE_SCHEMA!r}",
+    )
+    for key in ("recorded", "dropped", "cpu_hz", "timer_hz"):
+        require(is_number(other.get(key)), path, f"otherData.{key} is not a number")
+    recorded, dropped = other["recorded"], other["dropped"]
+    require(0 <= dropped <= recorded, path, f"dropped {dropped} out of range [0, {recorded}]")
+
+    events = doc.get("traceEvents")
+    require(isinstance(events, list) and events, path, "traceEvents missing or empty")
+
+    named_tracks = set()
+    spans = instants = counters = 0
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        require(isinstance(e, dict), path, f"{where} is not an object")
+        ph = e.get("ph")
+        require(
+            ph in ("M", "X", "i", "C"),
+            path,
+            f"{where} has unknown phase {ph!r}",
+        )
+        require(is_number(e.get("pid")), path, f"{where} has no numeric pid")
+        if ph == "M":
+            require(
+                e.get("name") in ("process_name", "thread_name"),
+                path,
+                f"{where} metadata kind {e.get('name')!r}",
+            )
+            require(
+                isinstance(e.get("args", {}).get("name"), str),
+                path,
+                f"{where} metadata has no args.name string",
+            )
+            if e["name"] == "thread_name":
+                named_tracks.add(e.get("tid"))
+            continue
+        require(is_number(e.get("ts")), path, f"{where} has no numeric ts")
+        require(isinstance(e.get("name"), str), path, f"{where} has no name")
+        if ph == "X":
+            spans += 1
+            require(is_number(e.get("dur")), path, f"{where} span has no dur")
+            require(e["dur"] >= 0, path, f"{where} span has negative dur")
+            require(
+                is_number(e.get("args", {}).get("cycles")),
+                path,
+                f"{where} span has no args.cycles",
+            )
+        elif ph == "i":
+            instants += 1
+            require(e.get("s") in ("t", "p", "g"), path, f"{where} instant scope {e.get('s')!r}")
+        else:  # C
+            counters += 1
+            args = e.get("args", {})
+            require(
+                is_number(args.get("billed")) and is_number(args.get("true")),
+                path,
+                f"{where} counter lacks billed/true series",
+            )
+
+    # Every span/instant rides a thread track the metadata named (tid 0 =
+    # idle is always declared first).
+    for i, e in enumerate(events):
+        if e.get("ph") in ("X", "i"):
+            require(
+                e.get("tid") in named_tracks,
+                path,
+                f"traceEvents[{i}] references unnamed tid {e.get('tid')!r}",
+            )
+
+    # Ring accounting is exact: every kept ring event exports as one span or
+    # one instant, plus the one terminator instant the exporter appends.
+    kept = spans + instants
+    require(
+        kept == recorded - dropped + 1,
+        path,
+        f"{kept} spans+instants but ring kept {recorded - dropped} events",
+    )
+    return {"spans": spans, "instants": instants, "counters": counters, "dropped": dropped}
+
+
+def validate_metrics(path: str, expect_shards: int | None) -> dict:
+    doc = load_json(path)
+    require(isinstance(doc, dict), path, "top level is not an object")
+    require(
+        doc.get("schema") == METRICS_SCHEMA,
+        path,
+        f"metrics schema {doc.get('schema')!r} != {METRICS_SCHEMA}",
+    )
+    require(doc.get("record") == "metrics", path, "record tag is not 'metrics'")
+    require(
+        isinstance(doc.get("shards"), int) and doc["shards"] >= 1,
+        path,
+        "shards is not a positive integer",
+    )
+    if expect_shards is not None:
+        require(
+            doc["shards"] == expect_shards,
+            path,
+            f"shards {doc['shards']} != expected {expect_shards}",
+        )
+
+    sweeps = doc.get("sweeps")
+    require(isinstance(sweeps, list) and sweeps, path, "sweeps missing or empty")
+    for s in sweeps:
+        name = s.get("sweep") if isinstance(s, dict) else None
+        where = f"sweep {name!r}"
+        require(isinstance(name, str) and name, path, f"{where}: bad sweep name")
+        for key in ("cells", "runs"):
+            require(
+                isinstance(s.get(key), int) and s[key] >= 0,
+                path,
+                f"{where}: {key} is not a non-negative integer",
+            )
+        require(s["runs"] >= s["cells"], path, f"{where}: fewer runs than cells")
+        for key in ("cell_wall_seconds", "max_cell_seconds"):
+            require(is_number(s.get(key)) and s[key] >= 0, path, f"{where}: bad {key}")
+        require(
+            s["max_cell_seconds"] <= s["cell_wall_seconds"] or s["cells"] == 0,
+            path,
+            f"{where}: straggler exceeds total wall",
+        )
+
+        kernel = s.get("kernel")
+        require(isinstance(kernel, dict), path, f"{where}: kernel block missing")
+        require(
+            list(kernel.keys()) == KERNEL_COUNTERS,
+            path,
+            f"{where}: kernel counters {list(kernel.keys())} != {KERNEL_COUNTERS}",
+        )
+        for key, value in kernel.items():
+            require(
+                isinstance(value, int) and value >= 0,
+                path,
+                f"{where}: kernel.{key} is not a non-negative integer",
+            )
+        require(
+            kernel["timer_ticks"] > 0 or s["runs"] == 0,
+            path,
+            f"{where}: a sweep with runs recorded no timer ticks",
+        )
+        require(
+            kernel["ticks_coalesced"] <= kernel["timer_ticks"],
+            path,
+            f"{where}: more coalesced ticks than ticks",
+        )
+
+        phases = s.get("phases")
+        require(isinstance(phases, list) and phases, path, f"{where}: phases missing")
+        for ph in phases:
+            require(
+                isinstance(ph, dict)
+                and isinstance(ph.get("name"), str)
+                and isinstance(ph.get("count"), int)
+                and is_number(ph.get("seconds")),
+                path,
+                f"{where}: malformed phase entry {ph!r}",
+            )
+
+        pool = s.get("pool")
+        require(isinstance(pool, dict), path, f"{where}: pool block missing")
+        require(
+            isinstance(pool.get("threads"), int) and pool["threads"] >= 1,
+            path,
+            f"{where}: pool.threads is not a positive integer",
+        )
+        require(is_number(pool.get("wall_seconds")), path, f"{where}: bad pool.wall_seconds")
+        busy = pool.get("busy_seconds")
+        require(
+            isinstance(busy, list) and all(is_number(b) and b >= 0 for b in busy),
+            path,
+            f"{where}: bad pool.busy_seconds",
+        )
+        require(
+            len(busy) <= pool["threads"],
+            path,
+            f"{where}: more busy slots than pool threads",
+        )
+    return {"sweeps": len(sweeps), "shards": doc["shards"]}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(add_help=True)
+    parser.add_argument("traces", nargs="*", help="Perfetto trace JSON files")
+    parser.add_argument(
+        "--metrics", action="append", default=[], help="metrics.json file (repeatable)"
+    )
+    parser.add_argument(
+        "--expect-shards", type=int, default=None, help="required shards stamp"
+    )
+    args = parser.parse_args()
+    if not args.traces and not args.metrics:
+        raise SystemExit("validate_trace: nothing to validate (no traces, no --metrics)")
+
+    for path in args.traces:
+        info = validate_trace(path)
+        print(
+            f"validate_trace: {path}: ok "
+            f"({info['spans']} spans, {info['instants']} instants, "
+            f"{info['counters']} counter samples, {info['dropped']} dropped)"
+        )
+    for path in args.metrics:
+        info = validate_metrics(path, args.expect_shards)
+        print(
+            f"validate_trace: {path}: ok "
+            f"({info['sweeps']} sweep(s), {info['shards']} shard(s))"
+        )
+
+
+if __name__ == "__main__":
+    main()

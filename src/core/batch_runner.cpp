@@ -130,9 +130,11 @@ BatchRunner::BatchRunner(unsigned threads) : threads_(threads) {
 }
 
 std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
-                                        const CellCallback& on_cell) const {
+                                        const CellCallback& on_cell,
+                                        trace::PoolMetrics* pool_metrics) const {
   const BatchGrid g = normalized_grid(grid);
   const GridGeometry geom = grid_geometry(g);
+  const auto grid_t0 = std::chrono::steady_clock::now();
 
   const std::size_t n_seeds = g.seeds.size();
   const std::size_t n_cells = geom.cell_count();
@@ -189,10 +191,17 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
       const ExperimentResult& r = s.runs.back();
       s.for_each_stat(
           [&](const char*, RunningStats& stat, auto get) { stat.add(get(r)); });
+      s.kstats.merge(r.kstats);
     }
   };
 
-  auto worker = [&] {
+  const unsigned pool = static_cast<unsigned>(
+      std::min<std::size_t>(threads_, n_runs > 0 ? n_runs : 1));
+  // Per-worker busy time (seconds spent inside run_experiment); only read
+  // after the join, so workers write their own slot without contention.
+  std::vector<double> busy(pool, 0.0);
+
+  auto worker = [&](unsigned wi) {
     for (;;) {
       const std::size_t idx = next.fetch_add(1, std::memory_order_relaxed);
       if (idx >= n_runs) return;
@@ -213,6 +222,9 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
         cfg.sim.kernel.ptrace_policy = g.ptrace_policies[ix.ptrace];
         cfg.sim.kernel.jiffy_resolution_timers = g.jiffy_timers[ix.jiffy];
         cfg.sim.kernel.seed = cell_seed(g.seeds[seed_i], ix);
+        cfg.trace.collect_stats =
+            cfg.trace.collect_stats || g.collect_kernel_stats;
+        if (g.trace_path) cfg.trace.path = g.trace_path(active[pos], seed_i);
         const AttackFactory& make = g.attacks[ix.attack].make;
         const std::unique_ptr<attacks::Attack> attack = make ? make() : nullptr;
         results[idx] = run_experiment(cfg, attack.get());
@@ -221,6 +233,7 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
         run_error = std::current_exception();
       }
       const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+      busy[wi] += dt.count();
 
       const std::lock_guard<std::mutex> lock(mutex);
       if (!ok) {
@@ -257,15 +270,13 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
     }
   };
 
-  const unsigned pool = static_cast<unsigned>(
-      std::min<std::size_t>(threads_, n_runs > 0 ? n_runs : 1));
   if (pool <= 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> threads;
     threads.reserve(pool);
     try {
-      for (unsigned i = 0; i < pool; ++i) threads.emplace_back(worker);
+      for (unsigned i = 0; i < pool; ++i) threads.emplace_back(worker, i);
     } catch (...) {
       // Thread creation failed mid-spawn: drain the workers already
       // running (they finish the queue) before propagating, so joinable
@@ -274,6 +285,16 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
       throw;
     }
     for (auto& t : threads) t.join();
+  }
+
+  if (pool_metrics != nullptr) {
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - grid_t0;
+    trace::PoolMetrics pm;
+    pm.threads = pool;
+    pm.wall_seconds = wall.count();
+    pm.busy_seconds = busy;
+    pool_metrics->merge(pm);
   }
 
   if (error) {

@@ -77,6 +77,14 @@ struct BatchGrid {
   /// record), so shards and resumed runs number cells identically to a
   /// single-machine run.
   std::size_t cell_index_base = 0;
+
+  /// Optional per-run trace file path: called with the grid-order cell
+  /// index and the seed index; an empty return skips tracing for that run.
+  /// Null (the default) traces nothing.
+  std::function<std::string(std::size_t cell, std::size_t seed_i)> trace_path;
+  /// Collect KernelStats for every run (aggregated into CellStats::kstats)
+  /// even when no run is traced.
+  bool collect_kernel_stats = false;
 };
 
 /// `grid` with empty axes replaced by their `base` defaults.
@@ -162,6 +170,12 @@ struct CellStats {
   RunningStats debug_exceptions;
   RunningStats attacker_billed_seconds;
   RunningStats attacker_true_seconds;
+
+  /// Kernel observability counters summed over the cell's runs. Populated
+  /// only when BatchGrid::collect_kernel_stats (or tracing) is on, and
+  /// deliberately NOT part of for_each_stat: the CSV/JSONL artifact schema
+  /// stays byte-identical whether observability runs or not.
+  trace::KernelStats kstats;
 
   /// Visits every accumulator as f(name, stats, get) where `get` extracts
   /// the value one run contributes. The single source of truth tying the
@@ -258,8 +272,11 @@ class BatchRunner {
   /// first exception (in work order) is rethrown after all workers join,
   /// wrapped in a std::runtime_error naming the failing cell's coordinates
   /// (attack, scheduler, hz, seed).
+  /// `pool`, when non-null, accumulates thread-pool utilization for this
+  /// invocation (thread count, wall time, per-worker busy seconds).
   std::vector<CellStats> run(const BatchGrid& grid,
-                             const CellCallback& on_cell = {}) const;
+                             const CellCallback& on_cell = {},
+                             trace::PoolMetrics* pool = nullptr) const;
 
  private:
   unsigned threads_;

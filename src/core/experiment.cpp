@@ -1,6 +1,12 @@
 #include "core/experiment.hpp"
 
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+
 #include "common/ensure.hpp"
+#include "trace/perfetto.hpp"
+#include "trace/tracer.hpp"
 #include "workloads/stdlibs.hpp"
 
 namespace mtr::core {
@@ -21,6 +27,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
                                 attacks::Attack* attack) {
   sim::Simulation sim(config.sim);
   kernel::Kernel& kernel = sim.kernel();
+
+  // Observability sinks: attached only when requested, so the default run
+  // keeps the kernel's tracer/stats pointers null (zero-cost-when-off).
+  std::optional<trace::Tracer> tracer;
+  trace::KernelStats kstats;
+  if (config.trace.enabled()) {
+    tracer.emplace(config.trace.ring_capacity);
+    kernel.set_tracer(&*tracer);
+  }
+  if (config.trace.enabled() || config.trace.collect_stats)
+    kernel.set_stats(&kstats);
 
   TrustedMeteringService service(config.tariff, config.sim.kernel.cpu,
                                  config.sim.kernel.hz);
@@ -93,6 +110,30 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
                                 ticks_to_seconds(r.attacker_ticks.stime, hz);
     r.attacker_true_seconds =
         cycles_to_seconds(r.attacker_true_cycles.total(), cpu);
+  }
+
+  if (config.trace.enabled() || config.trace.collect_stats) r.kstats = kstats;
+  if (tracer) {
+    r.trace_events_recorded = tracer->recorded();
+    r.trace_events_dropped = tracer->dropped();
+
+    trace::ExportInfo info_out;
+    info_out.label = config.trace.label.empty()
+                         ? std::string(workloads::short_name(config.kind)) +
+                               (r.attack_name.empty() ? "/baseline"
+                                                      : "/" + r.attack_name)
+                         : config.trace.label;
+    info_out.cpu = cpu;
+    info_out.hz = hz;
+    info_out.victim = victim_tg;
+    for (const Pid pid : kernel.all_pids())
+      info_out.process_names.emplace_back(pid, kernel.process(pid).name);
+
+    std::ofstream out(config.trace.path, std::ios::binary);
+    if (!out) {
+      throw std::runtime_error("cannot open trace file: " + config.trace.path);
+    }
+    trace::write_perfetto_json(out, *tracer, info_out);
   }
   return r;
 }

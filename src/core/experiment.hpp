@@ -9,9 +9,29 @@
 #include "attacks/attack.hpp"
 #include "core/trusted_metering.hpp"
 #include "sim/simulation.hpp"
+#include "trace/metrics.hpp"
 #include "workloads/workloads.hpp"
 
 namespace mtr::core {
+
+/// Opt-in kernel observability for one run. Default-constructed = fully off:
+/// the kernel never sees a tracer or stats sink and executes the exact
+/// pre-observability instruction stream.
+struct TraceRequest {
+  /// Non-empty = record kernel events and write a Chrome/Perfetto
+  /// trace-event JSON file at this path when the run completes.
+  std::string path;
+  /// Ring capacity in events; when the run records more, the oldest are
+  /// dropped and the exporter reports the drop count.
+  std::size_t ring_capacity = 1 << 16;
+  /// Collect KernelStats counters even without a trace file.
+  bool collect_stats = false;
+  /// Display label for the trace process track (defaults to
+  /// "<workload>/<attack>" when empty).
+  std::string label;
+
+  bool enabled() const { return !path.empty(); }
+};
 
 struct ExperimentConfig {
   workloads::WorkloadKind kind = workloads::WorkloadKind::kOurs;
@@ -22,6 +42,8 @@ struct ExperimentConfig {
   Cycles run_limit{12'000'000'000'000};  // ~79 virtual minutes at 2.53 GHz
   /// Extra drain time after the victim exits (attacker teardown, reaping).
   Cycles drain{1'000'000'000};
+  /// Observability (tracing + kernel counters); off by default.
+  TraceRequest trace{};
 };
 
 struct ExperimentResult {
@@ -69,6 +91,12 @@ struct ExperimentResult {
   double attacker_billed_seconds = 0.0;
   CpuUsageCycles attacker_true_cycles;
   double attacker_true_seconds = 0.0;
+
+  // Observability (populated only when ExperimentConfig::trace asked for it;
+  // never part of the CSV/JSONL result schema).
+  trace::KernelStats kstats;
+  std::uint64_t trace_events_recorded = 0;
+  std::uint64_t trace_events_dropped = 0;
 };
 
 /// Runs one victim (with `attack`, or baseline when null) to completion and

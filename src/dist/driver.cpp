@@ -2,12 +2,14 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <stdexcept>
 
 #include "dist/records.hpp"
 #include "dist/resume.hpp"
+#include "trace/metrics.hpp"
 
 namespace mtr::dist {
 namespace {
@@ -32,6 +34,12 @@ constexpr const char* kUsage =
     "  --csv PATH         append run records to one shared CSV file\n"
     "  --jsonl PATH       append run + cell records to one shared JSONL file\n"
     "  --out-dir DIR      write fresh <sweep>.csv and <sweep>.jsonl per sweep\n"
+    "  --trace-dir DIR    record kernel event traces and write one\n"
+    "                     Chrome/Perfetto trace-event JSON per cell (first\n"
+    "                     replicate) into DIR; CSV/JSONL stay byte-identical\n"
+    "  --metrics PATH     write sweep metrics (kernel counters, phase\n"
+    "                     timers, pool utilization) as schema-versioned\n"
+    "                     JSON; shard files fold with mtr_merge --metrics\n"
     "  --threads N        BatchRunner worker pool (default MTR_BENCH_THREADS)\n"
     "  --seeds N          replicate seeds per cell (default MTR_BENCH_SEEDS)\n"
     "  --first-seed S     first replicate seed (default 42)\n"
@@ -47,7 +55,9 @@ constexpr const char* kUsage =
     "                     killed run left, and skip cells already complete\n"
     "  --dry-run          print the selected sweeps, cell counts, and shard\n"
     "                     ownership, then exit without running anything\n"
-    "  --quiet            suppress the ASCII figure rendering\n"
+    "  --quiet            suppress the ASCII figure rendering and the\n"
+    "                     per-cell progress lines (begin/finish summaries\n"
+    "                     still print; --no-progress silences those too)\n"
     "  --no-progress      suppress the stderr progress/ETA lines\n"
     "  --help             print this message\n"
     "\n"
@@ -143,6 +153,8 @@ SweepOptions parse_sweep_args(int argc, const char* const* argv) {
     } else if (arg == "--csv") o.csv_path = value(i, arg);
     else if (arg == "--jsonl") o.jsonl_path = value(i, arg);
     else if (arg == "--out-dir") o.out_dir = value(i, arg);
+    else if (arg == "--trace-dir") o.trace_dir = value(i, arg);
+    else if (arg == "--metrics") o.metrics_path = value(i, arg);
     else if (arg == "--scale") {
       const double v = parse_double_flag(arg, value(i, arg));
       if (v <= 0.0) bad_usage("--scale must be > 0");
@@ -226,6 +238,9 @@ int run_sweeps(const report::SweepRegistry& registry, const SweepOptions& option
       std::filesystem::create_directories(options.out_dir);
     if (!options.csv_path.empty()) create_parent_dirs(options.csv_path);
     if (!options.jsonl_path.empty()) create_parent_dirs(options.jsonl_path);
+    if (!options.trace_dir.empty())
+      std::filesystem::create_directories(options.trace_dir);
+    if (!options.metrics_path.empty()) create_parent_dirs(options.metrics_path);
   }
 
   // One resume index for shared files (they span every selected sweep);
@@ -248,6 +263,14 @@ int run_sweeps(const report::SweepRegistry& registry, const SweepOptions& option
 
   report::NullSink null_sink;
   report::ProgressReporter progress(err, options.progress && !options.dry_run);
+  // --quiet keeps the begin/finish summary lines (and the resume notes
+  // above, which print directly to `err`) but drops the line-per-cell
+  // stream.
+  if (options.quiet) progress.set_per_cell(false);
+
+  const bool want_metrics = !options.metrics_path.empty() && !options.dry_run;
+  std::vector<trace::SweepMetrics> all_metrics;
+
   for (const report::SweepSpec* spec : selected) {
     ResumeIndex sweep_resume;
     const ResumeIndex* resume = nullptr;
@@ -301,6 +324,10 @@ int run_sweeps(const report::SweepRegistry& registry, const SweepOptions& option
     ctx.dry_run = options.dry_run;
     ctx.partial = partial;
     ctx.plan = options.dry_run ? &out : nullptr;
+    ctx.trace_dir = options.dry_run ? std::string() : options.trace_dir;
+    trace::SweepMetrics sweep_metrics;
+    sweep_metrics.sweep = spec->name;
+    ctx.metrics = want_metrics ? &sweep_metrics : nullptr;
     if (options.shard.sharded() || resume != nullptr) {
       const ShardSpec shard = options.shard;
       ctx.gate = [shard, resume](const report::GridCellInfo& cell) {
@@ -309,8 +336,24 @@ int run_sweeps(const report::SweepRegistry& registry, const SweepOptions& option
         return true;
       };
     }
-    spec->run(ctx);
+    if (want_metrics) {
+      const trace::ScopeTimer timer(sweep_metrics.phases, "sweep");
+      spec->run(ctx);
+    } else {
+      spec->run(ctx);
+    }
     progress.finish();
+    if (want_metrics) all_metrics.push_back(std::move(sweep_metrics));
+  }
+
+  if (want_metrics) {
+    std::ofstream mf(options.metrics_path, std::ios::binary);
+    if (!mf) {
+      err << "mtr_sweep: cannot open metrics file: " << options.metrics_path
+          << '\n';
+      return 1;
+    }
+    trace::write_metrics_json(mf, all_metrics, /*shards=*/1);
   }
 
   if (options.dry_run) {

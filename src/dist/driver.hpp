@@ -30,6 +30,8 @@ struct SweepOptions {
   std::string csv_path;    // --csv: one shared file, append-safe
   std::string jsonl_path;  // --jsonl: one shared file, append-safe
   std::string out_dir;     // --out-dir: <dir>/<sweep>.{csv,jsonl}
+  std::string trace_dir;   // --trace-dir: per-cell Perfetto trace JSONs
+  std::string metrics_path;  // --metrics: schema-versioned metrics.json
 
   double scale = 0.25;
   std::vector<std::uint64_t> seeds;

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "dist/metrics.hpp"
 #include "dist/records.hpp"
 #include "report/result_sink.hpp"
 
@@ -14,19 +15,23 @@ namespace mtr::dist {
 namespace {
 
 constexpr const char* kUsage =
-    "usage: mtr_merge [--csv OUT.csv] [--jsonl OUT.jsonl] SHARD_FILE...\n"
+    "usage: mtr_merge [--csv OUT.csv] [--jsonl OUT.jsonl]\n"
+    "                 [--metrics OUT.json] SHARD_FILE...\n"
     "\n"
     "Merges per-shard mtr_sweep outputs back into one canonical dataset.\n"
     "Inputs are classified by extension: .csv files merge into --csv,\n"
-    ".jsonl files into --jsonl. Every cell is validated (schema version,\n"
+    ".jsonl files into --jsonl, .json files (mtr_sweep --metrics output)\n"
+    "fold into --metrics. Every cell is validated (schema version,\n"
     "incomplete shard tails, duplicate/conflicting cells, gaps in the cell\n"
     "index space) and re-emitted in grid order; JSONL cell aggregates are\n"
     "recomputed from the run records and cross-checked against the shard.\n"
     "The merged files are byte-identical to a single-process run of the\n"
-    "same grid.\n"
+    "same grid. Metrics fold by sweep name: counters sum, gauges max, and\n"
+    "the shard count adds up.\n"
     "\n"
     "  --csv OUT.csv      merged CSV destination (parent dirs are created)\n"
     "  --jsonl OUT.jsonl  merged JSONL destination\n"
+    "  --metrics OUT.json folded metrics destination\n"
     "  --help             print this message\n";
 
 [[noreturn]] void bad_usage(const std::string& message) {
@@ -227,13 +232,15 @@ MergeOptions parse_merge_args(int argc, const char* const* argv) {
     if (arg == "--help" || arg == "-h") o.help = true;
     else if (arg == "--csv") o.csv_out = value(i, arg);
     else if (arg == "--jsonl") o.jsonl_out = value(i, arg);
+    else if (arg == "--metrics") o.metrics_out = value(i, arg);
     else if (!arg.empty() && arg.front() == '-') {
       bad_usage("unknown flag: " + std::string(arg));
     } else {
       const std::string path(arg);
       if (has_suffix(path, ".csv")) o.csv_in.push_back(path);
       else if (has_suffix(path, ".jsonl")) o.jsonl_in.push_back(path);
-      else bad_usage("input " + path + " is neither .csv nor .jsonl");
+      else if (has_suffix(path, ".json")) o.metrics_in.push_back(path);
+      else bad_usage("input " + path + " is not .csv, .jsonl, or .json");
     }
   }
   return o;
@@ -287,8 +294,9 @@ int run_merge(const MergeOptions& o, std::ostream& out, std::ostream& err) {
     out << kUsage;
     return 0;
   }
-  if (o.csv_out.empty() && o.jsonl_out.empty()) {
-    err << "mtr_merge: pick at least one output (--csv and/or --jsonl)\n\n"
+  if (o.csv_out.empty() && o.jsonl_out.empty() && o.metrics_out.empty()) {
+    err << "mtr_merge: pick at least one output (--csv, --jsonl, and/or "
+           "--metrics)\n\n"
         << kUsage;
     return 2;
   }
@@ -304,6 +312,10 @@ int run_merge(const MergeOptions& o, std::ostream& out, std::ostream& err) {
     return usage_error("--jsonl needs .jsonl shard inputs");
   if (o.jsonl_out.empty() && !o.jsonl_in.empty())
     return usage_error(".jsonl inputs given but no --jsonl output");
+  if (!o.metrics_out.empty() && o.metrics_in.empty())
+    return usage_error("--metrics needs .json shard inputs");
+  if (o.metrics_out.empty() && !o.metrics_in.empty())
+    return usage_error(".json inputs given but no --metrics output");
 
   try {
     std::vector<std::uint64_t> csv_cells, jsonl_cells;
@@ -325,6 +337,19 @@ int run_merge(const MergeOptions& o, std::ostream& out, std::ostream& err) {
       write_output(o.jsonl_out, jsonl_bytes);
       out << "mtr_merge: " << jsonl_cells.size() << " cell(s) from "
           << o.jsonl_in.size() << " shard file(s) -> " << o.jsonl_out << '\n';
+    }
+    if (!o.metrics_out.empty()) {
+      std::vector<MetricsFile> shards;
+      shards.reserve(o.metrics_in.size());
+      for (const std::string& path : o.metrics_in)
+        shards.push_back(read_metrics_json(path));
+      const MetricsFile folded = fold_metrics(shards);
+      std::ostringstream ms;
+      trace::write_metrics_json(ms, folded.sweeps, folded.shards);
+      write_output(o.metrics_out, ms.str());
+      out << "mtr_merge: " << folded.sweeps.size() << " sweep metric(s) from "
+          << o.metrics_in.size() << " shard file(s) -> " << o.metrics_out
+          << '\n';
     }
   } catch (const std::exception& e) {
     err << "mtr_merge: " << e.what() << '\n';

@@ -18,8 +18,10 @@ struct MergeOptions {
   bool help = false;
   std::string csv_out;                // --csv
   std::string jsonl_out;              // --jsonl
+  std::string metrics_out;            // --metrics
   std::vector<std::string> csv_in;    // positional *.csv
   std::vector<std::string> jsonl_in;  // positional *.jsonl
+  std::vector<std::string> metrics_in;  // positional *.json (metrics files)
 };
 
 /// Parses mtr_merge argv; throws std::runtime_error (with usage appended)

@@ -5,6 +5,8 @@
 
 #include "common/ensure.hpp"
 #include "kernel/syscalls.hpp"
+#include "trace/metrics.hpp"
+#include "trace/tracer.hpp"
 
 namespace mtr::kernel {
 
@@ -163,6 +165,7 @@ GroupUsage Kernel::group_usage(Tgid tg) const { return group_record(tg).usage; }
 
 void Kernel::set_nice(Pid pid, Nice nice) {
   Process& p = process(pid);
+  if (tracer_ != nullptr) tracer_->instant(now_, "set-nice", p.pid, p.tgid);
   const Nice clamped{std::clamp<std::int8_t>(nice.v, kNiceMin.v, kNiceMax.v)};
   const bool queued = p.sched.queued;
   if (queued) scheduler_->dequeue(p);  // leave the old priority level first
@@ -179,6 +182,7 @@ void Kernel::force_kill(Pid pid) {
   if (!has_process(pid)) return;
   Process& p = process(pid);
   if (!p.alive()) return;
+  if (tracer_ != nullptr) tracer_->instant(now_, "force-kill", p.pid, p.tgid);
   p.pending_signals.push_back(PendingSignal{Signal::kKill, Pid{}});
   if (p.state == ProcState::kSleeping || p.state == ProcState::kStopped) {
     wake_process(p);
@@ -203,19 +207,24 @@ void Kernel::charge(Process* p, WorkKind kind, Cycles amount, Pid beneficiary) {
       p->group_acct->true_cycles.system += amount;
     }
     scheduler_->on_ran(*p, amount);
-    if (!hooks_.empty()) enqueue_charge(p->pid, p->tgid, kind, amount, beneficiary);
+    // A traced hookless run still batches so flush_charges sees the spans;
+    // with the tracer detached this is the exact pre-observability branch.
+    if (!hooks_.empty() || tracer_ != nullptr)
+      enqueue_charge(p->pid, p->tgid, kind, amount, beneficiary);
   } else {
     if (mode_of(kind) == CpuMode::kUser) {
       idle_cycles_.user += amount;
     } else {
       idle_cycles_.system += amount;
     }
-    if (!hooks_.empty()) enqueue_charge(kIdlePid, Tgid{0}, kind, amount, beneficiary);
+    if (!hooks_.empty() || tracer_ != nullptr)
+      enqueue_charge(kIdlePid, Tgid{0}, kind, amount, beneficiary);
   }
 }
 
 void Kernel::enqueue_charge(Pid pid, Tgid tg, WorkKind kind, Cycles amount,
                             Pid beneficiary) {
+  if (stats_ != nullptr) ++stats_->charges_enqueued;
   if (charge_batch_size_ > 0) {
     PendingCharge& last = charge_batch_[charge_batch_size_ - 1];
     if (last.pid == pid && last.kind == kind && last.beneficiary == beneficiary) {
@@ -232,6 +241,17 @@ void Kernel::enqueue_charge(Pid pid, Tgid tg, WorkKind kind, Cycles amount,
 }
 
 void Kernel::flush_charges() {
+  if (charge_batch_size_ == 0) return;
+  // Coalesced charges flush as trace spans recorded at their end time; the
+  // exporter subtracts the duration to recover the start.
+  if (tracer_ != nullptr) {
+    for (std::size_t i = 0; i < charge_batch_size_; ++i) {
+      const PendingCharge& c = charge_batch_[i];
+      tracer_->span(c.now, to_string(c.kind), c.pid, c.tg, c.amount,
+                    c.beneficiary);
+    }
+  }
+  if (stats_ != nullptr) ++stats_->charge_flushes;
   for (std::size_t i = 0; i < charge_batch_size_; ++i) {
     const PendingCharge& c = charge_batch_[i];
     hooks_.each([&](AccountingHook& h) {
@@ -404,6 +424,11 @@ Cycles Kernel::run_events(Cycles limit) {
 }
 
 void Kernel::dispatch_event(const Event& e) {
+  if (stats_ != nullptr) {
+    ++stats_->events_popped;
+    const std::uint64_t depth = events_.size() + 1;  // including `e`
+    if (depth > stats_->max_event_queue_depth) stats_->max_event_queue_depth = depth;
+  }
   switch (e.kind) {
     case EventKind::kTimerTick:
       MTR_ENSURE_MSG(e.at == timer_.next_fire(), "timer event off the fire grid");
@@ -420,7 +445,11 @@ void Kernel::dispatch_event(const Event& e) {
     case EventKind::kNicArrival: {
       // Stale after stop_flood (or a flood restart): validate by time.
       const auto due = nic_.next_arrival();
-      if (!due || *due != e.at) return;
+      if (!due || *due != e.at) {
+        if (stats_ != nullptr) ++stats_->stale_events;
+        if (tracer_ != nullptr) tracer_->instant(now_, "stale-nic", kIdlePid, Tgid{0});
+        return;
+      }
       handle_nic_arrival();
       if (const auto next = nic_.next_arrival())
         events_.push(*next, EventKind::kNicArrival);
@@ -446,6 +475,7 @@ bool Kernel::idle_leap(Cycles limit) {
   }
 
   const Event tick = events_.pop();
+  if (stats_ != nullptr) ++stats_->events_popped;
   MTR_ENSURE_MSG(tick.at == timer_.next_fire(), "timer event off the fire grid");
   const Cycles period = timer_.period();
   const Cycles irq = config_.costs.interrupt_entry + config_.costs.timer_handler +
@@ -487,6 +517,15 @@ bool Kernel::idle_leap(Cycles limit) {
   hooks_.each([&](AccountingHook& h) {
     h.on_ticks(tick.at, period, count, kIdlePid, Tgid{0}, CpuMode::kKernel);
   });
+  if (tracer_ != nullptr) {
+    tracer_->tick(tick.at, kIdlePid, Tgid{0}, CpuMode::kKernel, count);
+    tracer_->instant(last_due, "idle-leap", kIdlePid, Tgid{0});
+  }
+  if (stats_ != nullptr) {
+    ++stats_->idle_leaps;
+    stats_->ticks_coalesced += count;
+    stats_->timer_ticks += count;
+  }
   charge(nullptr, WorkKind::kTimerIrq, Cycles{irq.v * count}, Pid{});
   events_.push(timer_.next_fire(), EventKind::kTimerTick);
   return true;
@@ -537,6 +576,7 @@ void Kernel::running_leap(Cycles limit) {
   // bulking the tick bookkeeping, the timer acknowledgements, the hook
   // dispatch, and the scheduler's quantum updates.
   events_.pop();
+  if (stats_ != nullptr) ++stats_->events_popped;
   for (std::uint64_t k = 0; k < count; ++k) {
     const Cycles due = first_due + Cycles{period.v * k};
     charge(&p, WorkKind::kUserCompute, due - now_, p.pid);
@@ -552,6 +592,15 @@ void Kernel::running_leap(Cycles limit) {
   hooks_.each([&](AccountingHook& h) {
     h.on_ticks(first_due, period, count, pid, tg, CpuMode::kUser);
   });
+  if (tracer_ != nullptr) {
+    tracer_->tick(first_due, pid, tg, CpuMode::kUser, count);
+    tracer_->instant(now_, "running-leap", pid, tg);
+  }
+  if (stats_ != nullptr) {
+    ++stats_->running_leaps;
+    stats_->ticks_coalesced += count;
+    stats_->timer_ticks += count;
+  }
   scheduler_->on_ticks(p, count);
   events_.push(timer_.next_fire(), EventKind::kTimerTick);
 }
@@ -622,6 +671,7 @@ bool Kernel::fetch_next_step(Process& p) {
 
     void operator()(ComputeStep& s) {
       k.flush_charges();
+      if (k.tracer_ != nullptr) k.tracer_->instant(k.now_, "compute", p.pid, p.tgid);
       k.hooks_.each([&](AccountingHook& h) {
         h.on_step_begin(k.now_, p.pid, p.tgid, "compute", s.tag);
       });
@@ -629,6 +679,8 @@ bool Kernel::fetch_next_step(Process& p) {
     }
     void operator()(SyscallStep& s) {
       k.flush_charges();
+      if (k.tracer_ != nullptr)
+        k.tracer_->instant(k.now_, syscall_name(s.req), p.pid, p.tgid);
       k.hooks_.each([&](AccountingHook& h) {
         h.on_step_begin(k.now_, p.pid, p.tgid, syscall_name(s.req), "");
       });
@@ -654,6 +706,7 @@ bool Kernel::fetch_next_step(Process& p) {
     }
     void operator()(ExitStep& s) {
       k.flush_charges();
+      if (k.tracer_ != nullptr) k.tracer_->instant(k.now_, "exit", p.pid, p.tgid);
       k.hooks_.each([&](AccountingHook& h) {
         h.on_step_begin(k.now_, p.pid, p.tgid, "exit", "");
       });
@@ -892,6 +945,8 @@ void Kernel::preempt_current() {
     scheduler_->enqueue(out, now_, /*preempted=*/true);
   }
   flush_charges();
+  if (tracer_ != nullptr) tracer_->instant(now_, "preempt", out.pid, out.tgid);
+  if (stats_ != nullptr) ++stats_->context_switches;
   hooks_.each([&](AccountingHook& h) { h.on_context_switch(now_, out.pid, Pid{}); });
   current_ = nullptr;
 }
@@ -903,6 +958,8 @@ void Kernel::stop_current_and_switch() {
   ++out.voluntary_switches;
   ++out.group_acct->voluntary_switches;
   flush_charges();
+  if (tracer_ != nullptr) tracer_->instant(now_, "switch-out", out.pid, out.tgid);
+  if (stats_ != nullptr) ++stats_->context_switches;
   hooks_.each([&](AccountingHook& h) { h.on_context_switch(now_, out.pid, Pid{}); });
   current_ = nullptr;
 }
@@ -916,6 +973,7 @@ void Kernel::context_switch_in(Process& next) {
   // while the process was stopped.
   if (next.user.active) refresh_hot_schedule(next);
   flush_charges();
+  if (tracer_ != nullptr) tracer_->instant(now_, "switch-in", next.pid, next.tgid);
   hooks_.each([&](AccountingHook& h) { h.on_context_switch(now_, Pid{}, next.pid); });
 }
 
@@ -1024,13 +1082,17 @@ void Kernel::handle_timer_tick() {
     }
     const Pid pid = p.pid;
     const Tgid tg = p.tgid;
+    if (tracer_ != nullptr) tracer_->tick(now_, pid, tg, mode, 1);
     hooks_.each([&](AccountingHook& h) { h.on_tick(now_, pid, tg, mode); });
   } else {
     idle_ticks_ += Ticks{1};
+    if (tracer_ != nullptr)
+      tracer_->tick(now_, kIdlePid, Tgid{0}, CpuMode::kKernel, 1);
     hooks_.each([&](AccountingHook& h) {
       h.on_tick(now_, kIdlePid, Tgid{0}, CpuMode::kKernel);
     });
   }
+  if (stats_ != nullptr) ++stats_->timer_ticks;
 
   // The tick handler itself costs CPU, billed to the interrupted context.
   charge(current_, WorkKind::kTimerIrq,
@@ -1089,6 +1151,9 @@ void Kernel::handle_sleep_expiries() {
     charge(current_, WorkKind::kTimerIrq, config_.costs.interrupt_entry,
            current_ != nullptr ? current_->pid : Pid{});
     wake_process(p);
+  } else {
+    if (stats_ != nullptr) ++stats_->stale_events;
+    if (tracer_ != nullptr) tracer_->instant(now_, "stale-sleep", pid, p.tgid);
   }
 }
 
@@ -1104,6 +1169,9 @@ void Kernel::handle_sleep_expiry(const Event& e) {
     charge(current_, WorkKind::kTimerIrq, config_.costs.interrupt_entry,
            current_ != nullptr ? current_->pid : Pid{});
     wake_process(p);
+  } else {
+    if (stats_ != nullptr) ++stats_->stale_events;
+    if (tracer_ != nullptr) tracer_->instant(now_, "stale-sleep", p.pid, p.tgid);
   }
 }
 
@@ -1126,6 +1194,8 @@ void Kernel::submit_disk_request(Pid waiter) {
 }
 
 void Kernel::start_nic_flood(double packets_per_second) {
+  if (tracer_ != nullptr)
+    tracer_->instant(now_, "nic-flood-start", kIdlePid, Tgid{0});
   nic_.start_flood(now_, packets_per_second, rng_);
   if (config_.event_driven) {
     if (const auto t = nic_.next_arrival())
@@ -1134,6 +1204,8 @@ void Kernel::start_nic_flood(double packets_per_second) {
 }
 
 void Kernel::stop_nic_flood() {
+  if (tracer_ != nullptr)
+    tracer_->instant(now_, "nic-flood-stop", kIdlePid, Tgid{0});
   // The queued arrival entry goes stale and is validated away on pop.
   nic_.stop_flood();
 }

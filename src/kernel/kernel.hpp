@@ -44,6 +44,11 @@
 #include "kernel/scheduler.hpp"
 #include "mm/memory_manager.hpp"
 
+namespace mtr::trace {
+class Tracer;
+struct KernelStats;
+}  // namespace mtr::trace
+
 namespace mtr::kernel {
 
 /// LSM-style policy gate on ptrace, modelling the paper's remark that the
@@ -116,6 +121,14 @@ class Kernel final {
 
   /// Registers an accounting observer (not owned; must outlive the kernel).
   void add_hook(AccountingHook* hook) { hooks_.add(hook); }
+
+  /// Attaches the opt-in event tracer (not owned; null detaches). Every
+  /// record site is a single `if (tracer_)` null check, so a detached
+  /// kernel runs the exact pre-observability path — artifact byte-identity
+  /// and the perf-smoke gate prove it.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  /// Attaches the opt-in engine counter sink (not owned; null detaches).
+  void set_stats(trace::KernelStats* stats) { stats_ = stats; }
 
   /// Creates a top-level process (own thread group / address space).
   Pid spawn(SpawnSpec spec);
@@ -279,6 +292,10 @@ class Kernel final {
   hw::DiskModel disk_;
   Xoshiro256 rng_;
   HookList hooks_;
+
+  // Opt-in observability sinks (see src/trace); null = off, the default.
+  trace::Tracer* tracer_ = nullptr;
+  trace::KernelStats* stats_ = nullptr;
 
   Cycles now_{0};
   Process* current_ = nullptr;

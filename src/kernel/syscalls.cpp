@@ -9,6 +9,7 @@
 
 #include "common/ensure.hpp"
 #include "kernel/kernel.hpp"
+#include "trace/tracer.hpp"
 
 namespace mtr::kernel {
 
@@ -251,6 +252,7 @@ void Kernel::do_kill(Process& sender, const SysKill& req) {
 }
 
 void Kernel::do_ptrace(Process& p, const SysPtrace& req) {
+  if (tracer_ != nullptr) tracer_->instant(now_, "ptrace", p.pid, p.tgid);
   if (!has_process(req.target) || !process(req.target).alive()) {
     p.last_syscall_result = -1;
     return;

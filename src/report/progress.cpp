@@ -24,6 +24,14 @@ std::string fmt_duration(double seconds) {
   return buf;
 }
 
+std::optional<double> eta_seconds(double elapsed_seconds, std::size_t done,
+                                  std::size_t remaining) {
+  if (done == 0 || remaining == 0) return std::nullopt;
+  if (!(elapsed_seconds > 0.0)) return std::nullopt;  // also squashes NaN
+  return elapsed_seconds / static_cast<double>(done) *
+         static_cast<double>(remaining);
+}
+
 ProgressReporter::ProgressReporter(std::ostream& os, bool enabled)
     : os_(os), enabled_(enabled) {}
 
@@ -40,7 +48,7 @@ void ProgressReporter::begin(const std::string& label, std::size_t total_cells) 
 void ProgressReporter::on_cell(const core::CellEvent& ev) {
   if (!active_) return;
   ++done_;
-  if (!enabled_) return;
+  if (!enabled_ || !per_cell_) return;
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start_;
   const std::size_t total = total_ > 0 ? total_ : done_;
@@ -60,11 +68,8 @@ void ProgressReporter::on_cell(const core::CellEvent& ev) {
     os_ << " jiffy_timers=" << (ev.cell.jiffy_timers ? "on" : "off");
   os_ << " cell=" << fmt_duration(ev.wall_seconds)
       << " elapsed=" << fmt_duration(elapsed.count());
-  if (done_ < total) {
-    const double eta =
-        elapsed.count() / static_cast<double>(done_) * static_cast<double>(total - done_);
-    os_ << " eta=" << fmt_duration(eta);
-  }
+  if (const auto eta = eta_seconds(elapsed.count(), done_, total - done_))
+    os_ << " eta=" << fmt_duration(*eta);
   os_ << '\n' << std::flush;
 }
 

@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <optional>
 #include <ostream>
 #include <string>
 
@@ -15,6 +16,13 @@ namespace mtr::report {
 
 /// "43s", "2m06s", "1h02m" — compact duration for progress lines.
 std::string fmt_duration(double seconds);
+
+/// Mean-rate ETA: elapsed / done * remaining. Returns nullopt when there is
+/// no defensible estimate — nothing done yet (division by zero), nothing
+/// remaining, or a zero/negative/NaN elapsed (sub-resolution clocks would
+/// extrapolate a zero ETA for hours of remaining work).
+std::optional<double> eta_seconds(double elapsed_seconds, std::size_t done,
+                                  std::size_t remaining);
 
 class ProgressReporter {
  public:
@@ -30,6 +38,11 @@ class ProgressReporter {
   /// reporter can span several consecutive grids.
   void on_cell(const core::CellEvent& ev);
 
+  /// Toggles the per-cell progress lines (--quiet keeps the begin/finish
+  /// summaries but drops the line-per-cell stream). Cell counting still
+  /// runs, so finish() reports the true total either way.
+  void set_per_cell(bool per_cell) { per_cell_ = per_cell; }
+
   /// Removes `n` cells from the span's total — cells a shard doesn't own
   /// or a resumed sweep skips — so counts and the ETA track what actually
   /// runs. No-op outside an active span.
@@ -41,6 +54,7 @@ class ProgressReporter {
  private:
   std::ostream& os_;
   bool enabled_;
+  bool per_cell_ = true;
   bool active_ = false;
   std::string label_;
   std::size_t done_ = 0;

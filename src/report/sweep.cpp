@@ -7,9 +7,19 @@ namespace mtr::report {
 
 core::CellCallback SweepContext::stream(std::string sweep_name) const {
   MTR_ENSURE(sink != nullptr);
-  return [sink = sink, progress = progress,
+  // The callback runs under the runner's emission lock, so folding into the
+  // shared metrics accumulator needs no extra synchronization.
+  return [sink = sink, progress = progress, metrics = metrics,
           name = std::move(sweep_name)](const core::CellEvent& ev) {
     sink->write_cell(name, ev.cell);
+    if (metrics != nullptr) {
+      ++metrics->cells;
+      metrics->runs += ev.cell.runs.size();
+      metrics->cell_wall_seconds += ev.wall_seconds;
+      if (ev.wall_seconds > metrics->max_cell_seconds)
+        metrics->max_cell_seconds = ev.wall_seconds;
+      metrics->kernel.merge(ev.cell.kstats);
+    }
     if (progress) progress->on_cell(ev);
   };
 }
@@ -83,6 +93,24 @@ std::vector<core::CellStats> SweepContext::run_grid(
     grid.cell_filter = [owned = std::move(owned)](std::size_t i) {
       return owned[i] != 0;
     };
+
+  grid.collect_kernel_stats = metrics != nullptr;
+  if (!trace_dir.empty()) {
+    // One trace per admitted cell, first replicate only: replicate 0 is the
+    // canonical seed, and one ring per cell keeps the disk cost linear in
+    // cells rather than runs.
+    grid.trace_path = [dir = trace_dir, sweep = sweep_name,
+                       base](std::size_t cell, std::size_t seed_i) {
+      if (seed_i != 0) return std::string();
+      return dir + "/" + sweep + "-cell" + std::to_string(base + cell) +
+             ".json";
+    };
+  }
+
+  if (metrics != nullptr) {
+    const trace::ScopeTimer timer(metrics->phases, "grid");
+    return runner.run(grid, stream(sweep_name), &metrics->pool);
+  }
   return runner.run(grid, stream(sweep_name));
 }
 

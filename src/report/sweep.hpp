@@ -75,6 +75,13 @@ struct SweepContext {
   /// Dry-run plan destination; falls back to `out` when null.
   std::ostream* plan = nullptr;
 
+  /// --trace-dir: when non-empty, run_grid writes one Perfetto trace-event
+  /// JSON per admitted cell (first replicate only) into this directory.
+  std::string trace_dir;
+  /// --metrics: when non-null, run_grid folds per-cell wall time, kernel
+  /// counters, phase timers, and pool utilization into this accumulator.
+  trace::SweepMetrics* metrics = nullptr;
+
   std::ostream& os() const { return *out; }
 
   /// Runs one BatchRunner grid on behalf of `sweep_name`: claims the

@@ -1,0 +1,131 @@
+#include "trace/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace mtr::trace {
+namespace {
+
+/// Round-trippable double literal, the same %.17g contract as the result
+/// sinks — merged metrics must re-emit the bytes a parse produced.
+std::string json_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Sweep/phase names are registry identifiers, but escape defensively so
+/// the file stays valid JSON whatever a future sweep calls itself.
+std::string json_string(std::string_view s) {
+  std::string out = "\"";
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') {
+      out += '\\';
+      out += ch;
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(ch));
+      out += buf;
+    } else {
+      out += ch;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void KernelStats::merge(const KernelStats& o) {
+  events_popped += o.events_popped;
+  idle_leaps += o.idle_leaps;
+  running_leaps += o.running_leaps;
+  ticks_coalesced += o.ticks_coalesced;
+  timer_ticks += o.timer_ticks;
+  charges_enqueued += o.charges_enqueued;
+  charge_flushes += o.charge_flushes;
+  context_switches += o.context_switches;
+  stale_events += o.stale_events;
+  max_event_queue_depth = std::max(max_event_queue_depth, o.max_event_queue_depth);
+}
+
+MetricEntry& MetricsRegistry::entry(std::string_view name) {
+  for (MetricEntry& e : entries_)
+    if (e.name == name) return e;
+  entries_.push_back({std::string(name), 0, 0.0});
+  return entries_.back();
+}
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t count,
+                          double seconds) {
+  MetricEntry& e = entry(name);
+  e.count += count;
+  e.seconds += seconds;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& o) {
+  for (const MetricEntry& e : o.entries_) add(e.name, e.count, e.seconds);
+}
+
+void PoolMetrics::merge(const PoolMetrics& o) {
+  threads = std::max(threads, o.threads);
+  wall_seconds += o.wall_seconds;
+  if (busy_seconds.size() < o.busy_seconds.size())
+    busy_seconds.resize(o.busy_seconds.size(), 0.0);
+  for (std::size_t i = 0; i < o.busy_seconds.size(); ++i)
+    busy_seconds[i] += o.busy_seconds[i];
+}
+
+void SweepMetrics::merge(const SweepMetrics& o) {
+  cells += o.cells;
+  runs += o.runs;
+  cell_wall_seconds += o.cell_wall_seconds;
+  max_cell_seconds = std::max(max_cell_seconds, o.max_cell_seconds);
+  kernel.merge(o.kernel);
+  phases.merge(o.phases);
+  pool.merge(o.pool);
+}
+
+void write_metrics_json(std::ostream& os,
+                        const std::vector<SweepMetrics>& sweeps,
+                        std::uint64_t shards) {
+  os << "{\"schema\": " << kMetricsSchemaVersion
+     << ", \"record\": \"metrics\", \"shards\": " << shards
+     << ", \"sweeps\": [";
+  bool first_sweep = true;
+  for (const SweepMetrics& s : sweeps) {
+    os << (first_sweep ? "\n" : ",\n");
+    first_sweep = false;
+    os << " {\"sweep\": " << json_string(s.sweep) << ", \"cells\": " << s.cells
+       << ", \"runs\": " << s.runs
+       << ", \"cell_wall_seconds\": " << json_double(s.cell_wall_seconds)
+       << ", \"max_cell_seconds\": " << json_double(s.max_cell_seconds);
+    os << ",\n  \"kernel\": {";
+    bool first = true;
+    s.kernel.for_each([&](const char* name, std::uint64_t v) {
+      os << (first ? "" : ", ") << '"' << name << "\": " << v;
+      first = false;
+    });
+    os << "},\n  \"phases\": [";
+    first = true;
+    for (const MetricEntry& e : s.phases.entries()) {
+      os << (first ? "" : ", ") << "{\"name\": " << json_string(e.name)
+         << ", \"count\": " << e.count
+         << ", \"seconds\": " << json_double(e.seconds) << '}';
+      first = false;
+    }
+    os << "],\n  \"pool\": {\"threads\": " << s.pool.threads
+       << ", \"wall_seconds\": " << json_double(s.pool.wall_seconds)
+       << ", \"busy_seconds\": [";
+    first = true;
+    for (const double b : s.pool.busy_seconds) {
+      os << (first ? "" : ", ") << json_double(b);
+      first = false;
+    }
+    os << "]}}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace mtr::trace

@@ -1,0 +1,38 @@
+// Chrome/Perfetto trace-event JSON export of a filled Tracer.
+//
+// Layout: the simulated machine is one trace process (pid 1, named after
+// the run label); every simulated process is a thread track (tid = sim
+// pid, tid 0 = the idle context). Charged work renders as "X" complete
+// spans, engine decisions and roster actions as "i" instants, and tick
+// events drive a "C" counter track plotting the victim group's billed
+// jiffy-seconds against its cycle-exact ground truth — the cheat-attack
+// gap as a widening pair of lines in the Perfetto UI. `otherData` carries
+// the schema tag plus the ring's recorded/dropped counters.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/tracer.hpp"
+
+namespace mtr::trace {
+
+inline constexpr const char* kTraceSchemaTag = "mtr-trace-1";
+
+/// Run context the exporter needs beyond the event stream.
+struct ExportInfo {
+  std::string label;                    // trace process name (run identity)
+  CpuHz cpu{};                          // cycles -> microseconds conversion
+  TimerHz hz{};                         // ticks -> billed seconds
+  Tgid victim{};                        // counter-track target; invalid = none
+  std::vector<std::pair<Pid, std::string>> process_names;  // thread tracks
+};
+
+void write_perfetto_json(std::ostream& os, const Tracer& tracer,
+                         const ExportInfo& info);
+
+}  // namespace mtr::trace

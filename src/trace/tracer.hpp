@@ -1,0 +1,106 @@
+// Per-run kernel event tracing: a preallocated ring buffer of timestamped
+// spans/instants/ticks the kernel records behind `if (tracer_)` guards.
+//
+// The contract that keeps the default path identical when tracing is off:
+//  * the kernel holds a plain pointer (null = off) and every record site is
+//    a single branch-predictable null check;
+//  * record() is noexcept and never allocates — the ring is sized once at
+//    construction, wrap-around overwrites the oldest events and bumps the
+//    drop counter (trace_test asserts the zero-allocation property with a
+//    counting operator new);
+//  * event names are `const char*` into static storage (WorkKind strings,
+//    syscall names, literals), never owned copies.
+//
+// The Perfetto exporter (trace/perfetto.hpp) turns a filled tracer into a
+// Chrome trace-event JSON; mtr_sweep --trace-dir wires one tracer per
+// selected cell.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mtr::trace {
+
+enum class TraceEventKind : std::uint8_t {
+  kSpan,     // a charged stretch of CPU work; ts = end, arg = duration
+  kInstant,  // a point event (step begin, leap decision, roster action)
+  kTick,     // a jiffy landing; arg = ticks coalesced (1 on the tick path)
+};
+
+/// One recorded event. Fixed-size and trivially copyable so the ring is a
+/// flat array; `name` must point into static storage.
+struct TraceEvent {
+  Cycles ts{};                   // span: end of the span; otherwise the moment
+  const char* name = "";
+  Pid pid{};
+  Tgid tgid{};
+  TraceEventKind kind = TraceEventKind::kInstant;
+  std::uint8_t mode = 0;         // CpuMode of a tick (utime vs stime)
+  std::uint64_t arg = 0;         // span: duration cycles; tick: tick count
+  std::int32_t arg2 = -1;        // span: beneficiary pid (-1 = none)
+};
+
+class Tracer {
+ public:
+  /// Preallocates the ring; this is the only allocation the tracer ever
+  /// performs. Capacity 0 is legal: everything recorded counts as dropped.
+  explicit Tracer(std::size_t capacity) : ring_(capacity) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Records one event: O(1), noexcept, allocation-free. When the ring is
+  /// full the oldest event is overwritten (newest events win).
+  void record(const TraceEvent& e) noexcept {
+    if (!ring_.empty()) ring_[recorded_ % ring_.size()] = e;
+    ++recorded_;
+  }
+
+  // Call-site sugar for the kernel's three record shapes.
+  void span(Cycles end, const char* name, Pid pid, Tgid tg, Cycles duration,
+            Pid beneficiary) noexcept {
+    record({end, name, pid, tg, TraceEventKind::kSpan, 0, duration.v,
+            beneficiary.v});
+  }
+  void instant(Cycles at, const char* name, Pid pid, Tgid tg) noexcept {
+    record({at, name, pid, tg, TraceEventKind::kInstant, 0, 0, -1});
+  }
+  void tick(Cycles at, Pid pid, Tgid tg, CpuMode mode,
+            std::uint64_t count) noexcept {
+    record({at, "tick", pid, tg, TraceEventKind::kTick,
+            static_cast<std::uint8_t>(mode), count, -1});
+  }
+
+  std::size_t capacity() const { return ring_.size(); }
+  /// Events ever offered to the ring (kept + dropped).
+  std::uint64_t recorded() const { return recorded_; }
+  /// Events lost to wrap-around (exact: recorded beyond capacity).
+  std::uint64_t dropped() const {
+    return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+  }
+  /// Events currently held.
+  std::size_t size() const {
+    return recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_)
+                                    : ring_.size();
+  }
+
+  /// Visits the held events oldest-first (chronological: the ring preserves
+  /// record order and drops only from the front).
+  template <typename F>
+  void for_each(F&& f) const {
+    const std::size_t n = size();
+    if (n == 0) return;
+    const std::size_t start =
+        static_cast<std::size_t>((recorded_ - n) % ring_.size());
+    for (std::size_t i = 0; i < n; ++i) f(ring_[(start + i) % ring_.size()]);
+  }
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace mtr::trace

@@ -396,5 +396,35 @@ TEST(BatchRunner, CallbackExceptionIsWrappedWithCoordinates) {
   }
 }
 
+TEST(BatchRunner, ObservabilityCollectionLeavesAggregatesIdentical) {
+  const BatchGrid plain = small_grid();
+  BatchGrid observed = small_grid();
+  observed.collect_kernel_stats = true;
+
+  const auto baseline = BatchRunner(2).run(plain);
+  trace::PoolMetrics pool;
+  const auto traced = BatchRunner(2).run(observed, {}, &pool);
+
+  // Kernel counters aggregate per cell without touching the results.
+  ASSERT_EQ(traced.size(), baseline.size());
+  for (std::size_t i = 0; i < traced.size(); ++i) {
+    EXPECT_EQ(traced[i].overcharge.mean(), baseline[i].overcharge.mean());
+    EXPECT_EQ(traced[i].billed_seconds.sum(), baseline[i].billed_seconds.sum());
+    EXPECT_GT(traced[i].kstats.timer_ticks, 0u);
+    EXPECT_GT(traced[i].kstats.charge_flushes, 0u);
+    EXPECT_EQ(baseline[i].kstats.timer_ticks, 0u);  // off by default
+  }
+
+  // The pool report covers the whole grid: both workers exist, wall time
+  // advanced, and no busy slot exceeds it.
+  EXPECT_EQ(pool.threads, 2u);
+  EXPECT_GT(pool.wall_seconds, 0.0);
+  ASSERT_EQ(pool.busy_seconds.size(), 2u);
+  for (const double busy : pool.busy_seconds) {
+    EXPECT_GE(busy, 0.0);
+    EXPECT_LE(busy, pool.wall_seconds * 1.05);
+  }
+}
+
 }  // namespace
 }  // namespace mtr::core

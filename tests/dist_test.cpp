@@ -14,6 +14,7 @@
 
 #include "dist/driver.hpp"
 #include "dist/merge.hpp"
+#include "dist/metrics.hpp"
 #include "dist/records.hpp"
 #include "dist/resume.hpp"
 #include "dist/shard.hpp"
@@ -915,6 +916,174 @@ TEST(MergeArgsTest, ClassifiesInputsAndValidatesCombinations) {
   help.help = true;
   EXPECT_EQ(run_merge(help, out, err), 0);
   EXPECT_NE(out.str().find("usage: mtr_merge"), std::string::npos);
+}
+
+// --- observability flags and metrics folding --------------------------------------
+
+TEST(SweepArgsTest, ParsesTraceDirAndMetricsFlags) {
+  const char* argv[] = {"mtr_sweep",   "fig04",
+                        "--trace-dir", "traces/fig04",
+                        "--metrics",   "out/metrics.json"};
+  const SweepOptions o = parse_sweep_args(static_cast<int>(std::size(argv)), argv);
+  EXPECT_EQ(o.trace_dir, "traces/fig04");
+  EXPECT_EQ(o.metrics_path, "out/metrics.json");
+
+  // Both default off: plain invocations never pay for observability.
+  const char* plain[] = {"mtr_sweep", "fig04"};
+  const SweepOptions p = parse_sweep_args(2, plain);
+  EXPECT_TRUE(p.trace_dir.empty());
+  EXPECT_TRUE(p.metrics_path.empty());
+
+  const char* missing[] = {"mtr_sweep", "--trace-dir"};
+  EXPECT_THROW(parse_sweep_args(2, missing), std::runtime_error);
+}
+
+TEST(MergeArgsTest, ClassifiesMetricsJsonInputsAndValidatesPairing) {
+  const char* argv[] = {"mtr_merge", "--metrics", "merged.json",
+                        "s0/metrics.json", "s1/metrics.json"};
+  const MergeOptions o = parse_merge_args(static_cast<int>(std::size(argv)), argv);
+  EXPECT_EQ(o.metrics_out, "merged.json");
+  EXPECT_EQ(o.metrics_in,
+            (std::vector<std::string>{"s0/metrics.json", "s1/metrics.json"}));
+  // .jsonl must keep classifying as shard result files, not metrics.
+  const char* mixed[] = {"mtr_merge", "--jsonl", "o.jsonl", "a.jsonl"};
+  const MergeOptions m = parse_merge_args(4, mixed);
+  EXPECT_EQ(m.jsonl_in, (std::vector<std::string>{"a.jsonl"}));
+  EXPECT_TRUE(m.metrics_in.empty());
+
+  std::ostringstream out, err;
+  MergeOptions orphan_out;  // --metrics without .json shard inputs
+  orphan_out.metrics_out = "merged.json";
+  EXPECT_EQ(run_merge(orphan_out, out, err), 2);
+
+  MergeOptions orphan_in;  // .json inputs without --metrics
+  orphan_in.csv_out = "out.csv";
+  orphan_in.csv_in = {"a.csv"};
+  orphan_in.metrics_in = {"s0/metrics.json"};
+  EXPECT_EQ(run_merge(orphan_in, out, err), 2);
+}
+
+namespace {
+
+trace::SweepMetrics sample_metrics(const std::string& sweep, std::uint64_t cells) {
+  trace::SweepMetrics s;
+  s.sweep = sweep;
+  s.cells = cells;
+  s.runs = cells * 3;
+  s.cell_wall_seconds = 0.5 * static_cast<double>(cells);
+  s.max_cell_seconds = 0.25;
+  s.kernel.events_popped = 100 * cells;
+  s.kernel.timer_ticks = 40 * cells;
+  s.kernel.ticks_coalesced = 10 * cells;
+  s.kernel.charge_flushes = 7 * cells;
+  s.kernel.max_event_queue_depth = 5 + cells;
+  s.phases.add("grid", 1, 0.125);
+  s.pool.threads = 2;
+  s.pool.wall_seconds = 0.5;
+  s.pool.busy_seconds = {0.25, 0.125};
+  return s;
+}
+
+std::string write_metrics_file(const std::string& name,
+                               const std::vector<trace::SweepMetrics>& sweeps,
+                               std::uint64_t shards = 1) {
+  std::ostringstream os;
+  trace::write_metrics_json(os, sweeps, shards);
+  const std::string path = temp_path(name);
+  write_file(path, os.str());
+  return path;
+}
+
+}  // namespace
+
+TEST(MetricsFoldTest, ReadBackIsExactAndReEmitIsByteStable) {
+  const auto path = write_metrics_file(
+      "roundtrip-metrics.json", {sample_metrics("fig04", 2)}, /*shards=*/1);
+  const MetricsFile f = read_metrics_json(path);
+  EXPECT_EQ(f.schema, trace::kMetricsSchemaVersion);
+  EXPECT_EQ(f.shards, 1u);
+  ASSERT_EQ(f.sweeps.size(), 1u);
+  const trace::SweepMetrics& s = f.sweeps[0];
+  EXPECT_EQ(s.sweep, "fig04");
+  EXPECT_EQ(s.cells, 2u);
+  EXPECT_EQ(s.runs, 6u);
+  EXPECT_EQ(s.kernel.events_popped, 200u);
+  EXPECT_EQ(s.kernel.max_event_queue_depth, 7u);
+  ASSERT_EQ(s.phases.entries().size(), 1u);
+  EXPECT_EQ(s.phases.entries()[0].name, "grid");
+  ASSERT_EQ(s.pool.busy_seconds.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.pool.busy_seconds[1], 0.125);
+
+  // parse -> re-emit reproduces the file byte-for-byte (%.17g doubles).
+  std::ostringstream reemit;
+  trace::write_metrics_json(reemit, f.sweeps, f.shards);
+  EXPECT_EQ(reemit.str(), read_file(path));
+}
+
+TEST(MetricsFoldTest, FoldSumsCountersAcrossShardsBySweepName) {
+  const auto p0 = write_metrics_file(
+      "fold-shard0.json",
+      {sample_metrics("fig04", 2), sample_metrics("fig05", 1)});
+  const auto p1 = write_metrics_file("fold-shard1.json",
+                                     {sample_metrics("fig04", 3)});
+  const MetricsFile folded =
+      fold_metrics({read_metrics_json(p0), read_metrics_json(p1)});
+  EXPECT_EQ(folded.shards, 2u);
+  ASSERT_EQ(folded.sweeps.size(), 2u);  // first-seen sweep order
+  EXPECT_EQ(folded.sweeps[0].sweep, "fig04");
+  EXPECT_EQ(folded.sweeps[0].cells, 5u);
+  EXPECT_EQ(folded.sweeps[0].runs, 15u);
+  EXPECT_EQ(folded.sweeps[0].kernel.timer_ticks, 200u);
+  EXPECT_EQ(folded.sweeps[0].kernel.max_event_queue_depth, 8u);  // gauge max
+  EXPECT_EQ(folded.sweeps[0].pool.threads, 2u);
+  EXPECT_DOUBLE_EQ(folded.sweeps[0].pool.wall_seconds, 1.0);
+  EXPECT_EQ(folded.sweeps[1].sweep, "fig05");
+  EXPECT_EQ(folded.sweeps[1].cells, 1u);
+}
+
+TEST(MetricsFoldTest, RejectsMissingMalformedAndWrongSchemaFiles) {
+  EXPECT_THROW(read_metrics_json(temp_path("does-not-exist.json")),
+               std::runtime_error);
+
+  const auto garbage = temp_path("garbage-metrics.json");
+  write_file(garbage, "{\"schema\": 1, \"record\": \"metrics\"");  // truncated
+  EXPECT_THROW(read_metrics_json(garbage), std::runtime_error);
+
+  const auto wrong_tag = temp_path("wrong-tag-metrics.json");
+  write_file(wrong_tag,
+             "{\"schema\": 1, \"record\": \"cells\", \"shards\": 1, "
+             "\"sweeps\": []}");
+  EXPECT_THROW(read_metrics_json(wrong_tag), std::runtime_error);
+
+  const auto future = temp_path("future-metrics.json");
+  write_file(future,
+             "{\"schema\": 99, \"record\": \"metrics\", \"shards\": 1, "
+             "\"sweeps\": []}");
+  try {
+    read_metrics_json(future);
+    FAIL() << "schema 99 accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("schema"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("future-metrics.json"),
+              std::string::npos);  // errors name the offending file
+  }
+}
+
+TEST(MetricsFoldTest, RunMergeWritesFoldedMetricsOutput) {
+  const auto p0 =
+      write_metrics_file("merge-shard0.json", {sample_metrics("fig04", 2)});
+  const auto p1 =
+      write_metrics_file("merge-shard1.json", {sample_metrics("fig04", 1)});
+  MergeOptions options;
+  options.metrics_out = temp_path("merge-folded.json");
+  options.metrics_in = {p0, p1};
+  std::ostringstream out, err;
+  ASSERT_EQ(run_merge(options, out, err), 0) << err.str();
+  const MetricsFile folded = read_metrics_json(options.metrics_out);
+  EXPECT_EQ(folded.shards, 2u);
+  ASSERT_EQ(folded.sweeps.size(), 1u);
+  EXPECT_EQ(folded.sweeps[0].cells, 3u);
+  EXPECT_NE(out.str().find("1 sweep metric(s)"), std::string::npos) << out.str();
 }
 
 }  // namespace

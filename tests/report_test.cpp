@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <limits>
 #include <sstream>
 
 #include "common/ensure.hpp"
@@ -451,6 +452,41 @@ TEST(ProgressReporterTest, DurationUnitBoundariesCarryInsteadOfOverflowing) {
   EXPECT_EQ(fmt_duration(3629.0), "1h00m");
   EXPECT_EQ(fmt_duration(3689.9), "1h01m");
   EXPECT_EQ(fmt_duration(3690.0), "1h02m");
+}
+
+TEST(ProgressReporterTest, EtaGuardsDivisionByZeroAndDegenerateInputs) {
+  // The ETA is elapsed/done * remaining — done==0 used to divide by zero.
+  EXPECT_FALSE(eta_seconds(10.0, 0, 5).has_value());
+  // Nothing left: no ETA line rather than "eta=0.0s".
+  EXPECT_FALSE(eta_seconds(10.0, 3, 0).has_value());
+  // A zero (or negative, or NaN) clock yields no estimate, not zero.
+  EXPECT_FALSE(eta_seconds(0.0, 3, 5).has_value());
+  EXPECT_FALSE(eta_seconds(-1.0, 3, 5).has_value());
+  EXPECT_FALSE(
+      eta_seconds(std::numeric_limits<double>::quiet_NaN(), 3, 5).has_value());
+
+  const auto eta = eta_seconds(10.0, 4, 6);
+  ASSERT_TRUE(eta.has_value());
+  EXPECT_DOUBLE_EQ(*eta, 15.0);  // 2.5 s per cell, 6 cells left
+}
+
+TEST(ProgressReporterTest, PerCellOffKeepsBeginAndFinishLines) {
+  core::CellStats cell;
+  cell.attack_label = "attacked";
+  cell.hz = TimerHz{250};
+
+  std::ostringstream os;
+  ProgressReporter progress(os, /*enabled=*/true);
+  progress.set_per_cell(false);  // mtr_sweep --quiet
+  progress.begin("fig04", 2);
+  progress.on_cell({0, 2, 0.5, {}, cell});
+  progress.on_cell({1, 2, 0.5, {}, cell});
+  progress.finish();
+  EXPECT_EQ(os.str().find("[fig04 1/2]"), std::string::npos) << os.str();
+  EXPECT_EQ(os.str().find("attack="), std::string::npos) << os.str();
+  EXPECT_NE(os.str().find("[fig04] 2 cell(s) queued"), std::string::npos)
+      << os.str();
+  EXPECT_NE(os.str().find("done: 2 cell(s)"), std::string::npos) << os.str();
 }
 
 }  // namespace
