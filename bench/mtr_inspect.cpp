@@ -1,0 +1,14 @@
+// mtr_inspect — offline analysis over the pipeline's artifacts: renders
+// metrics.json (kernel counters, quantile tables, series sparklines),
+// summarizes Perfetto trace JSONs, ranks result-JSONL cells by billing
+// gap, and diffs two metrics files per counter (--compare A B, exit 1 on
+// any counter-class delta). See src/dist/inspect.hpp for the modes.
+//
+//   mtr_inspect --metrics out/metrics.json
+//   mtr_inspect --jsonl out/fig04.jsonl --top 5
+//   mtr_inspect --compare merged/metrics.json single/metrics.json
+#include "dist/inspect.hpp"
+
+int main(int argc, char** argv) {
+  return mtr::dist::inspect_main(argc, argv);
+}

@@ -3,10 +3,14 @@
 
 Trace files (mtr_sweep --trace-dir) must parse as Chrome trace-event JSON,
 carry the mtr-trace-1 schema tag, contain well-formed events (known phase
-types, numeric timestamps, metadata naming every referenced track), and
-have a consistent recorded/dropped accounting. Metrics files (mtr_sweep
---metrics, or mtr_merge --metrics) must carry metrics schema v1 with the
-full kernel counter set, phase entries, and pool utilization per sweep.
+types, numeric timestamps, metadata naming every referenced track, a
+consistent per-attack "cat" category when tagged), and have a consistent
+recorded/dropped accounting: counter ("C") samples are derived views, so
+only spans + instants balance against the ring. Metrics files (mtr_sweep
+--metrics, or mtr_merge --metrics) must carry metrics schema v1 or v2 with
+the full kernel counter set, phase entries, and pool utilization per
+sweep; v2 files additionally carry the telemetry sections (time-series
+gauge buckets and quantile sketches) with internally consistent counts.
 
 usage: validate_trace.py [TRACE.json...] [--metrics METRICS.json]...
                          [--expect-shards N]
@@ -20,7 +24,17 @@ import json
 import sys
 
 TRACE_SCHEMA = "mtr-trace-1"
-METRICS_SCHEMA = 1
+METRICS_SCHEMAS = (1, 2)
+
+SERIES_NAMES = [
+    "run_queue",
+    "runnable",
+    "free_frames",
+    "event_depth",
+    "victim_gap",
+]
+
+SKETCH_NAMES = ["billing_error", "charge_batch", "cell_seconds"]
 
 KERNEL_COUNTERS = [
     "events_popped",
@@ -77,6 +91,8 @@ def validate_trace(path: str) -> dict:
     require(isinstance(events, list) and events, path, "traceEvents missing or empty")
 
     named_tracks = set()
+    categories = set()
+    tagged = untagged = 0
     spans = instants = counters = 0
     for i, e in enumerate(events):
         where = f"traceEvents[{i}]"
@@ -102,6 +118,19 @@ def validate_trace(path: str) -> dict:
             if e["name"] == "thread_name":
                 named_tracks.add(e.get("tid"))
             continue
+        # The exporter stamps one per-attack category on every non-metadata
+        # event, or on none of them — a mix means two traces were spliced.
+        if "cat" in e:
+            cat = e["cat"]
+            require(
+                isinstance(cat, str) and bool(cat),
+                path,
+                f"{where} category is not a non-empty string",
+            )
+            categories.add(cat)
+            tagged += 1
+        else:
+            untagged += 1
         require(is_number(e.get("ts")), path, f"{where} has no numeric ts")
         require(isinstance(e.get("name"), str), path, f"{where} has no name")
         if ph == "X":
@@ -119,11 +148,26 @@ def validate_trace(path: str) -> dict:
         else:  # C
             counters += 1
             args = e.get("args", {})
-            require(
-                is_number(args.get("billed")) and is_number(args.get("true")),
-                path,
-                f"{where} counter lacks billed/true series",
-            )
+            name = e["name"]
+            if name.startswith("series:"):
+                require(
+                    name[len("series:"):] in SERIES_NAMES,
+                    path,
+                    f"{where} counter names unknown telemetry series {name!r}",
+                )
+                require(
+                    is_number(args.get("avg")) and is_number(args.get("max")),
+                    path,
+                    f"{where} telemetry counter lacks avg/max",
+                )
+            elif name == "victim cpu-seconds":
+                require(
+                    is_number(args.get("billed")) and is_number(args.get("true")),
+                    path,
+                    f"{where} counter lacks billed/true series",
+                )
+            else:
+                raise Violation(path, f"{where} unknown counter track {name!r}")
 
     # Every span/instant rides a thread track the metadata named (tid 0 =
     # idle is always declared first).
@@ -135,24 +179,103 @@ def validate_trace(path: str) -> dict:
                 f"traceEvents[{i}] references unnamed tid {e.get('tid')!r}",
             )
 
+    require(
+        tagged == 0 or untagged == 0,
+        path,
+        f"{tagged} events carry a category but {untagged} do not",
+    )
+    require(
+        len(categories) <= 1,
+        path,
+        f"conflicting categories {sorted(categories)}",
+    )
+
     # Ring accounting is exact: every kept ring event exports as one span or
     # one instant, plus the one terminator instant the exporter appends.
+    # Counter samples are derived views (billed/true integrals, telemetry
+    # bucket averages), not ring events, so they stay out of the balance.
     kept = spans + instants
     require(
         kept == recorded - dropped + 1,
         path,
         f"{kept} spans+instants but ring kept {recorded - dropped} events",
     )
-    return {"spans": spans, "instants": instants, "counters": counters, "dropped": dropped}
+    return {
+        "spans": spans,
+        "instants": instants,
+        "counters": counters,
+        "dropped": dropped,
+        "category": next(iter(categories)) if categories else None,
+    }
+
+
+def validate_series(path: str, where: str, name: str, series) -> None:
+    w = f"{where}: series.{name}"
+    require(isinstance(series, dict), path, f"{w} is not an object")
+    width = series.get("width")
+    require(isinstance(width, int) and width >= 1, path, f"{w}: bad width")
+    buckets = series.get("buckets")
+    require(isinstance(buckets, list), path, f"{w}: buckets is not a list")
+    for i, row in enumerate(buckets):
+        require(
+            isinstance(row, list)
+            and len(row) == 4
+            and all(isinstance(v, int) and not isinstance(v, bool) for v in row),
+            path,
+            f"{w}: buckets[{i}] is not a [count, min, max, sum] integer row",
+        )
+        count, lo, hi, total = row
+        require(count >= 0, path, f"{w}: buckets[{i}] has negative count")
+        if count > 0:
+            require(
+                lo <= hi and count * lo <= total <= count * hi,
+                path,
+                f"{w}: buckets[{i}] min/max/sum are inconsistent",
+            )
+
+
+def validate_sketch(path: str, where: str, name: str, sketch) -> None:
+    w = f"{where}: sketches.{name}"
+    require(isinstance(sketch, dict), path, f"{w} is not an object")
+    count, zero = sketch.get("count"), sketch.get("zero")
+    require(isinstance(count, int) and count >= 0, path, f"{w}: bad count")
+    require(isinstance(zero, int) and 0 <= zero <= count, path, f"{w}: bad zero")
+    require(
+        is_number(sketch.get("min")) and is_number(sketch.get("max")),
+        path,
+        f"{w}: min/max are not numbers",
+    )
+    if count > 0:
+        require(sketch["min"] <= sketch["max"], path, f"{w}: min exceeds max")
+    bucketed = zero
+    for key in ("neg", "pos"):
+        rows = sketch.get(key)
+        require(isinstance(rows, list), path, f"{w}: {key} is not a list")
+        for i, row in enumerate(rows):
+            require(
+                isinstance(row, list)
+                and len(row) == 2
+                and all(isinstance(v, int) and not isinstance(v, bool) for v in row)
+                and row[1] >= 1,
+                path,
+                f"{w}: {key}[{i}] is not an [index, n>=1] integer row",
+            )
+            bucketed += row[1]
+    require(
+        bucketed == count,
+        path,
+        f"{w}: bucket populations sum to {bucketed}, count says {count}",
+    )
 
 
 def validate_metrics(path: str, expect_shards: int | None) -> dict:
     doc = load_json(path)
     require(isinstance(doc, dict), path, "top level is not an object")
+    schema = doc.get("schema")
     require(
-        doc.get("schema") == METRICS_SCHEMA,
+        schema in METRICS_SCHEMAS,
         path,
-        f"metrics schema {doc.get('schema')!r} != {METRICS_SCHEMA}",
+        f"metrics schema {schema!r} not in {METRICS_SCHEMAS}",
     )
     require(doc.get("record") == "metrics", path, "record tag is not 'metrics'")
     require(
@@ -243,7 +366,31 @@ def validate_metrics(path: str, expect_shards: int | None) -> dict:
             path,
             f"{where}: more busy slots than pool threads",
         )
-    return {"sweeps": len(sweeps), "shards": doc["shards"]}
+
+        # v1 predates telemetry; v2 must carry the full fixed section layout
+        # even when a series or sketch recorded nothing.
+        if schema >= 2:
+            series = s.get("series")
+            require(isinstance(series, dict), path, f"{where}: series block missing")
+            require(
+                list(series.keys()) == SERIES_NAMES,
+                path,
+                f"{where}: series {list(series.keys())} != {SERIES_NAMES}",
+            )
+            for name, entry in series.items():
+                validate_series(path, where, name, entry)
+            sketches = s.get("sketches")
+            require(
+                isinstance(sketches, dict), path, f"{where}: sketches block missing"
+            )
+            require(
+                list(sketches.keys()) == SKETCH_NAMES,
+                path,
+                f"{where}: sketches {list(sketches.keys())} != {SKETCH_NAMES}",
+            )
+            for name, entry in sketches.items():
+                validate_sketch(path, where, name, entry)
+    return {"sweeps": len(sweeps), "shards": doc["shards"], "schema": schema}
 
 
 def main() -> None:
@@ -261,16 +408,18 @@ def main() -> None:
 
     for path in args.traces:
         info = validate_trace(path)
+        cat = f", cat {info['category']}" if info["category"] else ""
         print(
             f"validate_trace: {path}: ok "
             f"({info['spans']} spans, {info['instants']} instants, "
-            f"{info['counters']} counter samples, {info['dropped']} dropped)"
+            f"{info['counters']} counter samples, {info['dropped']} dropped{cat})"
         )
     for path in args.metrics:
         info = validate_metrics(path, args.expect_shards)
         print(
             f"validate_trace: {path}: ok "
-            f"({info['sweeps']} sweep(s), {info['shards']} shard(s))"
+            f"(schema {info['schema']}, {info['sweeps']} sweep(s), "
+            f"{info['shards']} shard(s))"
         )
 
 

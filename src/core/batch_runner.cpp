@@ -192,13 +192,15 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
       s.for_each_stat(
           [&](const char*, RunningStats& stat, auto get) { stat.add(get(r)); });
       s.kstats.merge(r.kstats);
+      s.telemetry.merge(r.telemetry);
     }
   };
 
   const unsigned pool = static_cast<unsigned>(
       std::min<std::size_t>(threads_, n_runs > 0 ? n_runs : 1));
-  // Per-worker busy time (seconds spent inside run_experiment); only read
-  // after the join, so workers write their own slot without contention.
+  // Per-worker busy time (seconds spent inside run_experiment). Workers
+  // update their slot under the emission mutex so per-cell callbacks can
+  // snapshot every slot; the final read happens after the join.
   std::vector<double> busy(pool, 0.0);
 
   auto worker = [&](unsigned wi) {
@@ -233,9 +235,10 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
         run_error = std::current_exception();
       }
       const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
-      busy[wi] += dt.count();
 
       const std::lock_guard<std::mutex> lock(mutex);
+      // Under the lock so the per-cell callback can snapshot every slot.
+      busy[wi] += dt.count();
       if (!ok) {
         cell_failed[pos] = 1;
         // Keep the first failure in work order for a deterministic report.
@@ -257,7 +260,10 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
         aggregate(emit);
         if (!on_cell) continue;
         try {
-          on_cell({active[emit], n_cells, cell_wall[emit], geom, cells[emit]});
+          const std::chrono::duration<double> elapsed =
+              std::chrono::steady_clock::now() - grid_t0;
+          on_cell({active[emit], n_cells, cell_wall[emit], geom, cells[emit],
+                   &busy, elapsed.count()});
         } catch (...) {
           const std::size_t first_run = emit * n_seeds;
           if (first_run < error_index) {

@@ -176,6 +176,9 @@ struct CellStats {
   /// deliberately NOT part of for_each_stat: the CSV/JSONL artifact schema
   /// stays byte-identical whether observability runs or not.
   trace::KernelStats kstats;
+  /// Run telemetry (gauge series + sketches) merged over the cell's runs;
+  /// same gating and same schema exclusion as kstats.
+  trace::Telemetry telemetry;
 
   /// Visits every accumulator as f(name, stats, get) where `get` extracts
   /// the value one run contributes. The single source of truth tying the
@@ -236,6 +239,13 @@ struct CellEvent {
   /// lines print exactly the axes this grid opens.
   GridGeometry geometry;
   const CellStats& cell;
+  /// Per-worker busy seconds so far this invocation (one slot per pool
+  /// thread) — a stable snapshot: the callback runs under the emission
+  /// lock, and workers update their slot under the same lock. Null when
+  /// the runner has no live snapshot to offer.
+  const std::vector<double>* worker_busy = nullptr;
+  /// Wall seconds since this runner invocation started.
+  double pool_elapsed_seconds = 0.0;
 };
 
 /// Per-cell completion hook; invoked serially (under the runner's emission

@@ -32,12 +32,16 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   // keeps the kernel's tracer/stats pointers null (zero-cost-when-off).
   std::optional<trace::Tracer> tracer;
   trace::KernelStats kstats;
+  trace::Telemetry telemetry;
+  const bool observing = config.trace.enabled() || config.trace.collect_stats;
   if (config.trace.enabled()) {
     tracer.emplace(config.trace.ring_capacity);
     kernel.set_tracer(&*tracer);
   }
-  if (config.trace.enabled() || config.trace.collect_stats)
+  if (observing) {
     kernel.set_stats(&kstats);
+    kernel.set_telemetry(&telemetry);
+  }
 
   TrustedMeteringService service(config.tariff, config.sim.kernel.cpu,
                                  config.sim.kernel.hz);
@@ -52,6 +56,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
 
   const Pid victim = sim.launch(info.image, std::move(opts));
   const Tgid victim_tg = kernel.process(victim).tgid;
+  telemetry.victim = victim_tg;  // the group victim_gap tracks
 
   attacks::AttackContext ctx{sim, victim, victim_tg, info.hot_addr};
   if (attack != nullptr) attack->engage(ctx);
@@ -112,7 +117,20 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
         cycles_to_seconds(r.attacker_true_cycles.total(), cpu);
   }
 
-  if (config.trace.enabled() || config.trace.collect_stats) r.kstats = kstats;
+  if (observing) {
+    // Billing error per thread group (leaders own the group accounting):
+    // the signed seconds each customer would be over- or under-charged.
+    for (const Pid pid : kernel.all_pids()) {
+      const Tgid tg = kernel.process(pid).tgid;
+      if (pid.v != tg.v) continue;
+      const kernel::GroupUsage gu = kernel.group_usage(tg);
+      telemetry.billing_error.add(
+          ticks_to_seconds(gu.ticks.total(), hz) -
+          cycles_to_seconds(gu.true_cycles.total(), cpu));
+    }
+    r.kstats = kstats;
+    r.telemetry = std::move(telemetry);
+  }
   if (tracer) {
     r.trace_events_recorded = tracer->recorded();
     r.trace_events_dropped = tracer->dropped();
@@ -123,6 +141,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
                                (r.attack_name.empty() ? "/baseline"
                                                       : "/" + r.attack_name)
                          : config.trace.label;
+    info_out.category = r.attack_name.empty() ? "baseline" : r.attack_name;
     info_out.cpu = cpu;
     info_out.hz = hz;
     info_out.victim = victim_tg;
@@ -133,7 +152,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     if (!out) {
       throw std::runtime_error("cannot open trace file: " + config.trace.path);
     }
-    trace::write_perfetto_json(out, *tracer, info_out);
+    trace::write_perfetto_json(out, *tracer, info_out, &r.telemetry);
   }
   return r;
 }

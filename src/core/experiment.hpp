@@ -95,6 +95,7 @@ struct ExperimentResult {
   // Observability (populated only when ExperimentConfig::trace asked for it;
   // never part of the CSV/JSONL result schema).
   trace::KernelStats kstats;
+  trace::Telemetry telemetry;
   std::uint64_t trace_events_recorded = 0;
   std::uint64_t trace_events_dropped = 0;
 };

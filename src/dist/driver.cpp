@@ -9,6 +9,7 @@
 
 #include "dist/records.hpp"
 #include "dist/resume.hpp"
+#include "dist/status.hpp"
 #include "trace/metrics.hpp"
 
 namespace mtr::dist {
@@ -38,8 +39,12 @@ constexpr const char* kUsage =
     "                     Chrome/Perfetto trace-event JSON per cell (first\n"
     "                     replicate) into DIR; CSV/JSONL stay byte-identical\n"
     "  --metrics PATH     write sweep metrics (kernel counters, phase\n"
-    "                     timers, pool utilization) as schema-versioned\n"
-    "                     JSON; shard files fold with mtr_merge --metrics\n"
+    "                     timers, pool utilization, telemetry series and\n"
+    "                     quantile sketches) as schema-versioned JSON;\n"
+    "                     shard files fold with mtr_merge --metrics\n"
+    "  --status-file PATH rewrite PATH (atomic rename) after every cell\n"
+    "                     with a JSON heartbeat: cells done/total, elapsed,\n"
+    "                     ETA, per-worker busy fractions\n"
     "  --threads N        BatchRunner worker pool (default MTR_BENCH_THREADS)\n"
     "  --seeds N          replicate seeds per cell (default MTR_BENCH_SEEDS)\n"
     "  --first-seed S     first replicate seed (default 42)\n"
@@ -155,6 +160,7 @@ SweepOptions parse_sweep_args(int argc, const char* const* argv) {
     else if (arg == "--out-dir") o.out_dir = value(i, arg);
     else if (arg == "--trace-dir") o.trace_dir = value(i, arg);
     else if (arg == "--metrics") o.metrics_path = value(i, arg);
+    else if (arg == "--status-file") o.status_file = value(i, arg);
     else if (arg == "--scale") {
       const double v = parse_double_flag(arg, value(i, arg));
       if (v <= 0.0) bad_usage("--scale must be > 0");
@@ -241,6 +247,7 @@ int run_sweeps(const report::SweepRegistry& registry, const SweepOptions& option
     if (!options.trace_dir.empty())
       std::filesystem::create_directories(options.trace_dir);
     if (!options.metrics_path.empty()) create_parent_dirs(options.metrics_path);
+    if (!options.status_file.empty()) create_parent_dirs(options.status_file);
   }
 
   // One resume index for shared files (they span every selected sweep);
@@ -328,6 +335,27 @@ int run_sweeps(const report::SweepRegistry& registry, const SweepOptions& option
     trace::SweepMetrics sweep_metrics;
     sweep_metrics.sweep = spec->name;
     ctx.metrics = want_metrics ? &sweep_metrics : nullptr;
+    if (!options.status_file.empty() && !options.dry_run) {
+      // The observer runs after the progress fold, so done() already
+      // counts the cell that triggered it.
+      ctx.observer = [path = options.status_file, prog = &progress,
+                      sweep = spec->name](const core::CellEvent& ev) {
+        StatusSnapshot s;
+        s.sweep = sweep;
+        s.cells_done = prog->done();
+        s.cells_total = prog->total();
+        s.elapsed_seconds = prog->elapsed_seconds();
+        s.eta_seconds = report::eta_seconds(
+            s.elapsed_seconds, s.cells_done,
+            s.cells_total > s.cells_done ? s.cells_total - s.cells_done : 0);
+        if (ev.worker_busy != nullptr && ev.pool_elapsed_seconds > 0.0) {
+          s.worker_busy_fraction.reserve(ev.worker_busy->size());
+          for (const double b : *ev.worker_busy)
+            s.worker_busy_fraction.push_back(b / ev.pool_elapsed_seconds);
+        }
+        write_status_file(path, s);
+      };
+    }
     if (options.shard.sharded() || resume != nullptr) {
       const ShardSpec shard = options.shard;
       ctx.gate = [shard, resume](const report::GridCellInfo& cell) {

@@ -32,6 +32,7 @@ struct SweepOptions {
   std::string out_dir;     // --out-dir: <dir>/<sweep>.{csv,jsonl}
   std::string trace_dir;   // --trace-dir: per-cell Perfetto trace JSONs
   std::string metrics_path;  // --metrics: schema-versioned metrics.json
+  std::string status_file;   // --status-file: atomic heartbeat JSON
 
   double scale = 0.25;
   std::vector<std::uint64_t> seeds;

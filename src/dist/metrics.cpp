@@ -1,296 +1,104 @@
 #include "dist/metrics.hpp"
 
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
-#include <utility>
+
+#include "dist/json.hpp"
 
 namespace mtr::dist {
 namespace {
 
-/// A parsed JSON value. Numbers keep their raw token so uint64 counters
-/// survive values a double round-trip would corrupt.
-struct Value {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  std::string text;  // raw number token, or decoded string
-  std::vector<Value> items;
-  std::vector<std::pair<std::string, Value>> fields;
+using json::Value;
 
-  const Value* find(std::string_view name) const {
-    for (const auto& [k, v] : fields)
-      if (k == name) return &v;
-    return nullptr;
+trace::TimeSeries parse_series(const Value& v, std::string_view name) {
+  const std::uint64_t width = json::get_u64(v, "width");
+  std::vector<trace::SeriesBucket> buckets;
+  for (const Value& b : json::get_array(v, "buckets").items) {
+    if (b.kind != Value::Kind::kArray || b.items.size() != 4)
+      throw std::runtime_error("series '" + std::string(name) +
+                               "' bucket is not a [count, min, max, sum] row");
+    trace::SeriesBucket out;
+    out.count = json::as_u64(b.items[0], "count");
+    out.min = json::as_i64(b.items[1], "min");
+    out.max = json::as_i64(b.items[2], "max");
+    out.sum = json::as_i64(b.items[3], "sum");
+    buckets.push_back(out);
   }
-};
-
-/// Minimal recursive-descent JSON parser — enough for the closed grammar
-/// write_metrics_json emits (and strict about everything else).
-class Parser {
- public:
-  explicit Parser(std::string_view text) : s_(text) {}
-
-  Value parse_document() {
-    Value v = parse_value();
-    skip_ws();
-    if (pos_ != s_.size()) fail("trailing bytes after the JSON document");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw std::runtime_error("offset " + std::to_string(pos_) + ": " + why);
-  }
-
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
-            s_[pos_] == '\r'))
-      ++pos_;
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= s_.size()) fail("unexpected end of input");
-    return s_[pos_];
-  }
-
-  void expect(char ch) {
-    if (peek() != ch)
-      fail(std::string("expected '") + ch + "', got '" + s_[pos_] + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(std::string_view lit) {
-    if (s_.compare(pos_, lit.size(), lit) != 0) return false;
-    pos_ += lit.size();
-    return true;
-  }
-
-  Value parse_value() {
-    const char ch = peek();
-    switch (ch) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"': {
-        Value v;
-        v.kind = Value::Kind::kString;
-        v.text = parse_string();
-        return v;
-      }
-      case 't':
-      case 'f': {
-        Value v;
-        v.kind = Value::Kind::kBool;
-        v.boolean = ch == 't';
-        if (!consume_literal(ch == 't' ? "true" : "false"))
-          fail("bad literal");
-        return v;
-      }
-      case 'n': {
-        if (!consume_literal("null")) fail("bad literal");
-        return Value{};
-      }
-      default: return parse_number();
-    }
-  }
-
-  Value parse_object() {
-    expect('{');
-    Value v;
-    v.kind = Value::Kind::kObject;
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      if (peek() != '"') fail("object key must be a string");
-      std::string key = parse_string();
-      expect(':');
-      v.fields.emplace_back(std::move(key), parse_value());
-      const char next = peek();
-      ++pos_;
-      if (next == '}') return v;
-      if (next != ',') fail("expected ',' or '}' in object");
-    }
-  }
-
-  Value parse_array() {
-    expect('[');
-    Value v;
-    v.kind = Value::Kind::kArray;
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.items.push_back(parse_value());
-      const char next = peek();
-      ++pos_;
-      if (next == ']') return v;
-      if (next != ',') fail("expected ',' or ']' in array");
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (pos_ < s_.size()) {
-      const char ch = s_[pos_++];
-      if (ch == '"') return out;
-      if (ch != '\\') {
-        out += ch;
-        continue;
-      }
-      if (pos_ >= s_.size()) fail("unterminated escape");
-      const char esc = s_[pos_++];
-      switch (esc) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = s_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else fail("bad \\u escape");
-          }
-          // The writer only escapes control characters, so non-ASCII code
-          // points here mean a hand-edited file; reject rather than guess.
-          if (code > 0x7F) fail("unsupported non-ASCII \\u escape");
-          out += static_cast<char>(code);
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-    fail("unterminated string");
-  }
-
-  Value parse_number() {
-    const std::size_t start = pos_;
-    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
-    const auto digits = [&] {
-      const std::size_t d = pos_;
-      while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
-      return pos_ > d;
-    };
-    if (!digits()) fail("bad number");
-    if (pos_ < s_.size() && s_[pos_] == '.') {
-      ++pos_;
-      if (!digits()) fail("bad number fraction");
-    }
-    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
-      ++pos_;
-      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
-      if (!digits()) fail("bad number exponent");
-    }
-    Value v;
-    v.kind = Value::Kind::kNumber;
-    v.text.assign(s_, start, pos_ - start);
-    return v;
-  }
-
-  std::string_view s_;
-  std::size_t pos_ = 0;
-};
-
-// --- typed field access (errors name the missing/mistyped field) ----------
-
-[[noreturn]] void field_error(std::string_view name, const char* what) {
-  throw std::runtime_error("field '" + std::string(name) + "' " + what);
+  if (buckets.size() > trace::TimeSeries::kCapacity)
+    throw std::runtime_error("series '" + std::string(name) + "' carries " +
+                             std::to_string(buckets.size()) +
+                             " buckets but the capacity is " +
+                             std::to_string(trace::TimeSeries::kCapacity));
+  trace::TimeSeries s;
+  s.load(width, std::move(buckets));
+  return s;
 }
 
-const Value& require(const Value& obj, std::string_view name) {
-  if (obj.kind != Value::Kind::kObject) field_error(name, "looked up on a non-object");
-  const Value* v = obj.find(name);
-  if (v == nullptr) field_error(name, "is missing");
-  return *v;
+QuantileSketch parse_sketch(const Value& v, std::string_view name) {
+  QuantileSketch s;
+  s.load_zero(json::get_u64(v, "zero"));
+  s.load_bounds(json::get_f64(v, "min"), json::get_f64(v, "max"));
+  const auto load = [&](const char* key, bool negative) {
+    for (const Value& b : json::get_array(v, key).items) {
+      if (b.kind != Value::Kind::kArray || b.items.size() != 2)
+        throw std::runtime_error("sketch '" + std::string(name) + "' " + key +
+                                 " bucket is not an [index, count] pair");
+      const std::int64_t index = json::as_i64(b.items[0], "index");
+      if (index < QuantileSketch::kMinIndex ||
+          index > QuantileSketch::kMaxIndex)
+        throw std::runtime_error("sketch '" + std::string(name) +
+                                 "' bucket index " + std::to_string(index) +
+                                 " is out of range");
+      s.load_bucket(static_cast<std::int32_t>(index),
+                    json::as_u64(b.items[1], "count"), negative);
+    }
+  };
+  load("neg", true);
+  load("pos", false);
+  if (s.count() != json::get_u64(v, "count"))
+    throw std::runtime_error("sketch '" + std::string(name) +
+                             "' count does not match its buckets");
+  return s;
 }
 
-std::uint64_t get_u64(const Value& obj, std::string_view name) {
-  const Value& v = require(obj, name);
-  if (v.kind != Value::Kind::kNumber) field_error(name, "is not a number");
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long x = std::strtoull(v.text.c_str(), &end, 10);
-  if (errno != 0 || end != v.text.c_str() + v.text.size())
-    field_error(name, "is not an unsigned integer");
-  return x;
-}
-
-double get_f64(const Value& obj, std::string_view name) {
-  const Value& v = require(obj, name);
-  if (v.kind != Value::Kind::kNumber) field_error(name, "is not a number");
-  errno = 0;
-  char* end = nullptr;
-  const double x = std::strtod(v.text.c_str(), &end);
-  if (errno != 0 || end != v.text.c_str() + v.text.size())
-    field_error(name, "is not a double");
-  return x;
-}
-
-std::string get_string(const Value& obj, std::string_view name) {
-  const Value& v = require(obj, name);
-  if (v.kind != Value::Kind::kString) field_error(name, "is not a string");
-  return v.text;
-}
-
-const Value& get_array(const Value& obj, std::string_view name) {
-  const Value& v = require(obj, name);
-  if (v.kind != Value::Kind::kArray) field_error(name, "is not an array");
-  return v;
-}
-
-const Value& get_object(const Value& obj, std::string_view name) {
-  const Value& v = require(obj, name);
-  if (v.kind != Value::Kind::kObject) field_error(name, "is not an object");
-  return v;
-}
-
-trace::SweepMetrics parse_sweep(const Value& v) {
+trace::SweepMetrics parse_sweep(const Value& v, std::uint64_t schema) {
   trace::SweepMetrics s;
-  s.sweep = get_string(v, "sweep");
-  s.cells = get_u64(v, "cells");
-  s.runs = get_u64(v, "runs");
-  s.cell_wall_seconds = get_f64(v, "cell_wall_seconds");
-  s.max_cell_seconds = get_f64(v, "max_cell_seconds");
+  s.sweep = json::get_string(v, "sweep");
+  s.cells = json::get_u64(v, "cells");
+  s.runs = json::get_u64(v, "runs");
+  s.cell_wall_seconds = json::get_f64(v, "cell_wall_seconds");
+  s.max_cell_seconds = json::get_f64(v, "max_cell_seconds");
 
-  const Value& kernel = get_object(v, "kernel");
+  const Value& kernel = json::get_object(v, "kernel");
   s.kernel.for_each([&](const char* name, std::uint64_t& field) {
-    field = get_u64(kernel, name);
+    field = json::get_u64(kernel, name);
   });
 
-  for (const Value& ph : get_array(v, "phases").items) {
+  for (const Value& ph : json::get_array(v, "phases").items) {
     if (ph.kind != Value::Kind::kObject)
       throw std::runtime_error("phase entry is not an object");
-    s.phases.add(get_string(ph, "name"), get_u64(ph, "count"),
-                 get_f64(ph, "seconds"));
+    s.phases.add(json::get_string(ph, "name"), json::get_u64(ph, "count"),
+                 json::get_f64(ph, "seconds"));
   }
 
-  const Value& pool = get_object(v, "pool");
-  s.pool.threads = get_u64(pool, "threads");
-  s.pool.wall_seconds = get_f64(pool, "wall_seconds");
-  for (const Value& b : get_array(pool, "busy_seconds").items) {
-    if (b.kind != Value::Kind::kNumber)
-      field_error("busy_seconds", "holds a non-number");
-    errno = 0;
-    char* end = nullptr;
-    const double x = std::strtod(b.text.c_str(), &end);
-    if (errno != 0 || end != b.text.c_str() + b.text.size())
-      field_error("busy_seconds", "holds a bad double");
-    s.pool.busy_seconds.push_back(x);
+  const Value& pool = json::get_object(v, "pool");
+  s.pool.threads = json::get_u64(pool, "threads");
+  s.pool.wall_seconds = json::get_f64(pool, "wall_seconds");
+  for (const Value& b : json::get_array(pool, "busy_seconds").items)
+    s.pool.busy_seconds.push_back(json::as_f64(b, "busy_seconds"));
+
+  // v1 predates telemetry; its sweeps simply carry empty series/sketches
+  // (which fold as identity, so mixed-generation folds stay correct).
+  if (schema >= 2) {
+    const Value& series = json::get_object(v, "series");
+    s.telemetry.for_each_series([&](const char* name, trace::TimeSeries& ts) {
+      ts = parse_series(json::get_object(series, name), name);
+    });
+    const Value& sketches = json::get_object(v, "sketches");
+    s.telemetry.for_each_sketch([&](const char* name, QuantileSketch& sk) {
+      sk = parse_sketch(json::get_object(sketches, name), name);
+    });
   }
   return s;
 }
@@ -305,22 +113,24 @@ MetricsFile read_metrics_json(const std::string& path) {
   const std::string text = buf.str();
 
   try {
-    const Value doc = Parser(text).parse_document();
+    const Value doc = json::parse_document(text);
     if (doc.kind != Value::Kind::kObject)
       throw std::runtime_error("document is not a JSON object");
 
     MetricsFile f;
-    f.schema = get_u64(doc, "schema");
-    if (f.schema != trace::kMetricsSchemaVersion)
+    f.schema = json::get_u64(doc, "schema");
+    if (f.schema < trace::kMinMetricsReadSchemaVersion ||
+        f.schema > trace::kMetricsSchemaVersion)
       throw std::runtime_error(
           "metrics schema v" + std::to_string(f.schema) +
           " but this build reads v" +
+          std::to_string(trace::kMinMetricsReadSchemaVersion) + "..v" +
           std::to_string(trace::kMetricsSchemaVersion));
-    if (get_string(doc, "record") != "metrics")
+    if (json::get_string(doc, "record") != "metrics")
       throw std::runtime_error("not a metrics file (record tag mismatch)");
-    f.shards = get_u64(doc, "shards");
-    for (const Value& sweep : get_array(doc, "sweeps").items)
-      f.sweeps.push_back(parse_sweep(sweep));
+    f.shards = json::get_u64(doc, "shards");
+    for (const Value& sweep : json::get_array(doc, "sweeps").items)
+      f.sweeps.push_back(parse_sweep(sweep, f.schema));
     return f;
   } catch (const std::runtime_error& e) {
     throw std::runtime_error(path + ": " + e.what());

@@ -1,8 +1,10 @@
-// Reading and folding metrics.json shard files for mtr_merge --metrics.
-// The writer lives in src/trace (write_metrics_json); this is its inverse:
-// a small recursive JSON parser plus the by-sweep-name fold that turns N
-// shard metrics files into the one a single-machine run would have written
-// (modulo wall-clock, which sums across shards).
+// Reading and folding metrics.json shard files for mtr_merge --metrics and
+// mtr_inspect. The writer lives in src/trace (write_metrics_json); this is
+// its inverse: typed parsing over dist/json plus the by-sweep-name fold
+// that turns N shard metrics files into the one a single-machine run would
+// have written (modulo wall-clock, which sums across shards). Reads both
+// the current schema v2 (with series/sketches telemetry) and legacy v1
+// files, which parse with empty telemetry.
 #pragma once
 
 #include <cstdint>

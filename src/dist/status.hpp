@@ -1,0 +1,37 @@
+// The mtr_sweep --status-file heartbeat: a small JSON snapshot of a long
+// sweep's health (cells done/total, elapsed, ETA, per-worker busy
+// fractions), rewritten after every completed cell. Written via a
+// same-directory temp file plus an atomic rename, so external monitors
+// (and the future fleet controller's health checks) never read a torn
+// half-written document.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mtr::dist {
+
+/// One heartbeat. `sweep` is the sweep currently running; counts cover its
+/// active progress span.
+struct StatusSnapshot {
+  std::string sweep;
+  std::uint64_t cells_done = 0;
+  std::uint64_t cells_total = 0;
+  double elapsed_seconds = 0.0;
+  std::optional<double> eta_seconds;  // nullopt renders as JSON null
+  /// Per-worker busy fraction (busy seconds / pool wall seconds) of the
+  /// running BatchRunner invocation, one entry per pool thread.
+  std::vector<double> worker_busy_fraction;
+};
+
+/// Serializes `s` as one JSON object (trailing newline included).
+std::string render_status_json(const StatusSnapshot& s);
+
+/// Writes `s` to `path` atomically: render to `path` + ".tmp", then rename
+/// over `path`. Throws std::runtime_error if the temp file cannot be
+/// written or the rename fails.
+void write_status_file(const std::string& path, const StatusSnapshot& s);
+
+}  // namespace mtr::dist

@@ -25,6 +25,7 @@ class CfsScheduler final : public Scheduler {
   std::uint64_t ticks_until_preemption(const Process& current,
                                        Cycles tick_period) const override;
   void on_ticks(Process& current, std::uint64_t count) override;
+  std::size_t queue_depth() const override { return tree_.size(); }
   std::string name() const override { return "cfs"; }
 
   /// Load weight for a nice level (Linux prio_to_weight table).

@@ -6,6 +6,7 @@
 #include "common/ensure.hpp"
 #include "kernel/syscalls.hpp"
 #include "trace/metrics.hpp"
+#include "trace/series.hpp"
 #include "trace/tracer.hpp"
 
 namespace mtr::kernel {
@@ -242,6 +243,8 @@ void Kernel::enqueue_charge(Pid pid, Tgid tg, WorkKind kind, Cycles amount,
 
 void Kernel::flush_charges() {
   if (charge_batch_size_ == 0) return;
+  if (telemetry_ != nullptr)
+    telemetry_->charge_batch.add(static_cast<double>(charge_batch_size_));
   // Coalesced charges flush as trace spans recorded at their end time; the
   // exporter subtracts the duration to recover the start.
   if (tracer_ != nullptr) {
@@ -263,6 +266,27 @@ void Kernel::flush_charges() {
 
 void Kernel::charge_idle(Cycles amount) {
   charge(nullptr, WorkKind::kIdle, amount, Pid{});
+}
+
+void Kernel::sample_telemetry() {
+  trace::Telemetry& t = *telemetry_;
+  const std::uint64_t at = now_.v;
+  const std::size_t queued = scheduler_->queue_depth();
+  t.run_queue.sample(at, static_cast<std::int64_t>(queued));
+  t.runnable.sample(
+      at, static_cast<std::int64_t>(queued + (current_ != nullptr ? 1 : 0)));
+  t.free_frames.sample(at, static_cast<std::int64_t>(mm_.frames_total()) -
+                               static_cast<std::int64_t>(mm_.frames_used()));
+  t.event_depth.sample(at, static_cast<std::int64_t>(events_.size()));
+  if (t.victim.valid()) {
+    // Whole jiffies billed at cpu/hz cycles each, minus cycle-exact truth:
+    // the integer-valued gap the attacks inflate.
+    const GroupUsage u = group_usage(t.victim);
+    const std::uint64_t billed =
+        u.ticks.total().v * (config_.cpu.v / config_.hz.v);
+    t.victim_gap.sample(at, static_cast<std::int64_t>(billed) -
+                                static_cast<std::int64_t>(u.true_cycles.total().v));
+  }
 }
 
 void Kernel::push_kwork(Process& p, Cycles cost, WorkKind kind, KernelAction action,
@@ -528,6 +552,9 @@ bool Kernel::idle_leap(Cycles limit) {
   }
   charge(nullptr, WorkKind::kTimerIrq, Cycles{irq.v * count}, Pid{});
   events_.push(timer_.next_fire(), EventKind::kTimerTick);
+  // One sample stands in for the run of coalesced idle ticks (the leap is
+  // precisely the engine proving nothing observable happened in between).
+  if (telemetry_ != nullptr) sample_telemetry();
   return true;
 }
 
@@ -603,6 +630,8 @@ void Kernel::running_leap(Cycles limit) {
   }
   scheduler_->on_ticks(p, count);
   events_.push(timer_.next_fire(), EventKind::kTimerTick);
+  // As in idle_leap: one sample for the whole coalesced stretch.
+  if (telemetry_ != nullptr) sample_telemetry();
 }
 
 // ---------------------------------------------------------------------------
@@ -1104,6 +1133,8 @@ void Kernel::handle_timer_tick() {
   if (current_ != nullptr && scheduler_->on_tick(*current_, now_)) {
     need_resched_ = true;
   }
+
+  if (telemetry_ != nullptr) sample_telemetry();
 }
 
 void Kernel::handle_nic_arrival() {

@@ -47,6 +47,7 @@
 namespace mtr::trace {
 class Tracer;
 struct KernelStats;
+struct Telemetry;
 }  // namespace mtr::trace
 
 namespace mtr::kernel {
@@ -129,6 +130,11 @@ class Kernel final {
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
   /// Attaches the opt-in engine counter sink (not owned; null detaches).
   void set_stats(trace::KernelStats* stats) { stats_ = stats; }
+  /// Attaches the opt-in time-series/sketch sink (not owned; null
+  /// detaches). Gauges are sampled at timer ticks and leap boundaries;
+  /// like the tracer, a detached kernel skips every sample site on one
+  /// null check.
+  void set_telemetry(trace::Telemetry* telemetry) { telemetry_ = telemetry; }
 
   /// Creates a top-level process (own thread group / address space).
   Pid spawn(SpawnSpec spec);
@@ -284,6 +290,9 @@ class Kernel final {
                       Pid beneficiary);
   void flush_charges();
 
+  // Samples every telemetry gauge at now_ (precondition: telemetry_ set).
+  void sample_telemetry();
+
   KernelConfig config_;
   std::unique_ptr<Scheduler> scheduler_;
   mm::MemoryManager mm_;
@@ -296,6 +305,7 @@ class Kernel final {
   // Opt-in observability sinks (see src/trace); null = off, the default.
   trace::Tracer* tracer_ = nullptr;
   trace::KernelStats* stats_ = nullptr;
+  trace::Telemetry* telemetry_ = nullptr;
 
   Cycles now_{0};
   Process* current_ = nullptr;

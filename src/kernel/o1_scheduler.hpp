@@ -26,6 +26,11 @@ class O1PriorityScheduler final : public Scheduler {
   std::uint64_t ticks_until_preemption(const Process& current,
                                        Cycles tick_period) const override;
   void on_ticks(Process& current, std::uint64_t count) override;
+  std::size_t queue_depth() const override {
+    std::size_t n = 0;
+    for (const auto& q : queues_) n += q.size();
+    return n;
+  }
   std::string name() const override { return "o1"; }
 
   /// Linux 2.6 task_timeslice(): higher priority ⇒ longer slice, in ticks.

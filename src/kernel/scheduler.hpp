@@ -69,6 +69,11 @@ class Scheduler {
     MTR_ENSURE_MSG(false, "on_ticks without a ticks_until_preemption override");
   }
 
+  /// Number of queued runnable processes (excluding the one on the CPU) —
+  /// the run-queue depth gauge the telemetry series sample. Purely
+  /// observational; a policy without an override reports 0.
+  virtual std::size_t queue_depth() const { return 0; }
+
   virtual std::string name() const = 0;
 };
 

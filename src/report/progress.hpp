@@ -51,6 +51,16 @@ class ProgressReporter {
   /// Closes the span with a summary line. No-op if begin was never called.
   void finish();
 
+  // Span state, for consumers composing their own reporting (the driver's
+  // --status-file heartbeat reads these alongside its own counters).
+  std::size_t done() const { return done_; }
+  std::size_t total() const { return total_; }
+  double elapsed_seconds() const {
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - start_;
+    return active_ ? dt.count() : 0.0;
+  }
+
  private:
   std::ostream& os_;
   bool enabled_;

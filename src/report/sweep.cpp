@@ -10,6 +10,7 @@ core::CellCallback SweepContext::stream(std::string sweep_name) const {
   // The callback runs under the runner's emission lock, so folding into the
   // shared metrics accumulator needs no extra synchronization.
   return [sink = sink, progress = progress, metrics = metrics,
+          observer = observer,
           name = std::move(sweep_name)](const core::CellEvent& ev) {
     sink->write_cell(name, ev.cell);
     if (metrics != nullptr) {
@@ -19,8 +20,11 @@ core::CellCallback SweepContext::stream(std::string sweep_name) const {
       if (ev.wall_seconds > metrics->max_cell_seconds)
         metrics->max_cell_seconds = ev.wall_seconds;
       metrics->kernel.merge(ev.cell.kstats);
+      metrics->telemetry.merge(ev.cell.telemetry);
+      metrics->telemetry.cell_seconds.add(ev.wall_seconds);
     }
     if (progress) progress->on_cell(ev);
+    if (observer) observer(ev);
   };
 }
 

@@ -79,8 +79,13 @@ struct SweepContext {
   /// JSON per admitted cell (first replicate only) into this directory.
   std::string trace_dir;
   /// --metrics: when non-null, run_grid folds per-cell wall time, kernel
-  /// counters, phase timers, and pool utilization into this accumulator.
+  /// counters, phase timers, pool utilization, and run telemetry into this
+  /// accumulator.
   trace::SweepMetrics* metrics = nullptr;
+  /// Per-cell completion observer, invoked after the sink/metrics fold
+  /// (still under the runner's emission lock). The driver hangs its
+  /// --status-file heartbeat here. May be null.
+  std::function<void(const core::CellEvent&)> observer;
 
   std::ostream& os() const { return *out; }
 

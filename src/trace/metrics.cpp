@@ -85,6 +85,7 @@ void SweepMetrics::merge(const SweepMetrics& o) {
   kernel.merge(o.kernel);
   phases.merge(o.phases);
   pool.merge(o.pool);
+  telemetry.merge(o.telemetry);
 }
 
 void write_metrics_json(std::ostream& os,
@@ -123,7 +124,47 @@ void write_metrics_json(std::ostream& os,
       os << (first ? "" : ", ") << json_double(b);
       first = false;
     }
-    os << "]}}";
+    os << "]},\n  \"series\": {";
+    // Series buckets are [count, min, max, sum] rows — all integers, so a
+    // parse -> re-emit round trip is trivially byte-stable.
+    first = true;
+    s.telemetry.for_each_series([&](const char* name, const TimeSeries& ts) {
+      os << (first ? "" : ", ") << '"' << name
+         << "\": {\"width\": " << ts.width() << ", \"buckets\": [";
+      bool first_bucket = true;
+      for (std::size_t i = 0; i < ts.size(); ++i) {
+        const SeriesBucket& b = ts.bucket(i);
+        os << (first_bucket ? "" : ", ") << '[' << b.count << ", " << b.min
+           << ", " << b.max << ", " << b.sum << ']';
+        first_bucket = false;
+      }
+      os << "]}";
+      first = false;
+    });
+    os << "},\n  \"sketches\": {";
+    first = true;
+    s.telemetry.for_each_sketch([&](const char* name,
+                                    const QuantileSketch& sk) {
+      os << (first ? "" : ", ") << '"' << name
+         << "\": {\"count\": " << sk.count() << ", \"zero\": " << sk.zero_count()
+         << ", \"min\": " << json_double(sk.min())
+         << ", \"max\": " << json_double(sk.max());
+      const auto buckets = [&](const char* key,
+                               const QuantileSketch::Buckets& bs) {
+        os << ", \"" << key << "\": [";
+        bool first_bucket = true;
+        for (const auto& [index, n] : bs) {
+          os << (first_bucket ? "" : ", ") << '[' << index << ", " << n << ']';
+          first_bucket = false;
+        }
+        os << ']';
+      };
+      buckets("neg", sk.negative());
+      buckets("pos", sk.positive());
+      os << '}';
+      first = false;
+    });
+    os << "}}";
   }
   os << "\n]}\n";
 }

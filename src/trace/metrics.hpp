@@ -13,6 +13,8 @@
 #include <string_view>
 #include <vector>
 
+#include "trace/series.hpp"
+
 namespace mtr::trace {
 
 /// Per-run kernel engine counters. A plain struct of uint64s so collection
@@ -115,8 +117,9 @@ struct PoolMetrics {
 };
 
 /// Everything metrics.json records about one sweep: cell/run counts and
-/// wall-clock spread, the summed kernel counters, phase timers, and pool
-/// utilization.
+/// wall-clock spread, the summed kernel counters, phase timers, pool
+/// utilization, and (schema v2) the folded run telemetry — gauge series
+/// plus quantile sketches.
 struct SweepMetrics {
   std::string sweep;
   std::uint64_t cells = 0;
@@ -126,11 +129,15 @@ struct SweepMetrics {
   KernelStats kernel;
   MetricsRegistry phases;
   PoolMetrics pool;
+  Telemetry telemetry;
 
   void merge(const SweepMetrics& o);
 };
 
-inline constexpr std::uint64_t kMetricsSchemaVersion = 1;
+/// v2 added the "series" and "sketches" sections; v1 files (without them)
+/// still parse — see dist::read_metrics_json.
+inline constexpr std::uint64_t kMetricsSchemaVersion = 2;
+inline constexpr std::uint64_t kMinMetricsReadSchemaVersion = 1;
 
 /// Writes the metrics.json document: one object with a schema stamp, the
 /// shard count the data covers, and one entry per sweep. Doubles render

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <ostream>
 
+#include "trace/series.hpp"
+
 namespace mtr::trace {
 namespace {
 
@@ -51,7 +53,11 @@ void metadata(std::ostream& os, const char* name, std::int32_t tid,
 }  // namespace
 
 void write_perfetto_json(std::ostream& os, const Tracer& tracer,
-                         const ExportInfo& info) {
+                         const ExportInfo& info, const Telemetry* telemetry) {
+  // Optional event category ("cat"), emitted right after "ph" so the
+  // terminator's "name" stays the object's last key either way.
+  const std::string cat =
+      info.category.empty() ? "" : ", \"cat\": " + json_string(info.category);
   os << "{\"traceEvents\": [\n";
   metadata(os, "process_name", 0, info.label);
   metadata(os, "thread_name", 0, "idle");
@@ -70,7 +76,7 @@ void write_perfetto_json(std::ostream& os, const Tracer& tracer,
     switch (e.kind) {
       case TraceEventKind::kSpan: {
         const Cycles start = e.ts - Cycles{e.arg};
-        os << "{\"ph\": \"X\", \"pid\": " << kTraceProcess
+        os << "{\"ph\": \"X\"" << cat << ", \"pid\": " << kTraceProcess
            << ", \"tid\": " << tid << ", \"ts\": " << usec(start, info.cpu)
            << ", \"dur\": " << usec(Cycles{e.arg}, info.cpu) << ", \"name\": "
            << json_string(e.name) << ", \"args\": {\"cycles\": " << e.arg;
@@ -82,12 +88,12 @@ void write_perfetto_json(std::ostream& os, const Tracer& tracer,
         break;
       }
       case TraceEventKind::kInstant:
-        os << "{\"ph\": \"i\", \"pid\": " << kTraceProcess
+        os << "{\"ph\": \"i\"" << cat << ", \"pid\": " << kTraceProcess
            << ", \"tid\": " << tid << ", \"ts\": " << usec(e.ts, info.cpu)
            << ", \"s\": \"t\", \"name\": " << json_string(e.name) << "},\n";
         break;
       case TraceEventKind::kTick: {
-        os << "{\"ph\": \"i\", \"pid\": " << kTraceProcess
+        os << "{\"ph\": \"i\"" << cat << ", \"pid\": " << kTraceProcess
            << ", \"tid\": " << tid << ", \"ts\": " << usec(e.ts, info.cpu)
            << ", \"s\": \"t\", \"name\": \"tick\", \"args\": {\"count\": "
            << e.arg << ", \"mode\": \""
@@ -96,7 +102,7 @@ void write_perfetto_json(std::ostream& os, const Tracer& tracer,
           if (e.tgid == info.victim)
             billed_seconds += static_cast<double>(e.arg) /
                               static_cast<double>(info.hz.v);
-          os << "{\"ph\": \"C\", \"pid\": " << kTraceProcess
+          os << "{\"ph\": \"C\"" << cat << ", \"pid\": " << kTraceProcess
              << ", \"ts\": " << usec(e.ts, info.cpu)
              << ", \"name\": \"victim cpu-seconds\", \"args\": {\"billed\": "
              << json_double(billed_seconds)
@@ -107,8 +113,25 @@ void write_perfetto_json(std::ostream& os, const Tracer& tracer,
     }
   });
 
+  // Telemetry gauge series as counter tracks: one sample per time bucket,
+  // at the bucket's start, plotting the bucket average and max.
+  if (telemetry != nullptr) {
+    telemetry->for_each_series([&](const char* name, const TimeSeries& s) {
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        const SeriesBucket& b = s.bucket(i);
+        if (b.count == 0) continue;
+        os << "{\"ph\": \"C\"" << cat << ", \"pid\": " << kTraceProcess
+           << ", \"ts\": " << usec(Cycles{s.width() * i}, info.cpu)
+           << ", \"name\": \"series:" << name << "\", \"args\": {\"avg\": "
+           << json_double(static_cast<double>(b.sum) /
+                          static_cast<double>(b.count))
+           << ", \"max\": " << b.max << "}},\n";
+      }
+    });
+  }
+
   // Terminator instant so the array needs no trailing-comma bookkeeping.
-  os << "{\"ph\": \"i\", \"pid\": " << kTraceProcess
+  os << "{\"ph\": \"i\"" << cat << ", \"pid\": " << kTraceProcess
      << ", \"tid\": 0, \"ts\": 0, \"s\": \"g\", \"name\": \"trace-export\"}\n";
   os << "], \"otherData\": {\"schema\": \"" << kTraceSchemaTag
      << "\", \"recorded\": " << tracer.recorded()

@@ -21,18 +21,26 @@
 
 namespace mtr::trace {
 
+struct Telemetry;
+
 inline constexpr const char* kTraceSchemaTag = "mtr-trace-1";
 
 /// Run context the exporter needs beyond the event stream.
 struct ExportInfo {
   std::string label;                    // trace process name (run identity)
+  std::string category;                 // attack name or "baseline"; empty =
+                                        // no "cat" field on events
   CpuHz cpu{};                          // cycles -> microseconds conversion
   TimerHz hz{};                         // ticks -> billed seconds
   Tgid victim{};                        // counter-track target; invalid = none
   std::vector<std::pair<Pid, std::string>> process_names;  // thread tracks
 };
 
+/// Writes the trace-event JSON. When `telemetry` is non-null, each gauge
+/// series additionally renders as a "series:<name>" counter track (one
+/// sample per bucket, plotting the bucket average and max).
 void write_perfetto_json(std::ostream& os, const Tracer& tracer,
-                         const ExportInfo& info);
+                         const ExportInfo& info,
+                         const Telemetry* telemetry = nullptr);
 
 }  // namespace mtr::trace

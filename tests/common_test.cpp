@@ -2,7 +2,10 @@
 // distributions, statistics, table/chart rendering, formatting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
+#include <vector>
 
 #include "common/ensure.hpp"
 #include "common/format.hpp"
@@ -180,6 +183,153 @@ TEST(Stats, HistogramBucketsAndClamping) {
   EXPECT_EQ(h.bucket_count(9), 1u);
   EXPECT_EQ(h.total(), 4u);
   EXPECT_FALSE(h.render().empty());
+}
+
+TEST(Stats, SingleSamplePercentilesCollapse) {
+  Samples s;
+  s.add(3.25);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 3.25);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 3.25);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 3.25);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.25);
+}
+
+TEST(Stats, AllEqualSamplesHaveZeroSpread) {
+  RunningStats r;
+  Samples s;
+  for (int i = 0; i < 16; ++i) {
+    r.add(7.0);
+    s.add(7.0);
+  }
+  EXPECT_DOUBLE_EQ(r.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(r.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 7.0);
+}
+
+TEST(Stats, EmptyHistogramRendersAndCountsZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.total(), 0u);
+  for (std::size_t i = 0; i < h.buckets(); ++i)
+    EXPECT_EQ(h.bucket_count(i), 0u);
+  EXPECT_FALSE(h.render().empty());
+}
+
+TEST(Stats, HistogramEdgeValuesClampInsteadOfDropping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);   // inclusive low edge lands in bucket 0
+  h.add(10.0);  // the exclusive high edge clamps into the last bucket
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(9), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+// --- quantile sketch --------------------------------------------------------------
+
+TEST(QuantileSketchTest, EmptySketchIsAllZeroes) {
+  const QuantileSketch s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketchTest, QuantileWalkCoversNegativeZeroAndPositive) {
+  QuantileSketch s;
+  s.add(-100.0);
+  s.add(0.0);
+  s.add(100.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_EQ(s.zero_count(), 1u);
+  EXPECT_DOUBLE_EQ(s.min(), -100.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  // Extreme quantiles clamp to the exact envelope; the median is the
+  // exact-zero bucket.
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), -100.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+}
+
+TEST(QuantileSketchTest, RelativeErrorStaysWithinAlpha) {
+  QuantileSketch s;
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    // Log-uniform grid over twelve decades, ascending (its own sorted
+    // order), so the nearest-rank exact quantile is a direct index.
+    const double v = std::pow(10.0, -6.0 + 12.0 * i / 999.0);
+    xs.push_back(v);
+    s.add(v);
+  }
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact = xs[static_cast<std::size_t>(q * (xs.size() - 1))];
+    const double est = s.quantile(q);
+    EXPECT_NEAR(est, exact, QuantileSketch::kAlpha * exact * 1.05)
+        << "q=" << q;
+  }
+}
+
+TEST(QuantileSketchTest, MergeIsCommutativeAssociativeAndExact) {
+  QuantileSketch a, b, c, whole;
+  std::uint64_t x = 42;
+  const auto next = [&x] {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    return x;
+  };
+  for (int i = 0; i < 300; ++i) {
+    // Signed spread with occasional exact zeroes.
+    const double v = (static_cast<double>(next() % 2001) - 1000.0) / 8.0;
+    whole.add(v);
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(v);
+  }
+  QuantileSketch ab_c = a;
+  ab_c.merge(b);
+  ab_c.merge(c);
+  QuantileSketch bc = b;
+  bc.merge(c);
+  QuantileSketch a_bc = a;
+  a_bc.merge(bc);
+  QuantileSketch cba = c;
+  cba.merge(b);
+  cba.merge(a);
+  // Bucket-wise addition: every grouping and order lands on the same
+  // sketch as feeding the whole stream into one.
+  EXPECT_EQ(ab_c, whole);
+  EXPECT_EQ(a_bc, whole);
+  EXPECT_EQ(cba, whole);
+  // Merging an empty sketch is the identity, both ways.
+  QuantileSketch id = whole;
+  id.merge(QuantileSketch{});
+  EXPECT_EQ(id, whole);
+  QuantileSketch onto_empty;
+  onto_empty.merge(whole);
+  EXPECT_EQ(onto_empty, whole);
+}
+
+TEST(QuantileSketchTest, OutOfRangeMagnitudesClampToEdgeBuckets) {
+  QuantileSketch s;
+  s.add(1e300);   // far past gamma^kMaxIndex
+  s.add(1e-300);  // far below gamma^kMinIndex
+  s.add(-1e300);
+  ASSERT_EQ(s.positive().size(), 2u);
+  EXPECT_EQ(s.positive().begin()->first, QuantileSketch::kMinIndex);
+  EXPECT_EQ(s.positive().rbegin()->first, QuantileSketch::kMaxIndex);
+  ASSERT_EQ(s.negative().size(), 1u);
+  EXPECT_EQ(s.negative().begin()->first, QuantileSketch::kMaxIndex);
+  // Estimates still clamp into the exact envelope.
+  EXPECT_GE(s.quantile(0.0), s.min());
+  EXPECT_LE(s.quantile(1.0), s.max());
+}
+
+TEST(QuantileSketchTest, LoadersRebuildTheExactSketch) {
+  QuantileSketch s;
+  for (const double v : {0.5, -2.0, 0.0, 0.0, 3.75, 1e-9, -4.5}) s.add(v);
+  QuantileSketch rebuilt;
+  rebuilt.load_zero(s.zero_count());
+  for (const auto& [i, n] : s.negative()) rebuilt.load_bucket(i, n, true);
+  for (const auto& [i, n] : s.positive()) rebuilt.load_bucket(i, n, false);
+  rebuilt.load_bounds(s.min(), s.max());
+  EXPECT_EQ(rebuilt, s);  // what the metrics.json parser reconstructs
 }
 
 // --- table ------------------------------------------------------------------------

@@ -13,13 +13,17 @@
 #include <sstream>
 
 #include "dist/driver.hpp"
+#include "dist/inspect.hpp"
+#include "dist/json.hpp"
 #include "dist/merge.hpp"
 #include "dist/metrics.hpp"
 #include "dist/records.hpp"
 #include "dist/resume.hpp"
 #include "dist/shard.hpp"
+#include "dist/status.hpp"
 #include "helpers.hpp"
 #include "report/result_sink.hpp"
+#include "trace/series.hpp"
 
 namespace mtr::dist {
 namespace {
@@ -1084,6 +1088,367 @@ TEST(MetricsFoldTest, RunMergeWritesFoldedMetricsOutput) {
   ASSERT_EQ(folded.sweeps.size(), 1u);
   EXPECT_EQ(folded.sweeps[0].cells, 3u);
   EXPECT_NE(out.str().find("1 sweep metric(s)"), std::string::npos) << out.str();
+}
+
+// --- schema v2 telemetry round trips and v1 compatibility -------------------------
+
+namespace {
+
+/// sample_metrics plus telemetry data, exercising the v2 sections.
+trace::SweepMetrics telemetry_metrics(const std::string& sweep) {
+  trace::SweepMetrics s = sample_metrics(sweep, 2);
+  s.telemetry.run_queue.sample(0, 1);
+  s.telemetry.run_queue.sample(trace::TimeSeries::kBaseWidth, 4);
+  s.telemetry.free_frames.sample(0, 1000);
+  s.telemetry.victim_gap.sample(0, -12345);
+  s.telemetry.billing_error.add(0.0625);
+  s.telemetry.billing_error.add(-0.03125);
+  s.telemetry.billing_error.add(0.0);
+  s.telemetry.charge_batch.add(16.0, 3);
+  s.telemetry.cell_seconds.add(0.5);
+  return s;
+}
+
+}  // namespace
+
+TEST(MetricsFoldTest, TelemetrySectionsRoundTripByteStably) {
+  const auto path = write_metrics_file("telemetry-roundtrip.json",
+                                       {telemetry_metrics("fig04")});
+  const MetricsFile f = read_metrics_json(path);
+  EXPECT_EQ(f.schema, trace::kMetricsSchemaVersion);
+  ASSERT_EQ(f.sweeps.size(), 1u);
+  const trace::Telemetry& t = f.sweeps[0].telemetry;
+  EXPECT_EQ(t.run_queue.samples(), 2u);
+  EXPECT_EQ(t.run_queue.bucket(1).sum, 4);
+  EXPECT_EQ(t.victim_gap.bucket(0).min, -12345);
+  EXPECT_EQ(t.billing_error.count(), 3u);
+  EXPECT_EQ(t.billing_error.zero_count(), 1u);
+  EXPECT_DOUBLE_EQ(t.billing_error.min(), -0.03125);
+  EXPECT_EQ(t.charge_batch.count(), 3u);
+  EXPECT_EQ(t.cell_seconds.count(), 1u);
+
+  // The parsed structures equal the originals exactly...
+  const trace::SweepMetrics orig_m = telemetry_metrics("fig04");
+  const trace::Telemetry& orig = orig_m.telemetry;
+  EXPECT_EQ(t.run_queue, orig.run_queue);
+  EXPECT_EQ(t.billing_error, orig.billing_error);
+  EXPECT_EQ(t.charge_batch, orig.charge_batch);
+  // ...so re-emitting reproduces the file byte-for-byte.
+  std::ostringstream reemit;
+  trace::write_metrics_json(reemit, f.sweeps, f.shards);
+  EXPECT_EQ(reemit.str(), read_file(path));
+}
+
+TEST(MetricsFoldTest, V1FilesParseWithEmptyTelemetryAndFoldToV2) {
+  // A pre-telemetry document: no "series"/"sketches" sections.
+  const auto v1 = temp_path("legacy-v1-metrics.json");
+  write_file(v1,
+             "{\"schema\": 1, \"record\": \"metrics\", \"shards\": 1, "
+             "\"sweeps\": [\n"
+             " {\"sweep\": \"fig04\", \"cells\": 2, \"runs\": 6, "
+             "\"cell_wall_seconds\": 1, \"max_cell_seconds\": 0.25,\n"
+             "  \"kernel\": {\"events_popped\": 200, \"idle_leaps\": 0, "
+             "\"running_leaps\": 0, \"ticks_coalesced\": 20, "
+             "\"timer_ticks\": 80, \"charges_enqueued\": 0, "
+             "\"charge_flushes\": 14, \"context_switches\": 0, "
+             "\"stale_events\": 0, \"max_event_queue_depth\": 7},\n"
+             "  \"phases\": [],\n"
+             "  \"pool\": {\"threads\": 2, \"wall_seconds\": 0.5, "
+             "\"busy_seconds\": [0.25, 0.125]}}\n"
+             "]}\n");
+  const MetricsFile f = read_metrics_json(v1);
+  EXPECT_EQ(f.schema, 1u);
+  ASSERT_EQ(f.sweeps.size(), 1u);
+  EXPECT_EQ(f.sweeps[0].kernel.events_popped, 200u);
+  EXPECT_TRUE(f.sweeps[0].telemetry.empty());
+
+  // v1 telemetry is the fold identity: mixing v1 and v2 shards works and
+  // the folded document is stamped with the current schema.
+  const auto v2 =
+      write_metrics_file("legacy-v2-half.json", {telemetry_metrics("fig04")});
+  const MetricsFile folded = fold_metrics({f, read_metrics_json(v2)});
+  EXPECT_EQ(folded.schema, trace::kMetricsSchemaVersion);
+  ASSERT_EQ(folded.sweeps.size(), 1u);
+  EXPECT_EQ(folded.sweeps[0].cells, 4u);
+  EXPECT_EQ(folded.sweeps[0].telemetry.billing_error.count(), 3u);
+
+  // Below the floor is rejected like above the ceiling.
+  const auto v0 = temp_path("legacy-v0-metrics.json");
+  write_file(v0,
+             "{\"schema\": 0, \"record\": \"metrics\", \"shards\": 1, "
+             "\"sweeps\": []}");
+  EXPECT_THROW(read_metrics_json(v0), std::runtime_error);
+}
+
+TEST(MetricsFoldTest, MalformedTelemetrySectionsAreRejectedWithContext) {
+  // A sketch whose bucket counts disagree with its "count" field.
+  const auto bad = temp_path("bad-sketch-metrics.json");
+  std::string text = read_file(
+      write_metrics_file("bad-sketch-src.json", {telemetry_metrics("fig04")}));
+  const std::string needle = "\"billing_error\": {\"count\": 3";
+  const std::size_t at = text.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, needle.size(), "\"billing_error\": {\"count\": 9");
+  write_file(bad, text);
+  try {
+    read_metrics_json(bad);
+    FAIL() << "inconsistent sketch accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("billing_error"), std::string::npos)
+        << e.what();
+  }
+}
+
+// --- status heartbeat -------------------------------------------------------------
+
+TEST(StatusFileTest, RendersAndPublishesAtomically) {
+  StatusSnapshot s;
+  s.sweep = "grid";
+  s.cells_done = 3;
+  s.cells_total = 4;
+  s.elapsed_seconds = 1.5;
+  s.eta_seconds = 0.5;
+  s.worker_busy_fraction = {0.75, 0.5};
+  const std::string rendered = render_status_json(s);
+  const json::Value v = json::parse_document(rendered);
+  EXPECT_EQ(json::get_string(v, "record"), "status");
+  EXPECT_EQ(json::get_u64(v, "cells_done"), 3u);
+  EXPECT_EQ(json::get_u64(v, "cells_total"), 4u);
+  EXPECT_DOUBLE_EQ(json::get_f64(v, "eta_seconds"), 0.5);
+  EXPECT_EQ(json::get_array(v, "workers").items.size(), 2u);
+
+  s.eta_seconds.reset();
+  EXPECT_NE(render_status_json(s).find("\"eta_seconds\": null"),
+            std::string::npos);
+
+  const std::string path = temp_path("status-heartbeat.json");
+  write_status_file(path, s);
+  write_status_file(path, s);  // republishing over an existing file works
+  EXPECT_EQ(read_file(path), render_status_json(s));
+  // The temp stage never survives a successful publish.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+TEST(SweepDriverTest, ObservabilityPathsCreateParentDirsAndStatusTracksSweep) {
+  std::atomic<int> runs{0};
+  const report::SweepRegistry registry = counting_registry(&runs);
+  const std::string root = temp_path("dist_observability_parents");
+  std::filesystem::remove_all(root);
+
+  // Like --csv/--jsonl, the observability outputs create missing parent
+  // directories instead of failing on first write.
+  SweepOptions opts = grid_options(root + "/out");
+  opts.metrics_path = root + "/deep/metrics/metrics.json";
+  opts.trace_dir = root + "/deep/traces";
+  opts.status_file = root + "/deep/status/heartbeat.json";
+
+  std::ostringstream out, err;
+  ASSERT_EQ(run_sweeps(registry, opts, out, err), 0) << err.str();
+  EXPECT_TRUE(std::filesystem::exists(opts.metrics_path));
+  EXPECT_TRUE(std::filesystem::exists(root + "/deep/traces/grid-cell0.json"));
+  EXPECT_TRUE(std::filesystem::exists(opts.status_file));
+  EXPECT_FALSE(std::filesystem::exists(opts.status_file + ".tmp"));
+
+  // The final heartbeat: every cell done, per-worker busy fractions from
+  // the pool that ran the grid.
+  const json::Value status =
+      json::parse_document(read_file(opts.status_file));
+  EXPECT_EQ(json::get_string(status, "sweep"), "grid");
+  EXPECT_EQ(json::get_u64(status, "cells_done"), 4u);
+  EXPECT_EQ(json::get_u64(status, "cells_total"), 4u);
+  EXPECT_GE(json::get_f64(status, "elapsed_seconds"), 0.0);
+  const json::Value& workers = json::get_array(status, "workers");
+  EXPECT_EQ(workers.items.size(), 2u);  // grid_options runs 2 threads
+  for (const json::Value& w : workers.items) {
+    const double f = json::as_f64(w, "worker fraction");
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0 + 1e-9);
+  }
+
+  // The metrics file carries the run telemetry.
+  const MetricsFile metrics = read_metrics_json(opts.metrics_path);
+  ASSERT_EQ(metrics.sweeps.size(), 1u);
+  EXPECT_FALSE(metrics.sweeps[0].telemetry.empty());
+  EXPECT_GT(metrics.sweeps[0].telemetry.billing_error.count(), 0u);
+  EXPECT_EQ(metrics.sweeps[0].telemetry.cell_seconds.count(), 4u);
+  std::filesystem::remove_all(root);
+}
+
+// --- mtr_inspect ------------------------------------------------------------------
+
+TEST(InspectArgsTest, RequiresExactlyOneModeAndStrictTop) {
+  const char* metrics[] = {"mtr_inspect", "--metrics", "m.json"};
+  EXPECT_EQ(parse_inspect_args(3, metrics).metrics_path, "m.json");
+
+  const char* compare[] = {"mtr_inspect", "--compare", "a.json", "b.json"};
+  const InspectOptions c = parse_inspect_args(4, compare);
+  EXPECT_EQ(c.compare, (std::vector<std::string>{"a.json", "b.json"}));
+
+  const char* top[] = {"mtr_inspect", "--jsonl", "x.jsonl", "--top", "3"};
+  EXPECT_EQ(parse_inspect_args(5, top).top, 3u);
+
+  const char* none[] = {"mtr_inspect"};
+  EXPECT_THROW(parse_inspect_args(1, none), std::runtime_error);
+  const char* both[] = {"mtr_inspect", "--metrics", "m.json", "--trace", "t"};
+  EXPECT_THROW(parse_inspect_args(5, both), std::runtime_error);
+  const char* bad_top[] = {"mtr_inspect", "--jsonl", "x", "--top", "3x"};
+  EXPECT_THROW(parse_inspect_args(5, bad_top), std::runtime_error);
+  const char* orphan_top[] = {"mtr_inspect", "--metrics", "m", "--top", "3"};
+  EXPECT_THROW(parse_inspect_args(5, orphan_top), std::runtime_error);
+  const char* unknown[] = {"mtr_inspect", "--bogus"};
+  EXPECT_THROW(parse_inspect_args(2, unknown), std::runtime_error);
+}
+
+TEST(InspectTest, MetricsReportRendersTablesAndSparklines) {
+  const auto path = write_metrics_file("inspect-report.json",
+                                       {telemetry_metrics("fig04")});
+  InspectOptions o;
+  o.metrics_path = path;
+  std::ostringstream out;
+  EXPECT_EQ(run_inspect(o, out), 0);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("sweep fig04"), std::string::npos) << text;
+  EXPECT_NE(text.find("timer_ticks"), std::string::npos);
+  EXPECT_NE(text.find("billing_error"), std::string::npos);
+  EXPECT_NE(text.find("p999"), std::string::npos);
+  EXPECT_NE(text.find("run_queue"), std::string::npos);
+  EXPECT_NE(text.find("|"), std::string::npos);  // sparkline frame
+  EXPECT_NE(text.find("(empty)"), std::string::npos);  // event_depth unused
+}
+
+TEST(InspectTest, SparklineMapsBucketMeansOntoTheRamp) {
+  trace::TimeSeries s;
+  s.sample(0, 0);
+  s.sample(2 * trace::TimeSeries::kBaseWidth, 100);
+  const std::string line = render_sparkline(s);
+  ASSERT_EQ(line.size(), 3u);
+  EXPECT_EQ(line[0], '.');  // lowest level
+  EXPECT_EQ(line[1], ' ');  // empty bucket
+  EXPECT_EQ(line[2], '@');  // highest level
+  EXPECT_TRUE(render_sparkline(trace::TimeSeries{}).empty());
+}
+
+TEST(InspectTest, TopCellsRanksByBillingGap) {
+  const std::string path = temp_path("inspect-top.jsonl");
+  write_shard_jsonl(path, {0, 1, 2});
+  InspectOptions o;
+  o.jsonl_path = path;
+  o.top = 2;
+  std::ostringstream out;
+  EXPECT_EQ(run_inspect(o, out), 0);
+  const std::string text = out.str();
+  // synth_cell gives every cell the same gap (0.625); ties break by cell
+  // index, so cells 0 and 1 list in order and cell 2 is cut by --top.
+  EXPECT_NE(text.find("top 2 of 3 cell(s)"), std::string::npos) << text;
+  const std::size_t c0 = text.find("grid#0");
+  const std::size_t c1 = text.find("grid#1");
+  EXPECT_NE(c0, std::string::npos);
+  EXPECT_NE(c1, std::string::npos);
+  EXPECT_LT(c0, c1);
+  EXPECT_EQ(text.find("grid#2"), std::string::npos);
+  EXPECT_NE(text.find("0.625"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(InspectTest, CompareIsCleanOnIdenticalAndFailsOnCounterDeltas) {
+  const auto a = write_metrics_file("inspect-cmp-a.json",
+                                    {telemetry_metrics("fig04")});
+  std::ostringstream same;
+  EXPECT_EQ(compare_metrics(same, a, read_metrics_json(a), a,
+                            read_metrics_json(a)),
+            0);
+  EXPECT_NE(same.str().find("counters identical"), std::string::npos);
+
+  // A counter difference (cells) fails; the delta is named and printed.
+  trace::SweepMetrics more = telemetry_metrics("fig04");
+  more.cells += 1;
+  const auto b = write_metrics_file("inspect-cmp-b.json", {more});
+  std::ostringstream diff;
+  EXPECT_EQ(compare_metrics(diff, a, read_metrics_json(a), b,
+                            read_metrics_json(b)),
+            1);
+  EXPECT_NE(diff.str().find("counter cells: 2 -> 3 (delta 1)"),
+            std::string::npos)
+      << diff.str();
+
+  // A timing-only difference is reported but does not fail the compare.
+  trace::SweepMetrics slower = telemetry_metrics("fig04");
+  slower.cell_wall_seconds += 10.0;
+  const auto c = write_metrics_file("inspect-cmp-c.json", {slower});
+  std::ostringstream timing;
+  EXPECT_EQ(compare_metrics(timing, a, read_metrics_json(a), c,
+                            read_metrics_json(c)),
+            0);
+  EXPECT_NE(timing.str().find("timing cell_wall_seconds"), std::string::npos);
+
+  // A sweep present on only one side is a counter-class failure.
+  const auto d = write_metrics_file(
+      "inspect-cmp-d.json", {telemetry_metrics("fig04"), sample_metrics("fig05", 1)});
+  std::ostringstream missing;
+  EXPECT_EQ(compare_metrics(missing, a, read_metrics_json(a), d,
+                            read_metrics_json(d)),
+            1);
+  EXPECT_NE(missing.str().find("only in"), std::string::npos);
+}
+
+TEST(InspectTest, ShardFoldedMetricsCompareCleanAgainstSingleRun) {
+  std::atomic<int> runs{0};
+  const report::SweepRegistry registry = counting_registry(&runs);
+  const std::string root = temp_path("dist_inspect_fold");
+  std::filesystem::remove_all(root);
+
+  SweepOptions single = grid_options(root + "/single");
+  single.metrics_path = root + "/single/metrics.json";
+  std::ostringstream out, err;
+  ASSERT_EQ(run_sweeps(registry, single, out, err), 0) << err.str();
+
+  std::vector<MetricsFile> shard_files;
+  for (int shard = 0; shard < 2; ++shard) {
+    SweepOptions opts = grid_options(root + "/shard" + std::to_string(shard));
+    opts.shard = parse_shard_spec(std::to_string(shard) + "/2");
+    opts.metrics_path = opts.out_dir + "/metrics.json";
+    ASSERT_EQ(run_sweeps(registry, opts, out, err), 0) << err.str();
+    shard_files.push_back(read_metrics_json(opts.metrics_path));
+  }
+
+  // Every counter-class value — kernel counters, series buckets, sketch
+  // quantiles — folds to exactly the single-process run's. Timing-class
+  // values may differ; compare_metrics excludes them from the verdict.
+  std::ostringstream cmp;
+  const int rc = compare_metrics(cmp, "folded", fold_metrics(shard_files),
+                                 "single", read_metrics_json(single.metrics_path));
+  EXPECT_EQ(rc, 0) << cmp.str();
+  EXPECT_NE(cmp.str().find("counters identical"), std::string::npos);
+  std::filesystem::remove_all(root);
+}
+
+TEST(InspectTest, TraceSummaryReadsAnExportedTrace) {
+  std::atomic<int> runs{0};
+  const report::SweepRegistry registry = counting_registry(&runs);
+  const std::string root = temp_path("dist_inspect_trace");
+  std::filesystem::remove_all(root);
+  SweepOptions opts = grid_options(root + "/out");
+  opts.trace_dir = root + "/traces";
+  std::ostringstream out, err;
+  ASSERT_EQ(run_sweeps(registry, opts, out, err), 0) << err.str();
+
+  InspectOptions o;
+  o.trace_path = root + "/traces/grid-cell0.json";
+  std::ostringstream report;
+  EXPECT_EQ(run_inspect(o, report), 0);
+  const std::string text = report.str();
+  EXPECT_NE(text.find("schema \"mtr-trace-1\""), std::string::npos) << text;
+  EXPECT_NE(text.find("spans (X)"), std::string::npos);
+  EXPECT_NE(
+      text.find("event budget: spans + instants == recorded - dropped + 1"),
+      std::string::npos)
+      << text;
+  // counting_registry's factories return nullptr, so every run is a
+  // baseline run and the category census says so.
+  EXPECT_NE(text.find("categories:"), std::string::npos);
+  EXPECT_NE(text.find("baseline"), std::string::npos);
+  std::filesystem::remove_all(root);
 }
 
 }  // namespace

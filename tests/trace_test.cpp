@@ -215,6 +215,104 @@ TEST(SweepMetricsTest, MergeSumsCountsAndMaxesStraggler) {
   EXPECT_DOUBLE_EQ(a.max_cell_seconds, 0.7);
 }
 
+// --- time series & telemetry ------------------------------------------------------
+
+TEST(TimeSeriesTest, SamplesAggregateExactlyWithinOneBucket) {
+  TimeSeries s;
+  EXPECT_TRUE(s.empty());
+  s.sample(0, 5);
+  s.sample(100, -3);
+  s.sample(TimeSeries::kBaseWidth - 1, 10);
+  EXPECT_EQ(s.width(), TimeSeries::kBaseWidth);  // never halved
+  ASSERT_EQ(s.size(), 1u);
+  const SeriesBucket& b = s.bucket(0);
+  EXPECT_EQ(b.count, 3u);
+  EXPECT_EQ(b.min, -3);
+  EXPECT_EQ(b.max, 10);
+  EXPECT_EQ(b.sum, 12);
+  EXPECT_EQ(s.samples(), 3u);
+}
+
+TEST(TimeSeriesTest, HalvesResolutionExactlyWhenSampleLandsPastTheEnd) {
+  TimeSeries s;
+  for (std::uint64_t i = 0; i < TimeSeries::kCapacity; ++i)
+    s.sample(i * TimeSeries::kBaseWidth, static_cast<std::int64_t>(i));
+  EXPECT_EQ(s.width(), TimeSeries::kBaseWidth);
+  EXPECT_EQ(s.size(), TimeSeries::kCapacity);
+
+  s.sample(TimeSeries::kCapacity * TimeSeries::kBaseWidth, 99);
+  EXPECT_EQ(s.width(), 2 * TimeSeries::kBaseWidth);
+  EXPECT_EQ(s.size(), TimeSeries::kCapacity / 2 + 1);
+  // Adjacent pairs merged losslessly: bucket 0 now covers samples 0 and 1.
+  EXPECT_EQ(s.bucket(0).count, 2u);
+  EXPECT_EQ(s.bucket(0).min, 0);
+  EXPECT_EQ(s.bucket(0).max, 1);
+  EXPECT_EQ(s.bucket(0).sum, 1);
+  EXPECT_EQ(s.bucket(TimeSeries::kCapacity / 2).count, 1u);
+  EXPECT_EQ(s.bucket(TimeSeries::kCapacity / 2).sum, 99);
+  EXPECT_EQ(s.samples(), TimeSeries::kCapacity + 1);
+}
+
+TEST(TimeSeriesTest, MergeEqualsSingleStreamForAnySplitAndEitherOrder) {
+  // Deterministic pseudo-random samples spanning enough virtual time to
+  // force several halvings on the combined stream.
+  std::uint64_t x = 12345;
+  const auto next = [&x] {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    return x;
+  };
+  TimeSeries whole, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t t = next() % (200 * TimeSeries::kBaseWidth);
+    const std::int64_t v = static_cast<std::int64_t>(next() % 1000) - 500;
+    whole.sample(t, v);
+    (i % 3 == 0 ? a : b).sample(t, v);
+  }
+  // The two shards halved at different points, yet the fold is exact.
+  TimeSeries ab = a;
+  ab.merge(b);
+  EXPECT_EQ(ab, whole);
+  TimeSeries ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ba, whole);
+  // Merging an empty series is the identity.
+  TimeSeries id = whole;
+  id.merge(TimeSeries{});
+  EXPECT_EQ(id, whole);
+  TimeSeries onto_empty;
+  onto_empty.merge(whole);
+  EXPECT_EQ(onto_empty, whole);
+}
+
+TEST(TimeSeriesTest, LoadRebuildsTheExactBucketLayout) {
+  TimeSeries s;
+  for (std::uint64_t i = 0; i < 300; ++i)
+    s.sample(i * TimeSeries::kBaseWidth, static_cast<std::int64_t>(i % 7));
+  std::vector<SeriesBucket> rows;
+  for (std::size_t i = 0; i < s.size(); ++i) rows.push_back(s.bucket(i));
+  TimeSeries rebuilt;
+  rebuilt.load(s.width(), rows);  // what the metrics.json parser does
+  EXPECT_EQ(rebuilt, s);
+}
+
+TEST(TelemetryTest, MergeFoldsEverySeriesAndSketch) {
+  Telemetry a, b;
+  EXPECT_TRUE(a.empty());
+  a.run_queue.sample(0, 1);
+  a.billing_error.add(0.5);
+  b.run_queue.sample(0, 3);
+  b.free_frames.sample(0, 100);
+  b.billing_error.add(-0.5);
+  b.charge_batch.add(16.0);
+  a.merge(b);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a.run_queue.samples(), 2u);
+  EXPECT_EQ(a.run_queue.bucket(0).sum, 4);
+  EXPECT_EQ(a.free_frames.samples(), 1u);
+  EXPECT_EQ(a.billing_error.count(), 2u);
+  EXPECT_EQ(a.charge_batch.count(), 1u);
+}
+
 TEST(MetricsJson, WriterEmitsSchemaAndFullCounterBlock) {
   SweepMetrics s;
   s.sweep = "fig04";
@@ -224,10 +322,12 @@ TEST(MetricsJson, WriterEmitsSchemaAndFullCounterBlock) {
   s.phases.add("grid", 1, 0.125);
   s.pool.threads = 2;
   s.pool.busy_seconds = {0.5, 0.25};
+  s.telemetry.run_queue.sample(0, 2);
+  s.telemetry.billing_error.add(0.25);
   std::ostringstream os;
   write_metrics_json(os, {s}, /*shards=*/3);
   const std::string out = os.str();
-  EXPECT_NE(out.find("\"schema\": 1"), std::string::npos);
+  EXPECT_NE(out.find("\"schema\": 2"), std::string::npos);
   EXPECT_NE(out.find("\"record\": \"metrics\""), std::string::npos);
   EXPECT_NE(out.find("\"shards\": 3"), std::string::npos);
   EXPECT_NE(out.find("\"sweep\": \"fig04\""), std::string::npos);
@@ -240,6 +340,13 @@ TEST(MetricsJson, WriterEmitsSchemaAndFullCounterBlock) {
   });
   EXPECT_NE(out.find("{\"name\": \"grid\", \"count\": 1"), std::string::npos);
   EXPECT_NE(out.find("\"threads\": 2"), std::string::npos);
+  // v2 telemetry sections: every series and sketch appears even when
+  // empty, with [count, min, max, sum] integer bucket rows.
+  EXPECT_NE(out.find("\"run_queue\": {\"width\": "), std::string::npos);
+  EXPECT_NE(out.find("\"buckets\": [[1, 2, 2, 2]]"), std::string::npos);
+  EXPECT_NE(out.find("\"event_depth\": {\"width\": "), std::string::npos);
+  EXPECT_NE(out.find("\"billing_error\": {\"count\": 1"), std::string::npos);
+  EXPECT_NE(out.find("\"cell_seconds\": {\"count\": 0"), std::string::npos);
   EXPECT_EQ(out.back(), '\n');
 }
 
@@ -288,6 +395,54 @@ TEST(PerfettoExport, NoCounterTrackWithoutAVictim) {
   EXPECT_EQ(os.str().find("\"ph\": \"C\""), std::string::npos);
 }
 
+TEST(PerfettoExport, CategoryTagsEventsOnlyWhenSet) {
+  Tracer t(8);
+  t.instant(Cycles{100}, "switch-out", Pid{2}, Tgid{2});
+  ExportInfo info;
+  info.label = "unit";
+  info.cpu = CpuHz{1'000'000};
+  info.hz = TimerHz{250};
+
+  std::ostringstream plain;
+  write_perfetto_json(plain, t, info);
+  EXPECT_EQ(plain.str().find("\"cat\""), std::string::npos);
+
+  info.category = "spin-sleep";
+  std::ostringstream tagged;
+  write_perfetto_json(tagged, t, info);
+  EXPECT_NE(tagged.str().find("\"cat\": \"spin-sleep\""), std::string::npos);
+  // The category rides inside each event object; the terminator is still
+  // the last element and "name" its last key.
+  EXPECT_NE(tagged.str().find("\"name\": \"trace-export\"}\n]"),
+            std::string::npos);
+}
+
+TEST(PerfettoExport, TelemetrySeriesBecomeCounterTracks) {
+  Tracer t(8);
+  t.instant(Cycles{100}, "switch-out", Pid{2}, Tgid{2});
+  ExportInfo info;
+  info.label = "unit";
+  info.cpu = CpuHz{1'000'000};
+  info.hz = TimerHz{250};
+
+  Telemetry tel;
+  tel.run_queue.sample(0, 3);
+  tel.run_queue.sample(1, 5);
+  std::ostringstream os;
+  write_perfetto_json(os, t, info, &tel);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"name\": \"series:run_queue\""), std::string::npos);
+  EXPECT_NE(out.find("\"avg\": 4"), std::string::npos);
+  EXPECT_NE(out.find("\"max\": 5"), std::string::npos);
+  // Empty series contribute no track.
+  EXPECT_EQ(out.find("series:free_frames"), std::string::npos);
+
+  // Null telemetry (the default) emits none at all.
+  std::ostringstream off;
+  write_perfetto_json(off, t, info);
+  EXPECT_EQ(off.str().find("series:"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mtr::trace
 
@@ -321,6 +476,13 @@ TEST(TracedExperiment, StatsOnlyRunMatchesUntracedResultsExactly) {
   EXPECT_EQ(plain.kstats.timer_ticks, 0u);
   // Stats-only runs record no trace events.
   EXPECT_EQ(traced.trace_events_recorded, 0u);
+
+  // Telemetry rides the same gate: populated when observing, untouched
+  // otherwise.
+  EXPECT_FALSE(traced.telemetry.empty());
+  EXPECT_GT(traced.telemetry.runnable.samples(), 0u);
+  EXPECT_GT(traced.telemetry.billing_error.count(), 0u);
+  EXPECT_TRUE(plain.telemetry.empty());
 }
 
 TEST(TracedExperiment, TraceFileIsWrittenAndWellFormed) {
