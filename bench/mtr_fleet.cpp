@@ -1,0 +1,17 @@
+// mtr_fleet — the self-healing shard supervisor. Launches mtr_sweep
+// shard subprocesses, watches their status-file heartbeats, restarts
+// failed shards under --resume with capped exponential backoff, and
+// merges the shard outputs once the fleet completes. See
+// src/dist/fleet.hpp for the supervision and fault-injection rules.
+//
+//   mtr_fleet --all --shards 4 --out-dir fleet/
+//   mtr_fleet fig04 --shards 8 --out-dir fleet/ --max-retries 3
+//   mtr_fleet --all --shards 4 --out-dir fleet/
+//       --fault-inject 0:crash-after-cell=2,torn-tail=9
+//       --fault-inject 2:sigkill-after-ms=500
+//   (one command line; wrapped here for width — a chaos drill)
+#include "dist/fleet.hpp"
+
+int main(int argc, char** argv) {
+  return mtr::dist::fleet_main(argc, argv);
+}

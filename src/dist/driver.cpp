@@ -3,10 +3,12 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <stdexcept>
 
+#include "dist/metrics.hpp"
 #include "dist/records.hpp"
 #include "dist/resume.hpp"
 #include "dist/status.hpp"
@@ -41,7 +43,12 @@ constexpr const char* kUsage =
     "  --metrics PATH     write sweep metrics (kernel counters, phase\n"
     "                     timers, pool utilization, telemetry series and\n"
     "                     quantile sketches) as schema-versioned JSON;\n"
-    "                     shard files fold with mtr_merge --metrics\n"
+    "                     shard files fold with mtr_merge --metrics. The\n"
+    "                     file is republished (atomic rename) after every\n"
+    "                     cell, one cell behind the records; --resume\n"
+    "                     trusts only cells that snapshot covers and\n"
+    "                     reruns the rest, so folded counters stay exact\n"
+    "                     across crashes\n"
     "  --status-file PATH rewrite PATH (atomic rename) after every cell\n"
     "                     with a JSON heartbeat: cells done/total, elapsed,\n"
     "                     ETA, per-worker busy fractions\n"
@@ -60,6 +67,11 @@ constexpr const char* kUsage =
     "                     killed run left, and skip cells already complete\n"
     "  --dry-run          print the selected sweeps, cell counts, and shard\n"
     "                     ownership, then exit without running anything\n"
+    "  --fault-inject S   arm a deterministic fault schedule (chaos tests):\n"
+    "                     crash-after-cell=K,torn-tail=B,sigkill-after-ms=T,\n"
+    "                     fail-flush-at=J — any subset. Overrides the\n"
+    "                     MTR_FAULT_INJECT environment variable, which\n"
+    "                     mtr_fleet uses to target one shard subprocess\n"
     "  --quiet            suppress the ASCII figure rendering and the\n"
     "                     per-cell progress lines (begin/finish summaries\n"
     "                     still print; --no-progress silences those too)\n"
@@ -101,6 +113,26 @@ void create_parent_dirs(const std::string& path) {
   if (!parent.empty()) std::filesystem::create_directories(parent);
 }
 
+/// Publishes a metrics document the same way the status heartbeat is
+/// published: temp file + atomic rename, so a reader (or a resume after a
+/// kill) sees a complete document or nothing — never a torn prefix.
+void publish_metrics_file(const std::string& path,
+                          const std::vector<trace::SweepMetrics>& sweeps) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open metrics file: " + tmp);
+    trace::write_metrics_json(out, sweeps, /*shards=*/1);
+    out.flush();
+    if (!out) throw std::runtime_error("cannot write metrics file: " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec)
+    throw std::runtime_error("cannot publish metrics file " + path + ": " +
+                             ec.message());
+}
+
 }  // namespace
 
 SweepOptions default_sweep_options() {
@@ -131,6 +163,7 @@ SweepOptions default_sweep_options() {
   }
   if (const char* s = env("MTR_BENCH_PROGRESS"))
     o.progress = std::string_view(s) != "0";
+  if (const char* s = env("MTR_FAULT_INJECT")) o.fault = parse_fault_plan(s);
   return o;
 }
 
@@ -165,6 +198,8 @@ SweepOptions parse_sweep_args(int argc, const char* const* argv) {
       const double v = parse_double_flag(arg, value(i, arg));
       if (v <= 0.0) bad_usage("--scale must be > 0");
       o.scale = v;
+    } else if (arg == "--fault-inject") {
+      o.fault = parse_fault_plan(value(i, arg));
     } else if (arg == "--engine") {
       const std::string v = value(i, arg);
       if (v == "event") o.event_driven = true;
@@ -250,12 +285,55 @@ int run_sweeps(const report::SweepRegistry& registry, const SweepOptions& option
     if (!options.status_file.empty()) create_parent_dirs(options.status_file);
   }
 
+  const bool want_metrics = !options.metrics_path.empty() && !options.dry_run;
+
+  // The armed fault schedule (inert when --fault-inject/MTR_FAULT_INJECT is
+  // absent, and under --dry-run, which opens no sinks to tear).
+  FaultInjector injector(options.dry_run ? FaultPlan{} : options.fault);
+  injector.arm_sigkill();
+  std::optional<report::ScopedSinkFlushHook> flush_hook;
+  if (injector.has_flush_fault())
+    flush_hook.emplace(
+        [&injector](const char* kind) { injector.on_sink_flush(kind); });
+
+  // Crash-consistent metrics resume: the per-cell snapshot published below
+  // is the source of truth for which cells' counters are already folded.
+  // Completed record cells beyond its coverage roll back and rerun (the
+  // records come out byte-identical either way; the counters fold once).
+  MetricsFile metrics_base;
+  bool have_metrics_base = false;
+  if (want_metrics && options.resume &&
+      std::filesystem::exists(options.metrics_path)) {
+    metrics_base = read_metrics_json(options.metrics_path);
+    have_metrics_base = true;
+  }
+  const auto base_for =
+      [&](const std::string& name) -> const trace::SweepMetrics* {
+    if (!have_metrics_base) return nullptr;
+    for (const trace::SweepMetrics& m : metrics_base.sweeps)
+      if (m.sweep == name) return &m;
+    return nullptr;
+  };
+
   // One resume index for shared files (they span every selected sweep);
   // out-dir files are per sweep and get their own index inside the loop.
   ResumeIndex shared_resume;
   if (options.resume && shared_sinks) {
-    shared_resume =
-        ResumeIndex::scan(options.csv_path, options.jsonl_path, options.seeds);
+    std::optional<std::uint64_t> cap;
+    if (want_metrics) {
+      std::uint64_t covered = 0;
+      for (const trace::SweepMetrics& m : metrics_base.sweeps)
+        covered += m.cells;
+      cap = covered;
+    }
+    shared_resume = ResumeIndex::scan(options.csv_path, options.jsonl_path,
+                                      options.seeds, cap);
+    if (shared_resume.metrics_overrun()) {
+      err << "mtr_sweep: resume: metrics snapshot is ahead of the records — "
+             "rerunning everything against a fresh fold\n";
+      have_metrics_base = false;
+      metrics_base = MetricsFile{};
+    }
     if (!options.dry_run) shared_resume.truncate_files();
     err << "mtr_sweep: resume: " << shared_resume.size()
         << " cell(s) already complete\n";
@@ -275,7 +353,6 @@ int run_sweeps(const report::SweepRegistry& registry, const SweepOptions& option
   // stream.
   if (options.quiet) progress.set_per_cell(false);
 
-  const bool want_metrics = !options.metrics_path.empty() && !options.dry_run;
   std::vector<trace::SweepMetrics> all_metrics;
 
   for (const report::SweepSpec* spec : selected) {
@@ -289,7 +366,16 @@ int run_sweeps(const report::SweepRegistry& registry, const SweepOptions& option
     if (options.resume && shared_sinks) {
       resume = &shared_resume;
     } else if (options.resume) {
-      sweep_resume = ResumeIndex::scan(dir_csv, dir_jsonl, options.seeds);
+      std::optional<std::uint64_t> cap;
+      if (want_metrics) {
+        const trace::SweepMetrics* base = base_for(spec->name);
+        cap = base != nullptr ? base->cells : 0;
+      }
+      sweep_resume = ResumeIndex::scan(dir_csv, dir_jsonl, options.seeds, cap);
+      if (sweep_resume.metrics_overrun())
+        err << "mtr_sweep: resume: " << spec->name
+            << ": metrics snapshot is ahead of the records — rerunning "
+               "against a fresh fold\n";
       if (!options.dry_run) sweep_resume.truncate_files();
       if (sweep_resume.size() > 0)
         err << "mtr_sweep: resume: " << spec->name << ": " << sweep_resume.size()
@@ -317,6 +403,17 @@ int run_sweeps(const report::SweepRegistry& registry, const SweepOptions& option
         multi.add(std::make_unique<report::JsonlSink>(dir_jsonl, mode));
       }
     }
+    if (!options.dry_run && injector.active()) {
+      std::vector<std::string> fault_files;
+      if (!options.csv_path.empty()) fault_files.push_back(options.csv_path);
+      if (!options.jsonl_path.empty()) fault_files.push_back(options.jsonl_path);
+      if (!dir_csv.empty()) fault_files.push_back(dir_csv);
+      if (!dir_jsonl.empty()) fault_files.push_back(dir_jsonl);
+      injector.set_active_files(std::move(fault_files));
+      // crash-after-cell=0 tears down right here, leaving the freshly
+      // opened (possibly zero-byte) sink files for resume to classify.
+      if (spec == selected.front()) injector.on_sinks_open();
+    }
 
     report::SweepContext ctx;
     ctx.scale = options.scale;
@@ -334,12 +431,38 @@ int run_sweeps(const report::SweepRegistry& registry, const SweepOptions& option
     ctx.trace_dir = options.dry_run ? std::string() : options.trace_dir;
     trace::SweepMetrics sweep_metrics;
     sweep_metrics.sweep = spec->name;
+    if (want_metrics && resume != nullptr && !resume->metrics_overrun()) {
+      // Seed the fold with the counters the snapshot already covers; the
+      // gate skips exactly those cells, so each cell folds exactly once.
+      if (const trace::SweepMetrics* base = base_for(spec->name))
+        sweep_metrics = *base;
+    }
     ctx.metrics = want_metrics ? &sweep_metrics : nullptr;
+
+    // The crash-consistent metrics republish. Deliberately one cell
+    // behind: it snapshots the fold as it stood BEFORE the cell that
+    // triggered the observer, and publishes before the status heartbeat
+    // and before any injected crash fires. A kill at any instant
+    // therefore leaves on-disk coverage ≤ the clean record prefix, which
+    // is exactly what ResumeIndex::scan's metrics_cells cap assumes.
+    std::function<void(const core::CellEvent&)> metrics_observer;
+    if (want_metrics) {
+      auto published = std::make_shared<trace::SweepMetrics>(sweep_metrics);
+      metrics_observer = [path = options.metrics_path, &all_metrics, published,
+                          current = &sweep_metrics](const core::CellEvent&) {
+        std::vector<trace::SweepMetrics> snapshot = all_metrics;
+        if (published->cells > 0) snapshot.push_back(*published);
+        publish_metrics_file(path, snapshot);
+        *published = *current;
+      };
+    }
+
+    std::function<void(const core::CellEvent&)> status_observer;
     if (!options.status_file.empty() && !options.dry_run) {
       // The observer runs after the progress fold, so done() already
       // counts the cell that triggered it.
-      ctx.observer = [path = options.status_file, prog = &progress,
-                      sweep = spec->name](const core::CellEvent& ev) {
+      status_observer = [path = options.status_file, prog = &progress,
+                         sweep = spec->name](const core::CellEvent& ev) {
         StatusSnapshot s;
         s.sweep = sweep;
         s.cells_done = prog->done();
@@ -354,6 +477,17 @@ int run_sweeps(const report::SweepRegistry& registry, const SweepOptions& option
             s.worker_busy_fraction.push_back(b / ev.pool_elapsed_seconds);
         }
         write_status_file(path, s);
+      };
+    }
+    if (metrics_observer || status_observer || injector.active()) {
+      // Order is the crash-consistency contract: metrics snapshot first,
+      // heartbeat second, injected crash last — a real kill can land
+      // between any two and resume still reconstructs exactly.
+      ctx.observer = [metrics_observer, status_observer,
+                      inj = &injector](const core::CellEvent& ev) {
+        if (metrics_observer) metrics_observer(ev);
+        if (status_observer) status_observer(ev);
+        inj->on_cell_complete();
       };
     }
     if (options.shard.sharded() || resume != nullptr) {
@@ -375,13 +509,12 @@ int run_sweeps(const report::SweepRegistry& registry, const SweepOptions& option
   }
 
   if (want_metrics) {
-    std::ofstream mf(options.metrics_path, std::ios::binary);
-    if (!mf) {
-      err << "mtr_sweep: cannot open metrics file: " << options.metrics_path
-          << '\n';
+    try {
+      publish_metrics_file(options.metrics_path, all_metrics);
+    } catch (const std::exception& e) {
+      err << "mtr_sweep: " << e.what() << '\n';
       return 1;
     }
-    trace::write_metrics_json(mf, all_metrics, /*shards=*/1);
   }
 
   if (options.dry_run) {

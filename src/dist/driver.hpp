@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "dist/fault.hpp"
 #include "dist/shard.hpp"
 #include "report/sweep.hpp"
 
@@ -41,6 +42,12 @@ struct SweepOptions {
   /// Unset leaves the KernelConfig default. Not a grid axis: records carry
   /// no engine column, so runs differing only here are byte-comparable.
   std::optional<bool> event_driven;
+
+  /// --fault-inject SPEC (or MTR_FAULT_INJECT, which the flag overrides):
+  /// deterministic crash schedule for chaos testing — see dist/fault.hpp.
+  /// The env override exists so mtr_fleet can arm faults in one targeted
+  /// shard subprocess without the spec leaking into restarted attempts.
+  FaultPlan fault;
 };
 
 /// Options with every default resolved from the environment

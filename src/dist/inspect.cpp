@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -15,6 +16,7 @@
 #include "common/stats.hpp"
 #include "dist/json.hpp"
 #include "dist/records.hpp"
+#include "dist/status.hpp"
 #include "trace/series.hpp"
 
 namespace mtr::dist {
@@ -34,9 +36,15 @@ modes (exactly one):
                    exits 1 when any counter-class value differs (timing-
                    class values -- wall clocks, phases, pool, the
                    cell_seconds sketch -- are reported, never fatal)
+  --status-file F  render a mtr_sweep --status-file heartbeat: sweep,
+                   cells done/total, elapsed, ETA, worker busy fractions,
+                   heartbeat age; exits 1 when the heartbeat is stale
 
 options:
   --top N          with --jsonl: how many cells to print (default 10)
+  --stale-after S  with --status-file: seconds of heartbeat age that count
+                   as stale (default 30, the same threshold the mtr_fleet
+                   supervisor kills hung shards on)
   --help           this text
 )";
 
@@ -422,6 +430,41 @@ int run_top_cells(const InspectOptions& options, std::ostream& out) {
   return 0;
 }
 
+int run_status_report(const InspectOptions& options, std::ostream& out) {
+  // A shard that died before its first heartbeat (or whose status file was
+  // cleaned up) looks exactly like a stale one to a monitor: report STALE
+  // and exit 1 rather than erroring, so polling scripts need one code path.
+  if (!std::filesystem::exists(options.status_path)) {
+    out << "heartbeat: " << options.status_path
+        << " does not exist -- STALE\n";
+    return 1;
+  }
+  const StatusSnapshot s = read_status_file(options.status_path);
+  out << "status: sweep " << s.sweep << ", cell " << s.cells_done << "/"
+      << s.cells_total << ", elapsed " << fmt6(s.elapsed_seconds) << "s";
+  if (s.eta_seconds) out << ", eta " << fmt6(*s.eta_seconds) << "s";
+  out << "\n";
+  if (!s.worker_busy_fraction.empty()) {
+    out << "workers:";
+    for (const double f : s.worker_busy_fraction)
+      out << " " << fmt6(f * 100.0) << "%";
+    out << "\n";
+  }
+  const double threshold =
+      options.stale_after > 0.0 ? options.stale_after : kDefaultStaleAfterSeconds;
+  const std::optional<double> age = status_file_age_seconds(options.status_path);
+  if (!age) {
+    // read_status_file succeeded moments ago, so only a racing delete
+    // lands here; treat it like a stale heartbeat.
+    out << "heartbeat: file vanished -- STALE\n";
+    return 1;
+  }
+  const bool stale = heartbeat_stale(*age, threshold);
+  out << "heartbeat: " << fmt6(*age) << "s old (stale after "
+      << fmt6(threshold) << "s) -- " << (stale ? "STALE" : "alive") << "\n";
+  return stale ? 1 : 0;
+}
+
 }  // namespace
 
 int compare_metrics(std::ostream& out, const std::string& name_a,
@@ -470,12 +513,14 @@ InspectOptions parse_inspect_args(int argc, const char* const* argv) {
     return argv[++i];
   };
   bool top_set = false;
+  bool stale_set = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") o.help = true;
     else if (arg == "--metrics") o.metrics_path = value(i, arg);
     else if (arg == "--trace") o.trace_path = value(i, arg);
     else if (arg == "--jsonl") o.jsonl_path = value(i, arg);
+    else if (arg == "--status-file") o.status_path = value(i, arg);
     else if (arg == "--compare") {
       o.compare.push_back(value(i, arg));
       o.compare.push_back(value(i, arg));
@@ -485,6 +530,14 @@ InspectOptions parse_inspect_args(int argc, const char* const* argv) {
       if (!n || *n == 0) usage_error("--top expects a positive integer, got '" + v + "'");
       o.top = *n;
       top_set = true;
+    } else if (arg == "--stale-after") {
+      const std::string v = value(i, arg);
+      const std::optional<double> s = parse_f64(v);
+      if (!s || *s <= 0.0)
+        usage_error("--stale-after expects a positive number of seconds, "
+                    "got '" + v + "'");
+      o.stale_after = *s;
+      stale_set = true;
     } else {
       usage_error("unknown argument '" + arg + "'");
     }
@@ -492,12 +545,15 @@ InspectOptions parse_inspect_args(int argc, const char* const* argv) {
   if (o.help) return o;
   const int modes = (o.metrics_path.empty() ? 0 : 1) +
                     (o.trace_path.empty() ? 0 : 1) +
-                    (o.jsonl_path.empty() ? 0 : 1) + (o.compare.empty() ? 0 : 1);
+                    (o.jsonl_path.empty() ? 0 : 1) + (o.compare.empty() ? 0 : 1) +
+                    (o.status_path.empty() ? 0 : 1);
   if (modes != 1)
     usage_error(modes == 0 ? "no mode selected"
                            : "more than one mode selected");
   if (top_set && o.jsonl_path.empty())
     usage_error("--top only applies to --jsonl");
+  if (stale_set && o.status_path.empty())
+    usage_error("--stale-after only applies to --status-file");
   return o;
 }
 
@@ -512,6 +568,7 @@ int run_inspect(const InspectOptions& options, std::ostream& out) {
   }
   if (!options.trace_path.empty()) return run_trace_summary(options, out);
   if (!options.jsonl_path.empty()) return run_top_cells(options, out);
+  if (!options.status_path.empty()) return run_status_report(options, out);
   return compare_metrics(out, options.compare[0],
                          read_metrics_json(options.compare[0]),
                          options.compare[1],

@@ -31,6 +31,11 @@ struct InspectOptions {
   std::string jsonl_path;    // --jsonl FILE: rank cells by billing gap
   std::uint64_t top = 10;    // --top N (with --jsonl)
   std::vector<std::string> compare;  // --compare A B: diff two metrics files
+  std::string status_path;   // --status-file FILE: render a heartbeat
+  /// --stale-after S (with --status-file): heartbeat age beyond which the
+  /// shard counts as hung. The default is the same constant the mtr_fleet
+  /// supervisor kills on, so inspector and supervisor never disagree.
+  double stale_after = 0.0;  // 0 = kDefaultStaleAfterSeconds
 };
 
 /// Parses argv; throws std::runtime_error with a usage message on
@@ -62,7 +67,8 @@ int compare_metrics(std::ostream& out, const std::string& name_a,
                     const MetricsFile& b);
 
 /// Runs the selected mode. Returns a process exit code (0 ok, 1 compare
-/// found counter deltas, 2 usage error surfaced by inspect_main).
+/// found counter deltas or --status-file found a stale heartbeat, 2 usage
+/// error surfaced by inspect_main).
 int run_inspect(const InspectOptions& options, std::ostream& out);
 
 /// The whole CLI: parse + run + error reporting. `main` forwards here.

@@ -32,7 +32,16 @@ constexpr const char* kUsage =
     "  --csv OUT.csv      merged CSV destination (parent dirs are created)\n"
     "  --jsonl OUT.jsonl  merged JSONL destination\n"
     "  --metrics OUT.json folded metrics destination\n"
-    "  --help             print this message\n";
+    "  --allow-gaps       merge the cells that are present even when the\n"
+    "                     cell-index space has gaps (a failed shard's cells\n"
+    "                     are simply absent); the gap list is reported\n"
+    "  --help             print this message\n"
+    "\n"
+    "Exit codes: 0 merged and verified; 1 output write failure; 2 usage\n"
+    "error or corrupt/unusable input (torn tail, schema mixing, aggregate\n"
+    "recomputation mismatch — reports name file, line, and byte offset);\n"
+    "3 cell-index gap or duplicate cell (incomplete or overlapping shard\n"
+    "set; each file itself may be intact).\n";
 
 [[noreturn]] void bad_usage(const std::string& message) {
   throw std::runtime_error(message + "\n\n" + kUsage);
@@ -66,29 +75,34 @@ struct GatheredBlocks {
 
 /// Collects every input's blocks, rejecting incomplete shards, empty
 /// inputs, duplicates, gaps, and inputs whose schema versions disagree.
+/// `allow_gaps` turns gaps (and an all-empty input set) into entries in
+/// `missing_out` instead of errors — the partial-fleet merge path.
 GatheredBlocks gather_blocks(const std::vector<std::string>& inputs,
-                             bool jsonl) {
+                             bool jsonl, bool allow_gaps = false,
+                             std::vector<std::uint64_t>* missing_out = nullptr) {
   GatheredBlocks out;
   auto& cells = out.cells;
   std::string schema_source;
   for (const std::string& path : inputs) {
     FileScan scan = jsonl ? scan_jsonl(path) : scan_csv(path);
     if (!scan.clean)
-      throw std::runtime_error(
+      throw MergeError(
+          MergeFault::kCorrupt,
           scan.tail_error +
-          " — the shard looks killed mid-write; finish it with --resume "
-          "(or re-run it) before merging");
+              " — the shard looks killed mid-write; finish it with --resume "
+              "(or re-run it) before merging");
     if (scan.schema != 0) {
       if (out.schema == 0) {
         out.schema = scan.schema;
         schema_source = path;
       } else if (out.schema != scan.schema) {
-        throw std::runtime_error(
+        throw MergeError(
+            MergeFault::kCorrupt,
             path + ": records carry schema v" + std::to_string(scan.schema) +
-            " but " + schema_source + " carries v" +
-            std::to_string(out.schema) +
-            " — shards of one sweep never mix versions; merge each "
-            "generation separately");
+                " but " + schema_source + " carries v" +
+                std::to_string(out.schema) +
+                " — shards of one sweep never mix versions; merge each "
+                "generation separately");
       }
     }
     // A blockless file is fine: a shard can own zero cells of a small
@@ -98,14 +112,18 @@ GatheredBlocks gather_blocks(const std::vector<std::string>& inputs,
           cells.emplace(b.cell_index, std::make_pair(std::move(b), path));
       if (!inserted) {
         const CellBlock& first = it->second.first;
-        throw std::runtime_error("duplicate " + describe(first) + " in " +
-                                 it->second.second + " and " + path +
-                                 " — overlapping shards?");
+        throw MergeError(MergeFault::kGapOrDuplicate,
+                         "duplicate " + describe(first) + " in " +
+                             it->second.second + " and " + path +
+                             " — overlapping shards?");
       }
     }
   }
-  if (cells.empty())
-    throw std::runtime_error("no complete cells to merge in any input");
+  if (cells.empty()) {
+    if (allow_gaps) return out;  // every surviving shard owned zero cells
+    throw MergeError(MergeFault::kCorrupt,
+                     "no complete cells to merge in any input");
+  }
 
   // Every cell of one invocation carries the same replicate seed count, so
   // a block with fewer runs — e.g. the unprovable final CSV block of a
@@ -127,31 +145,38 @@ GatheredBlocks gather_blocks(const std::vector<std::string>& inputs,
   if (reference != nullptr) {
     for (const auto& [index, entry] : cells)
       if (entry.first.seeds.size() != reference->seeds.size())
-        throw std::runtime_error(
+        throw MergeError(
+            MergeFault::kCorrupt,
             entry.second + ": " + describe(entry.first) + " has " +
-            std::to_string(entry.first.seeds.size()) + " run record(s) but " +
-            describe(*reference) + " has " +
-            std::to_string(reference->seeds.size()) +
-            " — incomplete shard output? finish it with --resume before "
-            "merging");
+                std::to_string(entry.first.seeds.size()) +
+                " run record(s) but " + describe(*reference) + " has " +
+                std::to_string(reference->seeds.size()) +
+                " — incomplete shard output? finish it with --resume before "
+                "merging");
   }
 
   // Contiguity over [min, max]: a missing index means a shard was left out.
-  if (!cells.empty()) {
+  {
     std::vector<std::uint64_t> missing;
     std::uint64_t expect = cells.begin()->first;
     for (const auto& [index, block] : cells) {
-      while (expect < index && missing.size() <= 10) missing.push_back(expect++);
+      while (expect < index) missing.push_back(expect++);
       expect = index + 1;
     }
     if (!missing.empty()) {
-      std::string list;
-      for (std::size_t i = 0; i < missing.size() && i < 10; ++i)
-        list += (i ? ", " : "") + std::to_string(missing[i]);
-      if (missing.size() > 10) list += ", ...";
-      throw std::runtime_error(
-          "cell index gap — missing cell(s) " + list +
-          " — was a shard's output left out of the merge?");
+      if (allow_gaps) {
+        if (missing_out != nullptr)
+          missing_out->insert(missing_out->end(), missing.begin(),
+                              missing.end());
+      } else {
+        std::string list;
+        for (std::size_t i = 0; i < missing.size() && i < 10; ++i)
+          list += (i ? ", " : "") + std::to_string(missing[i]);
+        if (missing.size() > 10) list += ", ...";
+        throw MergeError(MergeFault::kGapOrDuplicate,
+                         "cell index gap — missing cell(s) " + list +
+                             " — was a shard's output left out of the merge?");
+      }
     }
   }
   return out;
@@ -180,24 +205,26 @@ std::string recompute_cell_line(const CellBlock& b, const std::string& path) {
     const std::string& line = b.run_lines[i];
     std::map<std::string, std::string> f;
     if (!parse_json_line(line, f))
-      throw std::runtime_error(run_line_at(path, b, i) +
-                               ": unparseable run record in " + describe(b));
+      throw MergeError(MergeFault::kCorrupt,
+                       run_line_at(path, b, i) + ": unparseable run record in " +
+                           describe(b));
     const auto workload = json_string(f, "workload");
     const auto source_ok = json_bool(f, "source_ok");
     if (!workload || !source_ok)
-      throw std::runtime_error(
-          run_line_at(path, b, i) + ": run record of " + describe(b) +
-          " is missing or has an invalid field '" +
-          (!workload ? "workload" : "source_ok") + "'");
+      throw MergeError(MergeFault::kCorrupt,
+                       run_line_at(path, b, i) + ": run record of " +
+                           describe(b) + " is missing or has an invalid field '" +
+                           (!workload ? "workload" : "source_ok") + "'");
     s.workload = *workload;  // constant within a cell
     s.source_ok = s.source_ok && *source_ok;
     for (report::CellStatSummary& st : s.stats) {
       const auto v = json_double(f, st.key);
       if (!v)
-        throw std::runtime_error(run_line_at(path, b, i) + ": run record of " +
-                                 describe(b) +
-                                 " is missing or has an invalid field '" +
-                                 st.key + "'");
+        throw MergeError(MergeFault::kCorrupt,
+                         run_line_at(path, b, i) + ": run record of " +
+                             describe(b) +
+                             " is missing or has an invalid field '" + st.key +
+                             "'");
       st.stats.add(*v);
     }
   }
@@ -230,6 +257,7 @@ MergeOptions parse_merge_args(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") o.help = true;
+    else if (arg == "--allow-gaps") o.allow_gaps = true;
     else if (arg == "--csv") o.csv_out = value(i, arg);
     else if (arg == "--jsonl") o.jsonl_out = value(i, arg);
     else if (arg == "--metrics") o.metrics_out = value(i, arg);
@@ -247,8 +275,10 @@ MergeOptions parse_merge_args(int argc, const char* const* argv) {
 }
 
 std::string merge_jsonl(const std::vector<std::string>& inputs,
-                        std::vector<std::uint64_t>* cell_indices) {
-  const auto& cells = gather_blocks(inputs, /*jsonl=*/true).cells;
+                        std::vector<std::uint64_t>* cell_indices,
+                        bool allow_gaps, std::vector<std::uint64_t>* missing) {
+  const auto& cells =
+      gather_blocks(inputs, /*jsonl=*/true, allow_gaps, missing).cells;
   std::string out;
   for (const auto& [index, entry] : cells) {
     const CellBlock& b = entry.first;
@@ -260,9 +290,10 @@ std::string merge_jsonl(const std::vector<std::string>& inputs,
     // what the shard wrote means the file was corrupted or hand-edited.
     const std::string cell_line = recompute_cell_line(b, entry.second);
     if (cell_line != b.cell_line + "\n")
-      throw std::runtime_error(
+      throw MergeError(
+          MergeFault::kCorrupt,
           entry.second + ": recomputed aggregate for " + describe(b) +
-          " does not match the recorded summary — corrupt shard output?");
+              " does not match the recorded summary — corrupt shard output?");
     out += cell_line;
     if (cell_indices) cell_indices->push_back(index);
   }
@@ -270,8 +301,10 @@ std::string merge_jsonl(const std::vector<std::string>& inputs,
 }
 
 std::string merge_csv(const std::vector<std::string>& inputs,
-                      std::vector<std::uint64_t>* cell_indices) {
-  const GatheredBlocks gathered = gather_blocks(inputs, /*jsonl=*/false);
+                      std::vector<std::uint64_t>* cell_indices,
+                      bool allow_gaps, std::vector<std::uint64_t>* missing) {
+  const GatheredBlocks gathered =
+      gather_blocks(inputs, /*jsonl=*/false, allow_gaps, missing);
   const auto& cells = gathered.cells;
   const std::uint64_t schema = gathered.schema;
   std::ostringstream os;
@@ -319,12 +352,16 @@ int run_merge(const MergeOptions& o, std::ostream& out, std::ostream& err) {
 
   try {
     std::vector<std::uint64_t> csv_cells, jsonl_cells;
+    std::vector<std::uint64_t> csv_missing, jsonl_missing;
     std::string csv_bytes, jsonl_bytes;
-    if (!o.csv_out.empty()) csv_bytes = merge_csv(o.csv_in, &csv_cells);
+    if (!o.csv_out.empty())
+      csv_bytes = merge_csv(o.csv_in, &csv_cells, o.allow_gaps, &csv_missing);
     if (!o.jsonl_out.empty())
-      jsonl_bytes = merge_jsonl(o.jsonl_in, &jsonl_cells);
+      jsonl_bytes =
+          merge_jsonl(o.jsonl_in, &jsonl_cells, o.allow_gaps, &jsonl_missing);
     if (!o.csv_out.empty() && !o.jsonl_out.empty() && csv_cells != jsonl_cells)
-      throw std::runtime_error(
+      throw MergeError(
+          MergeFault::kCorrupt,
           "the .csv and .jsonl shard sets cover different cells — are they "
           "from the same sweep invocation?");
 
@@ -338,11 +375,26 @@ int run_merge(const MergeOptions& o, std::ostream& out, std::ostream& err) {
       out << "mtr_merge: " << jsonl_cells.size() << " cell(s) from "
           << o.jsonl_in.size() << " shard file(s) -> " << o.jsonl_out << '\n';
     }
+    const std::vector<std::uint64_t>& missing =
+        !o.csv_out.empty() ? csv_missing : jsonl_missing;
+    if (!missing.empty()) {
+      err << "mtr_merge: " << missing.size()
+          << " cell(s) missing (merged with --allow-gaps):";
+      for (const std::uint64_t c : missing) err << ' ' << c;
+      err << '\n';
+    }
     if (!o.metrics_out.empty()) {
       std::vector<MetricsFile> shards;
       shards.reserve(o.metrics_in.size());
-      for (const std::string& path : o.metrics_in)
-        shards.push_back(read_metrics_json(path));
+      for (const std::string& path : o.metrics_in) {
+        try {
+          shards.push_back(read_metrics_json(path));
+        } catch (const std::exception& e) {
+          // A metrics file that fails to parse is corrupt input, same
+          // taxonomy slot as a torn record file.
+          throw MergeError(MergeFault::kCorrupt, e.what());
+        }
+      }
       const MetricsFile folded = fold_metrics(shards);
       std::ostringstream ms;
       trace::write_metrics_json(ms, folded.sweeps, folded.shards);
@@ -351,6 +403,9 @@ int run_merge(const MergeOptions& o, std::ostream& out, std::ostream& err) {
           << o.metrics_in.size() << " shard file(s) -> " << o.metrics_out
           << '\n';
     }
+  } catch (const MergeError& e) {
+    err << "mtr_merge: " << e.what() << '\n';
+    return static_cast<int>(e.fault);
   } catch (const std::exception& e) {
     err << "mtr_merge: " << e.what() << '\n';
     return 1;

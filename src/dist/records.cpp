@@ -151,22 +151,30 @@ std::string where(const std::string& path, std::uint64_t line) {
   return path + ":" + std::to_string(line);
 }
 
+/// Uniform "(byte N)" suffix: every scanner diagnostic names the byte
+/// offset where the offending data begins, so a failure report can be
+/// checked with dd/truncate directly.
+std::string at_byte(std::uint64_t offset) {
+  return " (byte " + std::to_string(offset) + ")";
+}
+
 [[noreturn]] void schema_error(const std::string& path, std::uint64_t line,
-                               std::uint64_t found) {
+                               std::uint64_t offset, std::uint64_t found) {
   throw std::runtime_error(
       where(path, line) + ": record schema version " + std::to_string(found) +
       " is not supported by this build (writes v" +
       std::to_string(report::kSchemaVersion) + ", reads v" +
       std::to_string(report::kMinReadSchemaVersion) + "-v" +
-      std::to_string(report::kSchemaVersion) + ")");
+      std::to_string(report::kSchemaVersion) + ")" + at_byte(offset));
 }
 
 [[noreturn]] void mixed_schema_error(const std::string& path, std::uint64_t line,
-                                     std::uint64_t first, std::uint64_t found) {
+                                     std::uint64_t offset, std::uint64_t first,
+                                     std::uint64_t found) {
   throw std::runtime_error(
       where(path, line) + ": record schema version changes from " +
       std::to_string(first) + " to " + std::to_string(found) +
-      " mid-file — refusing to mix schema versions");
+      " mid-file — refusing to mix schema versions" + at_byte(offset));
 }
 
 /// The coordinate columns of one record, shared between the two scanners.
@@ -250,9 +258,11 @@ FileScan scan_jsonl(const std::string& path) {
   std::uint64_t offset = 0;
   std::uint64_t line_no = 0;
   std::string line;
+  // `offset` is the start of the line being examined when stop() fires,
+  // which is exactly where the unusable tail begins.
   const auto stop = [&](std::string why) {
     scan.clean = false;
-    scan.tail_error = std::move(why);
+    scan.tail_error = std::move(why) + at_byte(offset);
   };
 
   while (std::getline(in, line)) {
@@ -266,8 +276,7 @@ FileScan scan_jsonl(const std::string& path) {
 
     std::map<std::string, std::string> f;
     if (!parse_json_line(line, f)) {
-      stop(where(path, line_no) + ": unparseable record (byte " +
-           std::to_string(offset) + ")");
+      stop(where(path, line_no) + ": unparseable record");
       break;
     }
     const auto record = json_string(f, "record");
@@ -279,10 +288,10 @@ FileScan scan_jsonl(const std::string& path) {
     }
     if (*schema < report::kMinReadSchemaVersion ||
         *schema > report::kSchemaVersion)
-      schema_error(path, line_no, *schema);
+      schema_error(path, line_no, offset, *schema);
     if (scan.schema == 0) scan.schema = *schema;
     else if (scan.schema != *schema)
-      mixed_schema_error(path, line_no, scan.schema, *schema);
+      mixed_schema_error(path, line_no, offset, scan.schema, *schema);
 
     RecCoords c;
     if (const char* bad = extract_json_coords(f, *schema, c)) {
@@ -347,10 +356,13 @@ FileScan scan_jsonl(const std::string& path) {
     offset = line_end;
   }
 
-  if (scan.clean && has_open)
+  if (scan.clean && has_open) {
+    // The orphan runs begin right after the last complete cell.
+    offset = scan.valid_bytes;
     stop(where(path, open.first_line) + ": incomplete cell " +
          std::to_string(open.cell_index) +
          " at end of file (runs without a summary)");
+  }
   return scan;
 }
 
@@ -363,7 +375,7 @@ FileScan scan_csv(const std::string& path) {
   if (!std::getline(in, line)) return scan;  // empty file: nothing done yet
   if (in.eof()) {
     scan.clean = false;
-    scan.tail_error = where(path, 1) + ": truncated header row";
+    scan.tail_error = where(path, 1) + ": truncated header row" + at_byte(0);
     return scan;
   }
   const std::vector<std::string> header = report::split_csv_line(line);
@@ -383,7 +395,7 @@ FileScan scan_csv(const std::string& path) {
         "(this build writes v" + std::to_string(report::kSchemaVersion) +
         ", reads v" + std::to_string(report::kMinReadSchemaVersion) + "-v" +
         std::to_string(report::kSchemaVersion) +
-        ") — refusing to mix schema versions");
+        ") — refusing to mix schema versions" + at_byte(0));
   scan.schema = version;
   const auto col = [&](const char* key) {
     for (std::size_t i = 0; i < header.size(); ++i)
@@ -407,9 +419,11 @@ FileScan scan_csv(const std::string& path) {
   scan.header_bytes = offset;
   CellBlock open;
   bool has_open = false;
+  // As in scan_jsonl: `offset` is the start of the row under examination
+  // when stop() fires — the first unusable byte.
   const auto stop = [&](std::string why) {
     scan.clean = false;
-    scan.tail_error = std::move(why);
+    scan.tail_error = std::move(why) + at_byte(offset);
   };
 
   while (std::getline(in, line)) {
@@ -440,9 +454,9 @@ FileScan scan_csv(const std::string& path) {
     if (!schema) break;
     if (*schema < report::kMinReadSchemaVersion ||
         *schema > report::kSchemaVersion)
-      schema_error(path, line_no, *schema);
+      schema_error(path, line_no, offset, *schema);
     if (*schema != version)
-      mixed_schema_error(path, line_no, version, *schema);
+      mixed_schema_error(path, line_no, offset, version, *schema);
     const auto cell_index = num(c_cell, "cell_index");
     if (!cell_index) break;
     const auto hz = num(c_hz, "hz");
@@ -515,8 +529,11 @@ FileScan scan_csv(const std::string& path) {
   }
 
   // EOF cannot prove the final block complete; hand it over open and let
-  // the caller decide against its expected seed set.
-  if (scan.clean && has_open) scan.blocks.push_back(std::move(open));
+  // the caller decide against its expected seed set. The open block
+  // survives an unclean scan too: its rows were all validated before the
+  // stop, and a tear that cut into the NEXT cell's first row must not
+  // discard the complete rows of the cell before it.
+  if (has_open) scan.blocks.push_back(std::move(open));
   return scan;
 }
 

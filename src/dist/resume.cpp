@@ -51,7 +51,8 @@ void check_seeds(const std::string& path, const CellBlock& b,
 
 ResumeIndex ResumeIndex::scan(const std::string& csv_path,
                               const std::string& jsonl_path,
-                              const std::vector<std::uint64_t>& expected_seeds) {
+                              const std::vector<std::uint64_t>& expected_seeds,
+                              std::optional<std::uint64_t> metrics_cells) {
   ResumeIndex index;
   index.csv_path_ = csv_path;
   index.jsonl_path_ = jsonl_path;
@@ -97,6 +98,19 @@ ResumeIndex ResumeIndex::scan(const std::string& csv_path,
   std::size_t n = index.have_csv_ && index.have_jsonl_
                       ? std::min(csv_done.size(), jsonl_done.size())
                       : std::max(csv_done.size(), jsonl_done.size());
+  if (metrics_cells) {
+    if (*metrics_cells > n) {
+      // The snapshot covers cells the records lost (a tear across whole
+      // cells). Folding on top of it would double-count; rerun everything
+      // against a fresh fold instead.
+      index.metrics_overrun_ = true;
+      n = 0;
+    } else if (*metrics_cells < n) {
+      // Records ran ahead of the crash-consistent snapshot (it trails by
+      // design). Roll the extra cells back so resumed counters fold once.
+      n = static_cast<std::size_t>(*metrics_cells);
+    }
+  }
   const std::vector<CellBlock>& primary =
       index.have_jsonl_ ? jsonl_done : csv_done;
   const std::string& primary_path =

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,13 +28,32 @@ class ResumeIndex {
   /// seed set other than `expected_seeds` (resume requires the original
   /// --seeds/--first-seed), or when the CSV and JSONL disagree about a
   /// cell. When both files exist, only cells complete in BOTH count (a
-  /// kill can land between the two sink writes).
+  /// kill can land between the two sink writes). Zero-byte and header-only
+  /// files — a shard killed before its first flush — count as "nothing
+  /// done yet", never as errors.
+  ///
+  /// `metrics_cells`, when set, caps the completed prefix at the number of
+  /// cells the run's crash-consistent metrics snapshot covers: cells the
+  /// records prove but the snapshot missed are rolled back and rerun, so
+  /// the resumed fold stays counter-exact (reruns are deterministic, so
+  /// the records stay byte-identical either way). The snapshot always
+  /// trails the records by at most one cell; if it somehow claims MORE
+  /// cells than the records hold (a tear spanning whole cells), the index
+  /// resets to zero completed cells and flags metrics_overrun() so the
+  /// caller discards the stale snapshot too.
   static ResumeIndex scan(const std::string& csv_path,
                           const std::string& jsonl_path,
-                          const std::vector<std::uint64_t>& expected_seeds);
+                          const std::vector<std::uint64_t>& expected_seeds,
+                          std::optional<std::uint64_t> metrics_cells =
+                              std::nullopt);
 
   /// Complete cells found.
   std::size_t size() const { return done_.size(); }
+
+  /// True when the metrics snapshot claimed cells the records cannot back
+  /// (see scan): everything reruns and the caller must fold metrics from
+  /// scratch instead of seeding from the snapshot.
+  bool metrics_overrun() const { return metrics_overrun_; }
 
   /// Truncates the scanned files back to the end of the last complete
   /// cell, dropping the partial tail a kill left behind. Call once before
@@ -58,6 +78,7 @@ class ResumeIndex {
   std::string csv_path_, jsonl_path_;
   std::uint64_t csv_valid_ = 0, jsonl_valid_ = 0;
   bool have_csv_ = false, have_jsonl_ = false;
+  bool metrics_overrun_ = false;
 };
 
 }  // namespace mtr::dist

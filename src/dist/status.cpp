@@ -1,9 +1,13 @@
 #include "dist/status.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
+
+#include "dist/json.hpp"
 
 namespace mtr::dist {
 namespace {
@@ -63,6 +67,39 @@ void write_status_file(const std::string& path, const StatusSnapshot& s) {
   if (ec)
     throw std::runtime_error("cannot publish status file " + path + ": " +
                              ec.message());
+}
+
+StatusSnapshot read_status_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open status file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const json::Value doc = json::parse_document(buf.str());
+  if (json::get_string(doc, "record") != "status")
+    throw std::runtime_error(path + ": not a status heartbeat document");
+  StatusSnapshot s;
+  s.sweep = json::get_string(doc, "sweep");
+  s.cells_done = json::get_u64(doc, "cells_done");
+  s.cells_total = json::get_u64(doc, "cells_total");
+  s.elapsed_seconds = json::get_f64(doc, "elapsed_seconds");
+  const json::Value& eta = json::require(doc, "eta_seconds");
+  if (eta.kind != json::Value::Kind::kNull)
+    s.eta_seconds = json::as_f64(eta, "eta_seconds");
+  const json::Value& workers = json::get_array(doc, "workers");
+  s.worker_busy_fraction.reserve(workers.items.size());
+  for (const json::Value& w : workers.items)
+    s.worker_busy_fraction.push_back(json::as_f64(w, "workers entry"));
+  return s;
+}
+
+std::optional<double> status_file_age_seconds(const std::string& path) {
+  std::error_code ec;
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) return std::nullopt;
+  const auto age = std::filesystem::file_time_type::clock::now() - mtime;
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(age).count();
+  return seconds > 0.0 ? seconds : 0.0;
 }
 
 }  // namespace mtr::dist

@@ -34,4 +34,24 @@ std::string render_status_json(const StatusSnapshot& s);
 /// written or the rename fails.
 void write_status_file(const std::string& path, const StatusSnapshot& s);
 
+/// Parses a heartbeat document written by write_status_file. Throws
+/// std::runtime_error on malformed JSON or missing fields.
+StatusSnapshot read_status_file(const std::string& path);
+
+/// The one definition of "stale" shared by every heartbeat consumer — the
+/// mtr_fleet supervisor's hung-shard detector and `mtr_inspect
+/// --status-file` must agree, or a shard the inspector calls healthy could
+/// be one the supervisor is about to kill.
+inline constexpr double kDefaultStaleAfterSeconds = 30.0;
+
+/// True when a heartbeat `age_seconds` old has gone stale against
+/// `threshold_seconds`. A non-positive threshold disables the check.
+inline bool heartbeat_stale(double age_seconds, double threshold_seconds) {
+  return threshold_seconds > 0.0 && age_seconds > threshold_seconds;
+}
+
+/// Seconds since `path` was last rewritten (mtime age), or nullopt when the
+/// file does not exist yet. Clamped at zero against clock skew.
+std::optional<double> status_file_age_seconds(const std::string& path);
+
 }  // namespace mtr::dist

@@ -35,7 +35,16 @@ std::string join_violations(const std::vector<std::string>& violations) {
   return out;
 }
 
+SinkFlushHook& sink_flush_hook() {
+  static SinkFlushHook hook;
+  return hook;
+}
+
 }  // namespace
+
+void set_sink_flush_hook(SinkFlushHook hook) {
+  sink_flush_hook() = std::move(hook);
+}
 
 std::vector<Field> flatten_run(const std::string& sweep,
                                const core::CellStats& cell,
@@ -229,6 +238,7 @@ CsvSink::CsvSink(const std::string& path, OpenMode mode)
 CsvSink::CsvSink(std::ostream& os) : os_(&os) {}
 
 void CsvSink::write_cell(const std::string& sweep, const core::CellStats& cell) {
+  if (sink_flush_hook()) sink_flush_hook()("csv");
   if (!header_written_) {
     write_csv_header(*os_);
     header_written_ = true;
@@ -301,6 +311,7 @@ void write_cell_record(std::ostream& os, const CellSummary& s) {
 }
 
 void JsonlSink::write_cell(const std::string& sweep, const core::CellStats& cell) {
+  if (sink_flush_hook()) sink_flush_hook()("jsonl");
   if (buf_.capacity() == 0) buf_.reserve(8192);
   buf_.clear();  // keeps capacity: no steady-state reallocation
   for (std::size_t seed_i = 0; seed_i < cell.runs.size(); ++seed_i) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <ostream>
 #include <string>
@@ -128,6 +129,26 @@ class NullSink final : public ResultSink {
 enum class OpenMode {
   kTruncate,  // start a fresh file
   kAppend,    // append; the header is only written if the file was empty
+};
+
+/// Fault seam: when installed, file sinks invoke the hook (kind = "csv" or
+/// "jsonl") at the top of every write_cell, before any byte of the cell is
+/// emitted. A throwing hook models a transient flush failure: the cell is
+/// lost whole, never half-written. Install/clear happens-before the worker
+/// pool that emits cells, so no synchronization is needed on the pointer.
+using SinkFlushHook = std::function<void(const char* kind)>;
+void set_sink_flush_hook(SinkFlushHook hook);
+
+/// RAII installer for the flush hook — clears it on scope exit so a fault
+/// plan armed for one run_sweeps call cannot leak into the next.
+class ScopedSinkFlushHook {
+ public:
+  explicit ScopedSinkFlushHook(SinkFlushHook hook) {
+    set_sink_flush_hook(std::move(hook));
+  }
+  ~ScopedSinkFlushHook() { set_sink_flush_hook(nullptr); }
+  ScopedSinkFlushHook(const ScopedSinkFlushHook&) = delete;
+  ScopedSinkFlushHook& operator=(const ScopedSinkFlushHook&) = delete;
 };
 
 /// One CSV row per run. The header row is written once per file —

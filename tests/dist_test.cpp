@@ -1,18 +1,31 @@
 // Distributed-sweep coverage: shard spec parsing and partition laws, the
 // driver CLI (strict flag parsing, selection errors, sink plumbing,
 // dry-run planning), resume edge cases (partial cell re-run, seed/schema
-// mismatches), and mtr_merge (duplicate/conflicting cells, gaps, missing
-// and incomplete shards, byte-identity of shard+resume runs against a
-// single-process run).
+// mismatches), mtr_merge (duplicate/conflicting cells, gaps, missing and
+// incomplete shards, the exit-code taxonomy, byte-identity of shard+resume
+// runs against a single-process run), fault injection (plan parsing, crash
+// and flush faults, the SIGKILL watchdog), crash consistency (every torn
+// byte boundary of the final record recovers the complete prefix, v2 and
+// v3), status heartbeats and their shared staleness rule, and the
+// mtr_fleet supervisor (deterministic backoff, chaos-proven byte-identical
+// merges, partial merges with gap manifests, hung-shard kills).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
+
+#include <sys/wait.h>
 
 #include "dist/driver.hpp"
+#include "dist/fault.hpp"
+#include "dist/fleet.hpp"
 #include "dist/inspect.hpp"
 #include "dist/json.hpp"
 #include "dist/merge.hpp"
@@ -62,6 +75,14 @@ void keep_lines(const std::string& path, std::size_t n) {
     out += '\n';
   }
   write_file(path, out);
+}
+
+/// Chops `bytes` off the end of `path` — the torn tail a kill mid-write
+/// leaves behind, at an exact byte boundary of the test's choosing.
+void chop_bytes(const std::string& path, std::uint64_t bytes) {
+  const std::string text = read_file(path);
+  ASSERT_GE(text.size(), bytes);
+  write_file(path, text.substr(0, text.size() - bytes));
 }
 
 /// A registry with one real-experiment sweep: a 4-attack x 1 x 1 grid over
@@ -1450,6 +1471,806 @@ TEST(InspectTest, TraceSummaryReadsAnExportedTrace) {
   EXPECT_NE(text.find("baseline"), std::string::npos);
   std::filesystem::remove_all(root);
 }
+
+// ---------------------------------------------------------------------------
+// Fault injection: the deterministic crash schedule behind the chaos tests.
+
+TEST(FaultPlanTest, ParsesComposesAndRoundTrips) {
+  const FaultPlan p = parse_fault_plan(
+      "crash-after-cell=2,torn-tail=9,sigkill-after-ms=500,fail-flush-at=3");
+  ASSERT_TRUE(p.crash_after_cell.has_value());
+  EXPECT_EQ(*p.crash_after_cell, 2u);
+  EXPECT_EQ(p.torn_tail_bytes, 9u);
+  ASSERT_TRUE(p.sigkill_after_ms.has_value());
+  EXPECT_EQ(*p.sigkill_after_ms, 500u);
+  ASSERT_TRUE(p.fail_flush_at.has_value());
+  EXPECT_EQ(*p.fail_flush_at, 3u);
+  EXPECT_TRUE(p.active());
+
+  // to_string is the canonical spec: parsing it back yields the same plan
+  // (it's what mtr_fleet exports as MTR_FAULT_INJECT).
+  const FaultPlan again = parse_fault_plan(to_string(p));
+  EXPECT_EQ(again.crash_after_cell, p.crash_after_cell);
+  EXPECT_EQ(again.torn_tail_bytes, p.torn_tail_bytes);
+  EXPECT_EQ(again.sigkill_after_ms, p.sigkill_after_ms);
+  EXPECT_EQ(again.fail_flush_at, p.fail_flush_at);
+
+  const FaultPlan none = parse_fault_plan("");
+  EXPECT_FALSE(none.active());
+  EXPECT_EQ(to_string(none), "");
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_fault_plan("bogus=1"), std::runtime_error);
+  EXPECT_THROW(parse_fault_plan("crash-after-cell"), std::runtime_error);
+  EXPECT_THROW(parse_fault_plan("crash-after-cell=x"), std::runtime_error);
+  EXPECT_THROW(parse_fault_plan("crash-after-cell=1,,"), std::runtime_error);
+  // The J-th flush is 1-based; a zeroth flush can never fire.
+  EXPECT_THROW(parse_fault_plan("fail-flush-at=0"), std::runtime_error);
+  // A torn tail needs a crash point to tear at.
+  EXPECT_THROW(parse_fault_plan("torn-tail=4"), std::runtime_error);
+  // The error names the grammar so a bad CLI flag is self-documenting.
+  try {
+    parse_fault_plan("nope=1");
+    FAIL() << "spec accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("grammar"), std::string::npos);
+  }
+}
+
+TEST(FaultInjectorTest, FlushFaultFiresOnTheConfiguredFlushExactlyOnce) {
+  FaultInjector injector(parse_fault_plan("fail-flush-at=2"));
+  EXPECT_TRUE(injector.active());
+  EXPECT_TRUE(injector.has_flush_fault());
+  EXPECT_NO_THROW(injector.on_sink_flush("csv"));
+  EXPECT_THROW(injector.on_sink_flush("jsonl"), std::runtime_error);
+  // One-shot: the retry after the transient failure goes through.
+  EXPECT_NO_THROW(injector.on_sink_flush("csv"));
+  EXPECT_NO_THROW(injector.on_sink_flush("jsonl"));
+}
+
+TEST(FaultInjectorTest, FailFlushAbortsTheSweepAndResumeHeals) {
+  std::atomic<int> runs{0};
+  const report::SweepRegistry registry = counting_registry(&runs);
+  const std::string root = temp_path("dist_fault_flush");
+  std::filesystem::remove_all(root);
+  std::ostringstream out, err;
+  ASSERT_EQ(run_sweeps(registry, grid_options(root + "/ref"), out, err), 0);
+
+  // The transient flush failure unwinds as an exception (mtr_sweep's main
+  // maps it to exit 1 — what the fleet supervisor observes). Cells flush
+  // in grid order, two flushes per cell (CSV then JSONL), so failing the
+  // 7th flush kills cell 3's first write and leaves a clean 3-cell prefix.
+  SweepOptions opts = grid_options(root + "/run");
+  opts.fault = parse_fault_plan("fail-flush-at=7");
+  try {
+    run_sweeps(registry, opts, out, err);
+    FAIL() << "flush fault did not surface";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("fault injection"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // The transient failure unwound cleanly; a clean --resume reruns only
+  // the failed cell and lands byte-identical to the uninterrupted
+  // reference.
+  runs = 0;
+  opts.fault = FaultPlan{};
+  opts.resume = true;
+  std::ostringstream err2;
+  ASSERT_EQ(run_sweeps(registry, opts, out, err2), 0) << err2.str();
+  EXPECT_EQ(runs.load(), 2);  // one cell x two seeds
+  EXPECT_EQ(read_file(root + "/run/grid.csv"),
+            read_file(root + "/ref/grid.csv"));
+  EXPECT_EQ(read_file(root + "/run/grid.jsonl"),
+            read_file(root + "/ref/grid.jsonl"));
+  std::filesystem::remove_all(root);
+}
+
+TEST(SweepArgsTest, FaultInjectEnvSeedsTheDefaultAndTheFlagOverridesIt) {
+  ::setenv("MTR_FAULT_INJECT", "crash-after-cell=3,torn-tail=5", 1);
+  const SweepOptions from_env = default_sweep_options();
+  ASSERT_TRUE(from_env.fault.crash_after_cell.has_value());
+  EXPECT_EQ(*from_env.fault.crash_after_cell, 3u);
+  EXPECT_EQ(from_env.fault.torn_tail_bytes, 5u);
+
+  const char* argv[] = {"mtr_sweep", "--fault-inject", "sigkill-after-ms=9",
+                        "grid"};
+  const SweepOptions from_flag =
+      parse_sweep_args(static_cast<int>(std::size(argv)), argv);
+  EXPECT_FALSE(from_flag.fault.crash_after_cell.has_value());
+  ASSERT_TRUE(from_flag.fault.sigkill_after_ms.has_value());
+  EXPECT_EQ(*from_flag.fault.sigkill_after_ms, 9u);
+  ::unsetenv("MTR_FAULT_INJECT");
+
+  const char* bad[] = {"mtr_sweep", "--fault-inject", "torn-tail=1", "grid"};
+  EXPECT_THROW(parse_sweep_args(4, bad), std::runtime_error);
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(FaultInjectorDeathTest, CrashAfterCellTearsTheTailAndResumeHeals) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::atomic<int> runs{0};
+  const report::SweepRegistry registry = counting_registry(&runs);
+  const std::string root = temp_path("dist_fault_crash");
+  // This setup re-runs inside the death-test child, so it must converge
+  // to the same state both times.
+  std::filesystem::remove_all(root);
+  SweepOptions ref = grid_options(root + "/ref");
+  ref.metrics_path = root + "/ref/metrics.json";
+  std::ostringstream out, err;
+  ASSERT_EQ(run_sweeps(registry, ref, out, err), 0);
+
+  SweepOptions crash = grid_options(root + "/run");
+  crash.metrics_path = root + "/run/metrics.json";
+  crash.fault = parse_fault_plan("crash-after-cell=2,torn-tail=7");
+  EXPECT_EXIT(run_sweeps(registry, crash, out, err),
+              ::testing::ExitedWithCode(kFaultCrashExitCode), "");
+
+  // The crash left a provably torn tail, and the scanner names the byte.
+  const FileScan torn = scan_jsonl(root + "/run/grid.jsonl");
+  EXPECT_FALSE(torn.clean);
+  EXPECT_NE(torn.tail_error.find("(byte "), std::string::npos)
+      << torn.tail_error;
+
+  // --resume truncates the tear, reruns what the crash-consistent metrics
+  // snapshot does not cover, and lands byte-identical to the reference —
+  // counters included.
+  runs = 0;
+  SweepOptions resume = grid_options(root + "/run");
+  resume.metrics_path = root + "/run/metrics.json";
+  resume.resume = true;
+  std::ostringstream err2;
+  ASSERT_EQ(run_sweeps(registry, resume, out, err2), 0) << err2.str();
+  // The lag-one snapshot covers cell 0 only at the crash point, so cells
+  // 1-3 rerun: 3 cells x 2 seeds = 6 factory bumps.
+  EXPECT_EQ(runs.load(), 6);
+  EXPECT_EQ(read_file(root + "/run/grid.csv"),
+            read_file(root + "/ref/grid.csv"));
+  EXPECT_EQ(read_file(root + "/run/grid.jsonl"),
+            read_file(root + "/ref/grid.jsonl"));
+  std::ostringstream cmp;
+  EXPECT_EQ(compare_metrics(cmp, "resumed",
+                            read_metrics_json(root + "/run/metrics.json"),
+                            "single",
+                            read_metrics_json(root + "/ref/metrics.json")),
+            0)
+      << cmp.str();
+  std::filesystem::remove_all(root);
+}
+
+TEST(FaultInjectorDeathTest, CrashAtSinksOpenLeavesNoCellsAndResumeReruns) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::atomic<int> runs{0};
+  const report::SweepRegistry registry = counting_registry(&runs);
+  const std::string root = temp_path("dist_fault_crash0");
+  std::filesystem::remove_all(root);
+  std::ostringstream out, err;
+  ASSERT_EQ(run_sweeps(registry, grid_options(root + "/ref"), out, err), 0);
+
+  SweepOptions crash = grid_options(root + "/run");
+  crash.fault = parse_fault_plan("crash-after-cell=0");
+  EXPECT_EXIT(run_sweeps(registry, crash, out, err),
+              ::testing::ExitedWithCode(kFaultCrashExitCode), "");
+
+  // Whatever the crash left (zero-byte files, at most a CSV header) means
+  // "no completed cells" — never an error.
+  const ResumeIndex idx = ResumeIndex::scan(
+      root + "/run/grid.csv", root + "/run/grid.jsonl", {7, 8});
+  EXPECT_EQ(idx.size(), 0u);
+
+  runs = 0;
+  SweepOptions resume = grid_options(root + "/run");
+  resume.resume = true;
+  std::ostringstream err2;
+  ASSERT_EQ(run_sweeps(registry, resume, out, err2), 0) << err2.str();
+  EXPECT_EQ(runs.load(), 8);  // everything reruns
+  EXPECT_EQ(read_file(root + "/run/grid.csv"),
+            read_file(root + "/ref/grid.csv"));
+  EXPECT_EQ(read_file(root + "/run/grid.jsonl"),
+            read_file(root + "/ref/grid.jsonl"));
+  std::filesystem::remove_all(root);
+}
+
+TEST(FaultInjectorDeathTest, SigkillWatchdogDeliversTheSignal) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_EXIT(
+      {
+        FaultInjector injector(parse_fault_plan("sigkill-after-ms=1"));
+        injector.arm_sigkill();
+        std::this_thread::sleep_for(std::chrono::seconds(30));
+        std::_Exit(1);  // unreachable: the watchdog wins
+      },
+      ::testing::KilledBySignal(SIGKILL), "");
+}
+#endif  // GTEST_HAS_DEATH_TEST
+
+// ---------------------------------------------------------------------------
+// Resume edge cases the supervisor depends on.
+
+TEST(ResumeTest, ZeroByteAndHeaderOnlyOutputsMeanNoCompletedCells) {
+  const std::string dir = temp_path("dist_resume_zero");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string csv = dir + "/grid.csv";
+  const std::string jsonl = dir + "/grid.jsonl";
+
+  // Zero-byte pair: the files a kill right after open leaves.
+  write_file(csv, "");
+  write_file(jsonl, "");
+  ResumeIndex empty = ResumeIndex::scan(csv, jsonl, {7, 8});
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_NO_THROW(empty.truncate_files());
+
+  // Header-only CSV next to a zero-byte JSONL: still zero cells, and
+  // truncation keeps the header.
+  {
+    report::CsvSink sink(csv);
+    sink.write_cell("grid", synth_cell(0, {7, 8}));
+  }
+  keep_lines(csv, 1);
+  const std::string header = read_file(csv);
+  ResumeIndex header_only = ResumeIndex::scan(csv, jsonl, {7, 8});
+  EXPECT_EQ(header_only.size(), 0u);
+  header_only.truncate_files();
+  EXPECT_EQ(read_file(csv), header);
+
+  // A zero-byte CSV next to a complete JSONL: cells count only when both
+  // files have them, so the JSONL rolls back to zero too.
+  write_file(csv, "");
+  write_shard_jsonl(jsonl, {0});
+  ResumeIndex mixed = ResumeIndex::scan(csv, jsonl, {7, 8});
+  EXPECT_EQ(mixed.size(), 0u);
+  mixed.truncate_files();
+  EXPECT_EQ(std::filesystem::file_size(jsonl), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Crash consistency: every byte boundary of the final record is a safe
+// truncation point — the scanners recover exactly the complete prefix no
+// matter where the tear lands.
+
+TEST(CrashConsistencyTest, EveryTornByteOfTheFinalRecordRecoversThePrefix) {
+  std::atomic<int> runs{0};
+  const report::SweepRegistry registry = counting_registry(&runs);
+  const std::string root = temp_path("dist_torn_sweep");
+  std::filesystem::remove_all(root);
+  std::ostringstream out, err;
+  ASSERT_EQ(run_sweeps(registry, grid_options(root + "/ref"), out, err), 0);
+  const std::string ref_csv = read_file(root + "/ref/grid.csv");
+  const std::string ref_jsonl = read_file(root + "/ref/grid.jsonl");
+
+  // The canonical 3-cell prefix: tear one byte, scan, truncate.
+  const std::string dir = root + "/cut";
+  std::filesystem::create_directories(dir);
+  const std::string cut_csv = dir + "/grid.csv";
+  const std::string cut_jsonl = dir + "/grid.jsonl";
+  write_file(cut_csv, ref_csv);
+  write_file(cut_jsonl, ref_jsonl);
+  chop_bytes(cut_csv, 1);
+  chop_bytes(cut_jsonl, 1);
+  ResumeIndex probe = ResumeIndex::scan(cut_csv, cut_jsonl, {7, 8});
+  ASSERT_EQ(probe.size(), 3u);
+  probe.truncate_files();
+  const std::string prefix_csv = read_file(cut_csv);
+  const std::string prefix_jsonl = read_file(cut_jsonl);
+  ASSERT_LT(prefix_csv.size(), ref_csv.size());
+  ASSERT_LT(prefix_jsonl.size(), ref_jsonl.size());
+  const std::uint64_t csv_block = ref_csv.size() - prefix_csv.size();
+  const std::uint64_t jsonl_block = ref_jsonl.size() - prefix_jsonl.size();
+
+  // Tear the JSONL at every byte of its final cell block (CSV intact).
+  for (std::uint64_t b = 1; b <= jsonl_block; ++b) {
+    write_file(cut_csv, ref_csv);
+    write_file(cut_jsonl, ref_jsonl);
+    chop_bytes(cut_jsonl, b);
+    ResumeIndex idx = ResumeIndex::scan(cut_csv, cut_jsonl, {7, 8});
+    ASSERT_EQ(idx.size(), 3u) << "jsonl cut " << b;
+    idx.truncate_files();
+    ASSERT_EQ(read_file(cut_jsonl), prefix_jsonl) << "jsonl cut " << b;
+    ASSERT_EQ(read_file(cut_csv), prefix_csv) << "jsonl cut " << b;
+  }
+  // And the CSV at every byte of its final cell block (JSONL intact).
+  for (std::uint64_t b = 1; b <= csv_block; ++b) {
+    write_file(cut_csv, ref_csv);
+    write_file(cut_jsonl, ref_jsonl);
+    chop_bytes(cut_csv, b);
+    ResumeIndex idx = ResumeIndex::scan(cut_csv, cut_jsonl, {7, 8});
+    ASSERT_EQ(idx.size(), 3u) << "csv cut " << b;
+    idx.truncate_files();
+    ASSERT_EQ(read_file(cut_csv), prefix_csv) << "csv cut " << b;
+    ASSERT_EQ(read_file(cut_jsonl), prefix_jsonl) << "csv cut " << b;
+  }
+
+  // End to end: tear both mid-record, resume, land byte-identical.
+  write_file(cut_csv, ref_csv);
+  write_file(cut_jsonl, ref_jsonl);
+  chop_bytes(cut_csv, csv_block / 2);
+  chop_bytes(cut_jsonl, jsonl_block / 2);
+  SweepOptions opts = grid_options(dir);
+  opts.resume = true;
+  std::ostringstream err2;
+  ASSERT_EQ(run_sweeps(registry, opts, out, err2), 0) << err2.str();
+  EXPECT_EQ(read_file(cut_csv), ref_csv);
+  EXPECT_EQ(read_file(cut_jsonl), ref_jsonl);
+  std::filesystem::remove_all(root);
+}
+
+/// Leading blocks provably complete against `expected_seeds`, plus the
+/// offset just past the last of them — what a crash-recovery consumer may
+/// keep of a possibly-torn file.
+std::pair<std::size_t, std::uint64_t> complete_prefix(
+    const FileScan& scan, std::size_t expected_seeds) {
+  std::size_t n = 0;
+  std::uint64_t end = scan.header_bytes;
+  for (const CellBlock& b : scan.blocks) {
+    if (!b.closed && b.seeds.size() != expected_seeds) break;
+    end = b.end_offset;
+    ++n;
+  }
+  return {n, end};
+}
+
+TEST(CrashConsistencyTest, SchemaV2FixturesRecoverThePrefixAtEveryCut) {
+  std::atomic<int> runs{0};
+  const report::SweepRegistry registry = counting_registry(&runs);
+  const std::string root = temp_path("dist_torn_v2");
+  std::filesystem::remove_all(root);
+  std::ostringstream out, err;
+  ASSERT_EQ(run_sweeps(registry, grid_options(root + "/ref"), out, err), 0);
+  const std::string v2_csv = downgrade_csv_v2(read_file(root + "/ref/grid.csv"));
+  const std::string v2_jsonl =
+      downgrade_jsonl_v2(read_file(root + "/ref/grid.jsonl"));
+  const std::string csv = root + "/v2.csv";
+  const std::string jsonl = root + "/v2.jsonl";
+
+  // Block layout of the intact v2 files.
+  write_file(csv, v2_csv);
+  write_file(jsonl, v2_jsonl);
+  const FileScan full_csv = scan_csv(csv);
+  const FileScan full_jsonl = scan_jsonl(jsonl);
+  ASSERT_EQ(full_csv.schema, 2u);
+  ASSERT_EQ(full_jsonl.schema, 2u);
+  ASSERT_EQ(complete_prefix(full_csv, 2).first, 4u);
+  ASSERT_EQ(full_jsonl.blocks.size(), 4u);
+  const std::uint64_t csv_prefix = full_csv.blocks.at(2).end_offset;
+  const std::uint64_t jsonl_prefix = full_jsonl.blocks.at(2).end_offset;
+
+  for (std::uint64_t b = 1; b <= v2_jsonl.size() - jsonl_prefix; ++b) {
+    write_file(jsonl, v2_jsonl);
+    chop_bytes(jsonl, b);
+    const FileScan scan = scan_jsonl(jsonl);
+    ASSERT_EQ(scan.blocks.size(), 3u) << "v2 jsonl cut " << b;
+    ASSERT_EQ(scan.valid_bytes, jsonl_prefix) << "v2 jsonl cut " << b;
+  }
+  for (std::uint64_t b = 1; b <= v2_csv.size() - csv_prefix; ++b) {
+    write_file(csv, v2_csv);
+    chop_bytes(csv, b);
+    const auto [cells, end] = complete_prefix(scan_csv(csv), 2);
+    ASSERT_EQ(cells, 3u) << "v2 csv cut " << b;
+    ASSERT_EQ(end, csv_prefix) << "v2 csv cut " << b;
+  }
+  std::filesystem::remove_all(root);
+}
+
+// ---------------------------------------------------------------------------
+// Merge failure taxonomy: exit 2 = corrupt bytes, exit 3 = wrong shard set.
+
+TEST(MergeTaxonomyTest, CorruptInputExitsTwoAndNamesFileLineAndByte) {
+  const std::string root = temp_path("dist_merge_tax2");
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+  write_shard_jsonl(root + "/s0.jsonl", {0});
+  chop_bytes(root + "/s0.jsonl", 3);
+
+  MergeOptions o;
+  o.jsonl_out = root + "/m.jsonl";
+  o.jsonl_in = {root + "/s0.jsonl"};
+  std::ostringstream out, err;
+  EXPECT_EQ(run_merge(o, out, err), 2);
+  EXPECT_NE(err.str().find(root + "/s0.jsonl:"), std::string::npos)
+      << err.str();
+  EXPECT_NE(err.str().find("(byte "), std::string::npos) << err.str();
+
+  try {
+    merge_jsonl({root + "/s0.jsonl"});
+    FAIL() << "torn shard accepted";
+  } catch (const MergeError& e) {
+    EXPECT_EQ(e.fault, MergeFault::kCorrupt);
+    EXPECT_NE(std::string(e.what()).find("(byte "), std::string::npos);
+  }
+  std::filesystem::remove_all(root);
+}
+
+TEST(MergeTaxonomyTest, GapAndDuplicateExitThree) {
+  const std::string root = temp_path("dist_merge_tax3");
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+  write_shard_jsonl(root + "/s0.jsonl", {0});
+  write_shard_jsonl(root + "/s2.jsonl", {2});
+
+  MergeOptions gap;
+  gap.jsonl_out = root + "/m.jsonl";
+  gap.jsonl_in = {root + "/s0.jsonl", root + "/s2.jsonl"};
+  std::ostringstream out, err;
+  EXPECT_EQ(run_merge(gap, out, err), 3);
+  EXPECT_NE(err.str().find("missing"), std::string::npos) << err.str();
+
+  write_shard_jsonl(root + "/dup.jsonl", {0});
+  MergeOptions dup;
+  dup.jsonl_out = root + "/m.jsonl";
+  dup.jsonl_in = {root + "/s0.jsonl", root + "/dup.jsonl"};
+  std::ostringstream err2;
+  EXPECT_EQ(run_merge(dup, out, err2), 3);
+  EXPECT_NE(err2.str().find("duplicate"), std::string::npos) << err2.str();
+
+  try {
+    merge_jsonl({root + "/s0.jsonl", root + "/s2.jsonl"});
+    FAIL() << "gap accepted";
+  } catch (const MergeError& e) {
+    EXPECT_EQ(e.fault, MergeFault::kGapOrDuplicate);
+  }
+  std::filesystem::remove_all(root);
+}
+
+TEST(MergeTaxonomyTest, AllowGapsMergesSurvivorsAndReportsTheMissing) {
+  const std::string root = temp_path("dist_merge_gaps");
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+  write_shard_jsonl(root + "/s0.jsonl", {0});
+  write_shard_jsonl(root + "/s2.jsonl", {2, 3});
+
+  std::vector<std::uint64_t> indices, missing;
+  const std::string text = merge_jsonl(
+      {root + "/s0.jsonl", root + "/s2.jsonl"}, &indices, true, &missing);
+  EXPECT_EQ(indices, (std::vector<std::uint64_t>{0, 2, 3}));
+  EXPECT_EQ(missing, (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(text,
+            read_file(root + "/s0.jsonl") + read_file(root + "/s2.jsonl"));
+
+  MergeOptions o;
+  o.allow_gaps = true;
+  o.jsonl_out = root + "/m.jsonl";
+  o.jsonl_in = {root + "/s0.jsonl", root + "/s2.jsonl"};
+  std::ostringstream out, err;
+  EXPECT_EQ(run_merge(o, out, err), 0) << err.str();
+  EXPECT_NE(err.str().find("missing"), std::string::npos) << err.str();
+  EXPECT_EQ(read_file(root + "/m.jsonl"), text);
+  std::filesystem::remove_all(root);
+}
+
+// ---------------------------------------------------------------------------
+// Status heartbeats: one staleness definition for every consumer.
+
+TEST(StatusTest, RoundTripsAndSharesTheStalenessDefinition) {
+  StatusSnapshot s;
+  s.sweep = "grid";
+  s.cells_done = 3;
+  s.cells_total = 8;
+  s.elapsed_seconds = 1.5;
+  s.eta_seconds = 2.5;
+  s.worker_busy_fraction = {0.5, 0.25};
+  const std::string path = temp_path("dist_status_rt.json");
+  write_status_file(path, s);
+  const StatusSnapshot r = read_status_file(path);
+  EXPECT_EQ(r.sweep, "grid");
+  EXPECT_EQ(r.cells_done, 3u);
+  EXPECT_EQ(r.cells_total, 8u);
+  EXPECT_DOUBLE_EQ(r.elapsed_seconds, 1.5);
+  ASSERT_TRUE(r.eta_seconds.has_value());
+  EXPECT_DOUBLE_EQ(*r.eta_seconds, 2.5);
+  EXPECT_EQ(r.worker_busy_fraction, (std::vector<double>{0.5, 0.25}));
+
+  // A null ETA (cells_done == 0) round-trips as "no estimate".
+  s.eta_seconds.reset();
+  write_status_file(path, s);
+  EXPECT_FALSE(read_status_file(path).eta_seconds.has_value());
+
+  // The shared staleness rule the supervisor and the inspector both use.
+  EXPECT_DOUBLE_EQ(kDefaultStaleAfterSeconds, 30.0);
+  EXPECT_FALSE(heartbeat_stale(29.0, 30.0));
+  EXPECT_TRUE(heartbeat_stale(30.5, 30.0));
+  EXPECT_FALSE(heartbeat_stale(1e9, 0.0));  // non-positive threshold = off
+
+  EXPECT_FALSE(
+      status_file_age_seconds(temp_path("dist_status_absent.json")).has_value());
+  std::optional<double> age = status_file_age_seconds(path);
+  ASSERT_TRUE(age.has_value());
+  EXPECT_GE(*age, 0.0);
+  EXPECT_LT(*age, 60.0);
+  std::filesystem::last_write_time(
+      path, std::filesystem::last_write_time(path) - std::chrono::minutes(2));
+  age = status_file_age_seconds(path);
+  ASSERT_TRUE(age.has_value());
+  EXPECT_GE(*age, 100.0);
+  std::filesystem::remove(path);
+}
+
+TEST(InspectTest, StatusFileReportsFreshAndStaleHeartbeats) {
+  StatusSnapshot s;
+  s.sweep = "grid";
+  s.cells_done = 3;
+  s.cells_total = 8;
+  s.elapsed_seconds = 1.5;
+  s.worker_busy_fraction = {1.0};
+  const std::string path = temp_path("dist_status_inspect.json");
+  write_status_file(path, s);
+
+  InspectOptions o;
+  o.status_path = path;
+  std::ostringstream fresh;
+  EXPECT_EQ(run_inspect(o, fresh), 0);
+  EXPECT_NE(fresh.str().find("grid"), std::string::npos) << fresh.str();
+  EXPECT_NE(fresh.str().find("3/8"), std::string::npos) << fresh.str();
+  EXPECT_NE(fresh.str().find("alive"), std::string::npos) << fresh.str();
+
+  // Age the heartbeat past the shared default threshold: stale, exit 1.
+  std::filesystem::last_write_time(
+      path, std::filesystem::last_write_time(path) - std::chrono::minutes(2));
+  std::ostringstream stale;
+  EXPECT_EQ(run_inspect(o, stale), 1);
+  EXPECT_NE(stale.str().find("STALE"), std::string::npos) << stale.str();
+
+  // A custom window rescues it; a sub-age window condemns it.
+  o.stale_after = 3600.0;
+  std::ostringstream wide;
+  EXPECT_EQ(run_inspect(o, wide), 0);
+  o.stale_after = 0.001;
+  std::ostringstream tight;
+  EXPECT_EQ(run_inspect(o, tight), 1);
+
+  // A vanished file is a dead shard, not a crash.
+  o.stale_after = 0.0;
+  o.status_path = temp_path("dist_status_gone.json");
+  std::ostringstream gone;
+  EXPECT_EQ(run_inspect(o, gone), 1);
+  EXPECT_NE(gone.str().find("STALE"), std::string::npos) << gone.str();
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet supervisor: deterministic backoff, argv parsing, and (when the
+// bench binaries are built) the live self-healing end-to-end paths.
+
+TEST(FleetBackoffTest, DeterministicCappedExponentialWithJitter) {
+  // Pure function: same inputs, same delay.
+  const std::uint64_t first = backoff_delay_ms(250, 1, 42, 0);
+  EXPECT_EQ(first, backoff_delay_ms(250, 1, 42, 0));
+  // Exponential floor with jitter bounded at half the deterministic delay.
+  EXPECT_GE(first, 250u);
+  EXPECT_LE(first, 375u);
+  const std::uint64_t second = backoff_delay_ms(250, 2, 42, 0);
+  EXPECT_GE(second, 500u);
+  EXPECT_LE(second, 750u);
+  // The cap holds no matter how many attempts have piled up.
+  const std::uint64_t capped = backoff_delay_ms(250, 60, 42, 0);
+  EXPECT_GE(capped, 30000u);
+  EXPECT_LE(capped, 45000u);
+  // Jitter decorrelates shards deterministically.
+  EXPECT_NE(backoff_delay_ms(250, 1, 42, 0), backoff_delay_ms(250, 1, 42, 1));
+  EXPECT_NE(backoff_delay_ms(250, 1, 42, 0), backoff_delay_ms(250, 1, 43, 0));
+  // A zero base floors to 1ms — a restart loop must never go hot.
+  EXPECT_EQ(backoff_delay_ms(0, 1, 7, 3), 1u);
+}
+
+TEST(FleetArgsTest, ParsesFlagsAndRejectsBadFaultSpecs) {
+  const char* argv[] = {
+      "mtr_fleet",     "fig04",          "--shards",       "8",
+      "--out-dir",     "/tmp/fleet",     "--max-retries",  "5",
+      "--backoff-base", "10",            "--heartbeat-timeout", "2.5",
+      "--fleet-seed",  "9",              "--allow-partial",
+      "--fault-inject", "3:crash-after-cell=1,torn-tail=4",
+      "--scale",       "0.5",            "--seeds",        "3"};
+  const FleetOptions o =
+      parse_fleet_args(static_cast<int>(std::size(argv)), argv);
+  EXPECT_EQ(o.sweeps, (std::vector<std::string>{"fig04"}));
+  EXPECT_EQ(o.shards, 8u);
+  EXPECT_EQ(o.out_dir, "/tmp/fleet");
+  EXPECT_EQ(o.max_retries, 5u);
+  EXPECT_EQ(o.backoff_base_ms, 10u);
+  EXPECT_DOUBLE_EQ(o.heartbeat_timeout, 2.5);
+  EXPECT_EQ(o.fleet_seed, 9u);
+  EXPECT_TRUE(o.allow_partial);
+  ASSERT_EQ(o.faults.size(), 1u);
+  EXPECT_EQ(o.faults[0].first, 3u);
+  EXPECT_EQ(o.faults[0].second, "crash-after-cell=1,torn-tail=4");
+  ASSERT_TRUE(o.scale.has_value());
+  EXPECT_DOUBLE_EQ(*o.scale, 0.5);
+  ASSERT_TRUE(o.seeds.has_value());
+  EXPECT_EQ(*o.seeds, 3u);
+
+  const char* no_colon[] = {"mtr_fleet", "--fault-inject", "crash-after-cell=1"};
+  EXPECT_THROW(parse_fleet_args(3, no_colon), std::runtime_error);
+  const char* bad_spec[] = {"mtr_fleet", "--fault-inject", "0:bogus=1"};
+  EXPECT_THROW(parse_fleet_args(3, bad_spec), std::runtime_error);
+  const char* dup[] = {"mtr_fleet", "--fault-inject", "0:crash-after-cell=1",
+                       "--fault-inject", "0:sigkill-after-ms=5"};
+  EXPECT_THROW(parse_fleet_args(5, dup), std::runtime_error);
+  const char* bad_shard[] = {"mtr_fleet", "--fault-inject",
+                             "x:crash-after-cell=1"};
+  EXPECT_THROW(parse_fleet_args(3, bad_shard), std::runtime_error);
+}
+
+#ifdef MTR_SWEEP_BIN
+
+/// Fleet options sized for the test registry's cheapest real sweep.
+FleetOptions quick_fleet(const std::string& out_dir) {
+  FleetOptions o = default_fleet_options();
+  o.sweep_bin = MTR_SWEEP_BIN;
+  o.out_dir = out_dir;
+  o.shards = 4;
+  o.sweeps = {"fig04"};
+  o.scale = 0.02;
+  o.seeds = 2;
+  o.threads = 2;
+  o.quiet = true;
+  o.poll_ms = 10;
+  o.backoff_base_ms = 1;
+  o.fleet_seed = 42;
+  return o;
+}
+
+TEST(FleetTest, ChaosFleetMergesByteIdenticalToASingleProcessRun) {
+  const std::string root = temp_path("dist_fleet_chaos");
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+
+  // The clean single-process reference, produced by the real binary with
+  // the same workload shape the shards get.
+  const std::string ref = root + "/ref";
+  const std::string cmd = std::string(MTR_SWEEP_BIN) +
+      " fig04 --scale 0.02 --seeds 2 --threads 2 --quiet --no-progress"
+      " --metrics " + ref + "/metrics.json --out-dir " + ref +
+      " > " + root + "/ref.log 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+
+  // The fleet, under an adversarial schedule: shard 0 crashes after its
+  // first cell and tears 9 bytes off every sink; shard 1 takes a SIGKILL
+  // almost immediately.
+  FleetOptions o = quick_fleet(root + "/fleet");
+  o.faults = {{0u, "crash-after-cell=1,torn-tail=9"},
+              {1u, "sigkill-after-ms=1"}};
+  std::ostringstream out, err;
+  FleetReport report;
+  ASSERT_EQ(run_fleet(o, out, err, &report), 0) << err.str();
+  EXPECT_EQ(report.total_cells, 8u);
+  EXPECT_TRUE(report.merged);
+  ASSERT_EQ(report.shards.size(), 4u);
+  for (const ShardOutcome& s : report.shards) EXPECT_TRUE(s.succeeded);
+  EXPECT_EQ(report.shards[0].attempts, 2u);  // the injected crash cost one
+  // The supervisor saw the injected deaths and healed them.
+  EXPECT_NE(err.str().find("exited with code 70"), std::string::npos)
+      << err.str();
+  EXPECT_NE(err.str().find("killed by signal 9"), std::string::npos)
+      << err.str();
+
+  // The headline guarantee: byte-identical merged outputs, exact counters.
+  EXPECT_EQ(read_file(root + "/fleet/merged/fig04.csv"),
+            read_file(ref + "/fig04.csv"));
+  EXPECT_EQ(read_file(root + "/fleet/merged/fig04.jsonl"),
+            read_file(ref + "/fig04.jsonl"));
+  std::ostringstream cmp;
+  EXPECT_EQ(
+      compare_metrics(cmp, "fleet",
+                      read_metrics_json(root + "/fleet/merged/metrics.json"),
+                      "single", read_metrics_json(ref + "/metrics.json")),
+      0)
+      << cmp.str();
+  std::filesystem::remove_all(root);
+}
+
+TEST(FleetTest, AllowPartialMergesSurvivorsAndWritesTheGapManifest) {
+  const std::string root = temp_path("dist_fleet_partial");
+  std::filesystem::remove_all(root);
+  FleetOptions o = quick_fleet(root);
+  o.faults = {{2u, "fail-flush-at=1"}};
+  o.max_retries = 0;  // the fault would heal on retry; forbid it
+  o.allow_partial = true;
+  std::ostringstream out, err;
+  FleetReport report;
+  ASSERT_EQ(run_fleet(o, out, err, &report), 0) << err.str();
+  ASSERT_EQ(report.shards.size(), 4u);
+  EXPECT_FALSE(report.shards[2].succeeded);
+  EXPECT_TRUE(report.merged);
+  // 8 cells round-robined over 4 shards: shard 2 owned cells 2 and 6.
+  EXPECT_EQ(report.missing_cells, (std::vector<std::uint64_t>{2, 6}));
+  EXPECT_NE(err.str().find("FAILED"), std::string::npos) << err.str();
+
+  const std::string manifest = read_file(root + "/merged/gaps.json");
+  EXPECT_NE(manifest.find("\"record\": \"gap_manifest\""), std::string::npos)
+      << manifest;
+  EXPECT_NE(manifest.find("\"shard\": 2"), std::string::npos);
+  EXPECT_NE(manifest.find("\"missing_cells\": [2, 6]"), std::string::npos);
+
+  // The merged JSONL holds exactly the surviving cells, in index order.
+  const FileScan merged = scan_jsonl(root + "/merged/fig04.jsonl");
+  EXPECT_TRUE(merged.clean);
+  std::vector<std::uint64_t> cells;
+  for (const CellBlock& b : merged.blocks) cells.push_back(b.cell_index);
+  EXPECT_EQ(cells, (std::vector<std::uint64_t>{0, 1, 3, 4, 5, 7}));
+  std::filesystem::remove_all(root);
+}
+
+TEST(FleetTest, ExhaustedRetriesFailTheFleetWithAPerShardReport) {
+  const std::string root = temp_path("dist_fleet_fail");
+  std::filesystem::remove_all(root);
+  FleetOptions o = quick_fleet(root);
+  o.faults = {{0u, "crash-after-cell=0"}};
+  o.max_retries = 0;
+  std::ostringstream out, err;
+  FleetReport report;
+  EXPECT_EQ(run_fleet(o, out, err, &report), 1);
+  ASSERT_EQ(report.shards.size(), 4u);
+  EXPECT_FALSE(report.shards[0].succeeded);
+  EXPECT_EQ(report.shards[0].attempts, 1u);
+  EXPECT_EQ(report.shards[0].exit_code, kFaultCrashExitCode);
+  EXPECT_FALSE(report.merged);
+  EXPECT_NE(err.str().find("retries exhausted"), std::string::npos)
+      << err.str();
+  EXPECT_NE(err.str().find("FAILED after 1 attempt(s)"), std::string::npos)
+      << err.str();
+  EXPECT_NE(err.str().find("exit code 70"), std::string::npos) << err.str();
+  EXPECT_NE(err.str().find("log: "), std::string::npos) << err.str();
+  EXPECT_TRUE(std::filesystem::exists(report.shards[0].log_path));
+  std::filesystem::remove_all(root);
+}
+
+TEST(FleetTest, StaleHeartbeatGetsTheShardKilledAndReportedAsHung) {
+  const std::string root = temp_path("dist_fleet_hang");
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+  // A stand-in shard that answers the preflight then hangs forever
+  // without ever writing a heartbeat.
+  const std::string script = root + "/hang.sh";
+  write_file(script,
+             "#!/bin/sh\n"
+             "case \"$*\" in\n"
+             "  *--dry-run*) echo 'dry run: 1 sweep(s), 8 cell(s)'; exit 0;;\n"
+             "esac\n"
+             "exec sleep 30\n");
+  std::filesystem::permissions(script, std::filesystem::perms::owner_all,
+                               std::filesystem::perm_options::add);
+
+  FleetOptions o = quick_fleet(root + "/fleet");
+  o.sweep_bin = script;
+  o.shards = 1;
+  o.max_retries = 0;
+  o.heartbeat_timeout = 0.3;
+  std::ostringstream out, err;
+  FleetReport report;
+  EXPECT_EQ(run_fleet(o, out, err, &report), 1);
+  ASSERT_EQ(report.shards.size(), 1u);
+  EXPECT_FALSE(report.shards[0].succeeded);
+  EXPECT_TRUE(report.shards[0].hung);
+  EXPECT_EQ(report.shards[0].term_signal, SIGKILL);
+  EXPECT_GE(report.shards[0].last_heartbeat_age, 0.3);
+  EXPECT_NE(err.str().find("heartbeat stale"), std::string::npos)
+      << err.str();
+  EXPECT_NE(err.str().find("hung (last heartbeat"), std::string::npos)
+      << err.str();
+  std::filesystem::remove_all(root);
+}
+
+#ifdef MTR_FLEET_BIN
+TEST(FleetTest, CliHelpAndUsageExitCodes) {
+  EXPECT_EQ(
+      WEXITSTATUS(std::system(MTR_FLEET_BIN " --help >/dev/null 2>&1")), 0);
+  // No --out-dir: a usage error, exit 2 (distinct from shard failures).
+  EXPECT_EQ(
+      WEXITSTATUS(std::system(MTR_FLEET_BIN " fig04 >/dev/null 2>&1")), 2);
+}
+#endif  // MTR_FLEET_BIN
+
+#else  // !MTR_SWEEP_BIN
+
+TEST(FleetTest, EndToEndSuiteNeedsTheBenchBinaries) {
+  GTEST_SKIP() << "bench binaries not built (MTR_BUILD_BENCH=OFF) — the "
+                  "fleet end-to-end suite needs mtr_sweep/mtr_fleet";
+}
+
+#endif  // MTR_SWEEP_BIN
 
 }  // namespace
 }  // namespace mtr::dist
