@@ -1,12 +1,22 @@
 #!/usr/bin/env python3
-"""Rewrites a schema-v3 sweep artifact as its schema-v2 equivalent.
+"""Rewrites a sweep artifact as its previous-schema-version equivalent.
 
-v3 added only the scenario-axis coordinate columns (cpu_hz, ram_frames,
-reclaim_batch, ptrace, jiffy_timers) and bumped the version stamp; every
-other byte of a default-axes sweep is identical to what a v2 build wrote.
-Stripping those columns (and rewriting the stamp) therefore reproduces the
-v2 file byte for byte — CI uses this to assert that opening the scenario
-axes did not perturb any pre-existing result.
+Each schema bump only appended columns and bumped the version stamp; every
+other byte of an axes-closed sweep is identical to what the older build
+wrote. Stripping the added columns (and rewriting the stamp) therefore
+reproduces the older file byte for byte — CI chains the steps (4->3 against
+the pre-population golden, then 3->2 against the pre-scenario-axes golden)
+to assert that opening new axes never perturbed a pre-existing result.
+
+The input version is detected from the records themselves; one call strips
+exactly one version step:
+
+  v4 -> v3: population coordinates (population, attacker_fraction,
+            victim_nice, attacker_nice), the pop_* per-tenant summary
+            scalars and encoded sketch strings on run records, and the
+            pop_* aggregate/_dist objects on cell records.
+  v3 -> v2: scenario-axis coordinates (cpu_hz, ram_frames, reclaim_batch,
+            ptrace, jiffy_timers).
 
 usage: schema_downgrade.py IN.{csv,jsonl} OUT
 """
@@ -16,41 +26,91 @@ import io
 import re
 import sys
 
+V4_COLUMNS = [
+    "population",
+    "attacker_fraction",
+    "victim_nice",
+    "attacker_nice",
+    "pop_tenants",
+    "pop_attackers",
+    "pop_flagged_attackers",
+    "pop_flagged_honest",
+    "pop_billing_error_mean",
+    "pop_billing_error_p99",
+    "pop_attacker_advantage_mean",
+    "pop_detection_tpr",
+    "pop_detection_fpr",
+    "pop_billing_error_sketch",
+    "pop_billed_sketch",
+    "pop_true_sketch",
+    "pop_advantage_sketch",
+]
+
 V3_COLUMNS = ["cpu_hz", "ram_frames", "reclaim_batch", "ptrace", "jiffy_timers"]
 
-# One ,"key":value pair per v3 key; values are numbers, booleans, or a
-# quote-free enum string, so a non-greedy match to the next comma/brace is
-# exact.
+# One ,"key":value pair per added key. Values never contain a comma, brace,
+# or escaped quote: numbers are %.17g tokens, sketch strings use only
+# [0-9;: .e+-], enums are quote-free words — so the value patterns below
+# are exact. The pop_* object alternative covers the cell-record aggregate
+# summaries ("pop_tenants":{...}) and the "_dist" quantile objects; the
+# scalar alternatives win on run records where the same keys hold numbers.
+V4_JSON_RE = re.compile(
+    r',"(?:population|pop_tenants|pop_attackers|pop_flagged_attackers'
+    r'|pop_flagged_honest)":\d+'
+    r'|,"(?:attacker_fraction|victim_nice|attacker_nice|pop_billing_error_mean'
+    r'|pop_billing_error_p99|pop_attacker_advantage_mean|pop_detection_tpr'
+    r'|pop_detection_fpr)":[^,{}"]+'
+    r'|,"pop_(?:billing_error|billed|true|advantage)_sketch":"[^"]*"'
+    r'|,"pop_[a-z0-9_]+":\{[^{}]*\}'
+)
+
 V3_JSON_RE = re.compile(
     r',"(?:cpu_hz|ram_frames|reclaim_batch|jiffy_timers)":(?:\d+|true|false)'
     r'|,"ptrace":"[^"]*"'
 )
 
+STEPS = {4: (V4_COLUMNS, V4_JSON_RE), 3: (V3_COLUMNS, V3_JSON_RE)}
+
 
 def downgrade_csv(text: str) -> str:
     rows = list(csv.reader(io.StringIO(text)))
     header = rows[0]
-    keep = [i for i, key in enumerate(header) if key not in V3_COLUMNS]
     schema_col = header.index("schema")
+    if not rows[1:]:
+        raise SystemExit("no data rows: cannot detect schema version")
+    version = int(rows[1][schema_col])
+    if version not in STEPS:
+        raise SystemExit(f"no downgrade step from schema {version}")
+    columns, _ = STEPS[version]
+    keep = [i for i, key in enumerate(header) if key not in columns]
     out = io.StringIO()
     writer = csv.writer(out, lineterminator="\n", quoting=csv.QUOTE_MINIMAL)
     writer.writerow([header[i] for i in keep])
     for row in rows[1:]:
-        if row[schema_col] != "3":
-            raise SystemExit(f"expected schema 3 rows, found {row[schema_col]!r}")
-        row[schema_col] = "2"
+        if row[schema_col] != str(version):
+            raise SystemExit(
+                f"expected schema {version} rows, found {row[schema_col]!r}")
+        row[schema_col] = str(version - 1)
         writer.writerow([row[i] for i in keep])
     return out.getvalue()
 
 
 def downgrade_jsonl(text: str) -> str:
-    lines = []
-    for line in text.splitlines():
-        if '"schema":3' not in line:
-            raise SystemExit(f"expected schema 3 records, got: {line[:80]}")
-        line = line.replace('"schema":3', '"schema":2', 1)
-        lines.append(V3_JSON_RE.sub("", line))
-    return "".join(line + "\n" for line in lines)
+    lines = text.splitlines()
+    if not lines:
+        raise SystemExit("empty file: cannot detect schema version")
+    m = re.search(r'"schema":(\d+)', lines[0])
+    if not m or int(m.group(1)) not in STEPS:
+        raise SystemExit(f"no downgrade step from: {lines[0][:80]}")
+    version = int(m.group(1))
+    _, pattern = STEPS[version]
+    stamp, restamp = f'"schema":{version}', f'"schema":{version - 1}'
+    out = []
+    for line in lines:
+        if stamp not in line:
+            raise SystemExit(f"expected schema {version} records, got: {line[:80]}")
+        out.append(pattern.sub("", line.replace(stamp, restamp, 1)))
+    return "".join(line + "\n" for line in out)
 
 
 def main() -> None:

@@ -16,6 +16,7 @@ void register_all_sweeps(report::SweepRegistry& registry) {
   register_tab_scheduler_ablation(registry);
   register_tab_tick_granularity(registry);
   register_ablations(registry);
+  register_populations(registry);
 }
 
 }  // namespace mtr::bench

@@ -24,6 +24,9 @@ void register_tab_tick_granularity(report::SweepRegistry& registry);
 /// The scenario-axis ablations (abl_cpufreq, abl_ramsize, abl_ptrace,
 /// abl_jiffy_timer) — one per BatchGrid scenario axis.
 void register_ablations(report::SweepRegistry& registry);
+/// The population-scale multi-tenant sweeps (pop_billing_gap,
+/// pop_interference, pop_detection) — one per v4 grid axis.
+void register_populations(report::SweepRegistry& registry);
 
 /// Every figure, table, and ablation sweep, in paper order.
 void register_all_sweeps(report::SweepRegistry& registry);

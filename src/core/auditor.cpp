@@ -65,4 +65,13 @@ AuditReport Auditor::audit(const SignedUsageReport& report,
   return out;
 }
 
+bool Auditor::meter_divergence_flagged(double tick_seconds,
+                                       double fine_seconds, double tolerance,
+                                       double floor_seconds) {
+  const double gap = fine_seconds - tick_seconds;  // underbilling only
+  if (gap <= floor_seconds) return false;
+  const double base = std::max(fine_seconds, 1e-9);
+  return gap / base > tolerance;
+}
+
 }  // namespace mtr::core

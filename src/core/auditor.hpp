@@ -64,6 +64,18 @@ class Auditor {
                     double fine_seconds, double stime_share,
                     double major_faults_per_second) const;
 
+  /// The audit's meter cross-check adapted to per-tenant screening.
+  /// Population sweeps run it for every tenant, where the full
+  /// TPM-quote/witness pipeline would cost more than the tenants
+  /// themselves. The check is directional — a tenant is flagged when its
+  /// tick bill falls below its fine-grained truth by more than `tolerance`
+  /// relative AND more than `floor_seconds` absolute (one timer tick:
+  /// quantization noise and ticks stolen BY neighbors are not evidence of
+  /// the tenant itself dodging the meter).
+  static bool meter_divergence_flagged(double tick_seconds,
+                                       double fine_seconds, double tolerance,
+                                       double floor_seconds);
+
  private:
   AuditExpectations exp_;
 };

@@ -42,12 +42,22 @@ BatchGrid normalized_grid(const BatchGrid& grid) {
   if (g.ram.empty()) g.ram.push_back({k.ram_frames, k.reclaim_batch});
   if (g.ptrace_policies.empty()) g.ptrace_policies.push_back(k.ptrace_policy);
   if (g.jiffy_timers.empty()) g.jiffy_timers.push_back(k.jiffy_resolution_timers);
+  if (g.population_sizes.empty()) g.population_sizes.push_back(g.base.population.size);
+  if (g.attacker_fractions.empty())
+    g.attacker_fractions.push_back(g.base.population.attacker_fraction);
+  if (g.nice_levels.empty()) g.nice_levels.push_back(g.base.nice);
   if (g.seeds.empty()) g.seeds.push_back(k.seed);
   return g;
 }
 
 GridCellIndices GridGeometry::coords(std::size_t cell) const {
   GridCellIndices ix;
+  ix.nice = cell % nices;
+  cell /= nices;
+  ix.fraction = cell % fractions;
+  cell /= fractions;
+  ix.population = cell % populations;
+  cell /= populations;
   ix.jiffy = cell % jiffies;
   cell /= jiffies;
   ix.ptrace = cell % ptraces;
@@ -73,6 +83,9 @@ GridGeometry grid_geometry(const BatchGrid& grid) {
   g.rams = extent(grid.ram.size());
   g.ptraces = extent(grid.ptrace_policies.size());
   g.jiffies = extent(grid.jiffy_timers.size());
+  g.populations = extent(grid.population_sizes.size());
+  g.fractions = extent(grid.attacker_fractions.size());
+  g.nices = extent(grid.nice_levels.size());
   return g;
 }
 
@@ -92,6 +105,11 @@ GridCellCoords grid_cell_coords(const BatchGrid& grid, std::size_t cell) {
   c.ram = axis_value(grid.ram, ix.ram, RamSpec{k.ram_frames, k.reclaim_batch});
   c.ptrace = axis_value(grid.ptrace_policies, ix.ptrace, k.ptrace_policy);
   c.jiffy_timers = axis_value(grid.jiffy_timers, ix.jiffy, k.jiffy_resolution_timers);
+  c.population =
+      axis_value(grid.population_sizes, ix.population, grid.base.population.size);
+  c.attacker_fraction = axis_value(grid.attacker_fractions, ix.fraction,
+                                   grid.base.population.attacker_fraction);
+  c.nice = axis_value(grid.nice_levels, ix.nice, grid.base.nice);
   return c;
 }
 
@@ -104,7 +122,9 @@ bool CellStats::all_source_ok() const {
 std::uint64_t cell_seed(std::uint64_t grid_seed, std::size_t attack_i,
                         std::size_t scheduler_i, std::size_t tick_i,
                         std::size_t cpu_i, std::size_t ram_i,
-                        std::size_t ptrace_i, std::size_t jiffy_i) {
+                        std::size_t ptrace_i, std::size_t jiffy_i,
+                        std::size_t population_i, std::size_t fraction_i,
+                        std::size_t nice_i) {
   std::uint64_t h = splitmix64(grid_seed);
   h = splitmix64(h ^ (static_cast<std::uint64_t>(attack_i) + 1));
   h = splitmix64(h ^ ((static_cast<std::uint64_t>(scheduler_i) + 1) << 20));
@@ -116,12 +136,15 @@ std::uint64_t cell_seed(std::uint64_t grid_seed, std::size_t attack_i,
   if (ram_i) h = splitmix64(h ^ (ram_i * 0x9FB21C651E98DF25ull));
   if (ptrace_i) h = splitmix64(h ^ (ptrace_i * 0xD6E8FEB86659FD93ull));
   if (jiffy_i) h = splitmix64(h ^ (jiffy_i * 0xCA5A826395121157ull));
+  if (population_i) h = splitmix64(h ^ (population_i * 0xE7037ED1A0B428DBull));
+  if (fraction_i) h = splitmix64(h ^ (fraction_i * 0x8EBC6AF09C88C6E3ull));
+  if (nice_i) h = splitmix64(h ^ (nice_i * 0x589965CC75374CC3ull));
   return h;
 }
 
 std::uint64_t cell_seed(std::uint64_t grid_seed, const GridCellIndices& ix) {
   return cell_seed(grid_seed, ix.attack, ix.scheduler, ix.tick, ix.cpu, ix.ram,
-                   ix.ptrace, ix.jiffy);
+                   ix.ptrace, ix.jiffy, ix.population, ix.fraction, ix.nice);
 }
 
 BatchRunner::BatchRunner(unsigned threads) : threads_(threads) {
@@ -181,6 +204,9 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
     s.ram = g.ram[ix.ram];
     s.ptrace = g.ptrace_policies[ix.ptrace];
     s.jiffy_timers = g.jiffy_timers[ix.jiffy];
+    s.population = g.population_sizes[ix.population];
+    s.attacker_fraction = g.attacker_fractions[ix.fraction];
+    s.nice = g.nice_levels[ix.nice];
     s.cell_index = g.cell_index_base + active[pos];
     s.seeds = g.seeds;
     s.runs.reserve(n_seeds);
@@ -191,6 +217,9 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
       const ExperimentResult& r = s.runs.back();
       s.for_each_stat(
           [&](const char*, RunningStats& stat, auto get) { stat.add(get(r)); });
+      s.for_each_sketch([&](const char*, QuantileSketch& sketch, auto get) {
+        sketch.merge(get(r));
+      });
       s.kstats.merge(r.kstats);
       s.telemetry.merge(r.telemetry);
     }
@@ -223,6 +252,9 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
         cfg.sim.kernel.reclaim_batch = g.ram[ix.ram].reclaim_batch;
         cfg.sim.kernel.ptrace_policy = g.ptrace_policies[ix.ptrace];
         cfg.sim.kernel.jiffy_resolution_timers = g.jiffy_timers[ix.jiffy];
+        cfg.population.size = g.population_sizes[ix.population];
+        cfg.population.attacker_fraction = g.attacker_fractions[ix.fraction];
+        cfg.nice = g.nice_levels[ix.nice];
         cfg.sim.kernel.seed = cell_seed(g.seeds[seed_i], ix);
         cfg.trace.collect_stats =
             cfg.trace.collect_stats || g.collect_kernel_stats;
@@ -321,6 +353,16 @@ std::vector<CellStats> BatchRunner::run(const BatchGrid& grid,
       where += std::string(", ptrace=") + kernel::to_string(g.ptrace_policies[ix.ptrace]);
     if (geom.jiffies > 1)
       where += std::string(", jiffy_timers=") + (g.jiffy_timers[ix.jiffy] ? "on" : "off");
+    if (geom.populations > 1)
+      where += ", population=" + std::to_string(g.population_sizes[ix.population]);
+    if (geom.fractions > 1)
+      where += ", attacker_fraction=" +
+               std::to_string(g.attacker_fractions[ix.fraction]);
+    if (geom.nices > 1)
+      where += ", victim_nice=" +
+               std::to_string(static_cast<int>(g.nice_levels[ix.nice].victim.v)) +
+               ", attacker_nice=" +
+               std::to_string(static_cast<int>(g.nice_levels[ix.nice].attacker.v));
     if (!error_from_callback) where += ", seed=" + std::to_string(g.seeds[seed_i]);
     where += error_from_callback ? "] per-cell callback" : "]";
     try {

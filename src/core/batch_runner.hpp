@@ -62,6 +62,13 @@ struct BatchGrid {
   std::vector<RamSpec> ram;
   std::vector<kernel::PtracePolicy> ptrace_policies;
   std::vector<bool> jiffy_timers;
+  /// Population axes: tenants per host and the attacker fraction among
+  /// them (src/workloads/population.hpp), plus victim/attacker niceness.
+  /// Left empty they default to `base` like every other axis, and closed
+  /// axes reproduce pre-population artifacts byte-for-byte.
+  std::vector<std::uint32_t> population_sizes;
+  std::vector<double> attacker_fractions;
+  std::vector<NiceSpec> nice_levels;
   std::vector<std::uint64_t> seeds;
 
   /// Optional cell-subset filter (sharding, resume): called with each
@@ -99,6 +106,9 @@ struct GridCellIndices {
   std::size_t ram = 0;
   std::size_t ptrace = 0;
   std::size_t jiffy = 0;
+  std::size_t population = 0;
+  std::size_t fraction = 0;
+  std::size_t nice = 0;
 };
 
 /// Normalized per-axis extents of a grid (empty axes count 1) and the cell
@@ -114,11 +124,15 @@ struct GridGeometry {
   std::size_t rams = 1;
   std::size_t ptraces = 1;
   std::size_t jiffies = 1;
+  std::size_t populations = 1;
+  std::size_t fractions = 1;
+  std::size_t nices = 1;
 
   std::size_t cell_count() const {
-    return attacks * schedulers * ticks * cpus * rams * ptraces * jiffies;
+    return attacks * schedulers * ticks * cpus * rams * ptraces * jiffies *
+           populations * fractions * nices;
   }
-  /// Decomposes a grid-order cell index (attack-major, jiffy-minor).
+  /// Decomposes a grid-order cell index (attack-major, nice-minor).
   GridCellIndices coords(std::size_t cell) const;
 };
 
@@ -137,6 +151,9 @@ struct GridCellCoords {
   RamSpec ram{};
   kernel::PtracePolicy ptrace{};
   bool jiffy_timers = true;
+  std::uint32_t population = 1;
+  double attacker_fraction = 0.0;
+  NiceSpec nice{};
 };
 GridCellCoords grid_cell_coords(const BatchGrid& grid, std::size_t cell);
 
@@ -150,6 +167,9 @@ struct CellStats {
   RamSpec ram{};
   kernel::PtracePolicy ptrace{};
   bool jiffy_timers = true;
+  std::uint32_t population = 1;
+  double attacker_fraction = 0.0;
+  NiceSpec nice{};
   /// Invocation-global cell index: BatchGrid::cell_index_base plus the
   /// cell's grid-order index. Serialized into every record so sharded
   /// outputs can be merged back into canonical order.
@@ -170,6 +190,23 @@ struct CellStats {
   RunningStats debug_exceptions;
   RunningStats attacker_billed_seconds;
   RunningStats attacker_true_seconds;
+  RunningStats pop_tenants;
+  RunningStats pop_attackers;
+  RunningStats pop_flagged_attackers;
+  RunningStats pop_flagged_honest;
+  RunningStats pop_billing_error_mean;
+  RunningStats pop_billing_error_p99;
+  RunningStats pop_attacker_advantage_mean;
+  RunningStats pop_detection_tpr;
+  RunningStats pop_detection_fpr;
+
+  /// Population distribution aggregates (schema v4): exact bucket-wise
+  /// merges of the per-run sketches — one sample per tenant per run, so
+  /// the cell record stays O(sketch buckets) at any population size.
+  QuantileSketch pop_billing_error;
+  QuantileSketch pop_billed_seconds;
+  QuantileSketch pop_true_seconds;
+  QuantileSketch pop_attacker_advantage;
 
   /// Kernel observability counters summed over the cell's runs. Populated
   /// only when BatchGrid::collect_kernel_stats (or tracing) is on, and
@@ -191,6 +228,19 @@ struct CellStats {
   template <typename F>
   void for_each_stat(F&& f) const {
     visit_stats(*this, f);
+  }
+
+  /// Visits every population sketch as f(name, sketch, get) where `get`
+  /// extracts the per-run sketch to merge in. Same single-source-of-truth
+  /// role as for_each_stat, for the v4 distribution aggregates; the names
+  /// are the cell-record keys.
+  template <typename F>
+  void for_each_sketch(F&& f) {
+    visit_sketches(*this, f);
+  }
+  template <typename F>
+  void for_each_sketch(F&& f) const {
+    visit_sketches(*this, f);
   }
 
   const ExperimentResult& first_run() const { return runs.front(); }
@@ -219,6 +269,39 @@ struct CellStats {
       +[](R r) { return r.attacker_billed_seconds; });
     f("attacker_true_seconds", self.attacker_true_seconds,
       +[](R r) { return r.attacker_true_seconds; });
+    // v4 population summaries — appended so the v3 emission order above is
+    // untouched (consumers gate on the record's schema version).
+    f("pop_tenants", self.pop_tenants,
+      +[](R r) { return static_cast<double>(r.pop_tenants); });
+    f("pop_attackers", self.pop_attackers,
+      +[](R r) { return static_cast<double>(r.pop_attackers); });
+    f("pop_flagged_attackers", self.pop_flagged_attackers,
+      +[](R r) { return static_cast<double>(r.pop_flagged_attackers); });
+    f("pop_flagged_honest", self.pop_flagged_honest,
+      +[](R r) { return static_cast<double>(r.pop_flagged_honest); });
+    f("pop_billing_error_mean", self.pop_billing_error_mean,
+      +[](R r) { return r.pop_billing_error_mean; });
+    f("pop_billing_error_p99", self.pop_billing_error_p99,
+      +[](R r) { return r.pop_billing_error_p99; });
+    f("pop_attacker_advantage_mean", self.pop_attacker_advantage_mean,
+      +[](R r) { return r.pop_attacker_advantage_mean; });
+    f("pop_detection_tpr", self.pop_detection_tpr,
+      +[](R r) { return r.pop_detection_tpr; });
+    f("pop_detection_fpr", self.pop_detection_fpr,
+      +[](R r) { return r.pop_detection_fpr; });
+  }
+
+  template <typename Self, typename F>
+  static void visit_sketches(Self& self, F& f) {
+    using R = const ExperimentResult&;
+    f("pop_billing_error_dist", self.pop_billing_error,
+      +[](R r) -> const QuantileSketch& { return r.pop_billing_error; });
+    f("pop_billed_dist", self.pop_billed_seconds,
+      +[](R r) -> const QuantileSketch& { return r.pop_billed_seconds; });
+    f("pop_true_dist", self.pop_true_seconds,
+      +[](R r) -> const QuantileSketch& { return r.pop_true_seconds; });
+    f("pop_advantage_dist", self.pop_attacker_advantage,
+      +[](R r) -> const QuantileSketch& { return r.pop_attacker_advantage; });
   }
 };
 
@@ -262,7 +345,9 @@ using CellCallback = std::function<void(const CellEvent&)>;
 std::uint64_t cell_seed(std::uint64_t grid_seed, std::size_t attack_i,
                         std::size_t scheduler_i, std::size_t tick_i,
                         std::size_t cpu_i = 0, std::size_t ram_i = 0,
-                        std::size_t ptrace_i = 0, std::size_t jiffy_i = 0);
+                        std::size_t ptrace_i = 0, std::size_t jiffy_i = 0,
+                        std::size_t population_i = 0, std::size_t fraction_i = 0,
+                        std::size_t nice_i = 0);
 
 /// Convenience over decomposed cell indices (see GridGeometry::coords).
 std::uint64_t cell_seed(std::uint64_t grid_seed, const GridCellIndices& ix);

@@ -4,9 +4,16 @@
 #include <optional>
 #include <stdexcept>
 
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "attacks/scheduling_attack.hpp"
 #include "common/ensure.hpp"
+#include "core/auditor.hpp"
 #include "trace/perfetto.hpp"
 #include "trace/tracer.hpp"
+#include "workloads/population.hpp"
 #include "workloads/stdlibs.hpp"
 
 namespace mtr::core {
@@ -53,13 +60,52 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
 
   sim::LaunchOptions opts;
   if (attack != nullptr) attack->prepare(sim, opts);
+  // Nice axis, gated on non-default so default cells keep the exact
+  // pre-axis instruction stream (byte-identity for closed-axes sweeps).
+  if (config.nice.victim.v != 0) opts.nice = config.nice.victim;
 
   const Pid victim = sim.launch(info.image, std::move(opts));
   const Tgid victim_tg = kernel.process(victim).tgid;
   telemetry.victim = victim_tg;  // the group victim_gap tracks
 
+  // Tenant population: the victim's neighbors on the host. Regenerated
+  // from the cell seed alone, so any shard/resume/thread split rebuilds
+  // the identical population.
+  const workloads::PopulationSpec& pop = config.population;
+  std::vector<std::pair<Tgid, bool>> neighbor_groups;  // tgid, is-attacker
+  if (pop.enabled()) {
+    const std::vector<workloads::TenantSpec> tenants =
+        workloads::generate_population(pop, config.sim.kernel.seed);
+    const double neighbor_cycles =
+        pop.load * static_cast<double>(info.nominal_cycles.v);
+    for (const workloads::TenantSpec& t : tenants) {
+      if (t.index == 0) continue;  // the metered victim itself
+      Pid pid;
+      if (t.attacker) {
+        attacks::SchedulingAttackParams ap;
+        ap.nice = config.nice.attacker;
+        ap.total_forks = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(std::llround(
+                   150'000.0 * config.workload.scale * pop.load * t.share)));
+        pid = attacks::SchedulingAttack::spawn_standalone(sim, ap);
+      } else {
+        kernel::SpawnSpec spec;
+        spec.name = workloads::tenant_name(t);
+        spec.program = workloads::make_tenant_program(t, neighbor_cycles);
+        spec.nice = config.nice.victim;  // customers schedule like the victim
+        spec.privileged = false;
+        pid = sim.spawn(std::move(spec));
+      }
+      neighbor_groups.emplace_back(kernel.process(pid).tgid, t.attacker);
+    }
+  }
+
   attacks::AttackContext ctx{sim, victim, victim_tg, info.hot_addr};
   if (attack != nullptr) attack->engage(ctx);
+  if (attack != nullptr && config.nice.attacker.v != 0) {
+    for (const Pid apid : attack->attacker_pids())
+      kernel.set_nice(apid, config.nice.attacker);
+  }
 
   const bool exited = sim.run_until_exit(victim, config.run_limit);
 
@@ -115,6 +161,57 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
                                 ticks_to_seconds(r.attacker_ticks.stime, hz);
     r.attacker_true_seconds =
         cycles_to_seconds(r.attacker_true_cycles.total(), cpu);
+  }
+
+  // --- per-tenant metering (schema v4 population aggregates) --------------
+  // One sketch sample per tenant: distributions stay O(sketch buckets) no
+  // matter how large the population grows. The victim is tenant 0 even in
+  // classic single-victim cells, so v4 columns are meaningful everywhere.
+  {
+    const double tolerance = AuditExpectations{}.meter_divergence_tolerance;
+    // One timer tick of absolute slack: below that, a billed-vs-truth gap
+    // is quantization noise, not meter dodging.
+    const double floor_seconds = 1.0 / static_cast<double>(hz.v);
+    double error_sum = 0.0;
+    double advantage_sum = 0.0;
+    const auto meter_tenant = [&](Tgid tg, bool attacker_tenant) {
+      const kernel::GroupUsage gu = kernel.group_usage(tg);
+      const double billed = ticks_to_seconds(gu.ticks.total(), hz);
+      const double truth = cycles_to_seconds(gu.true_cycles.total(), cpu);
+      r.pop_billing_error.add(billed - truth);
+      r.pop_billed_seconds.add(billed);
+      r.pop_true_seconds.add(truth);
+      error_sum += billed - truth;
+      const bool flagged = Auditor::meter_divergence_flagged(
+          billed, truth, tolerance, floor_seconds);
+      if (attacker_tenant) {
+        ++r.pop_attackers;
+        r.pop_attacker_advantage.add(truth - billed);
+        advantage_sum += truth - billed;
+        if (flagged) ++r.pop_flagged_attackers;
+      } else if (flagged) {
+        ++r.pop_flagged_honest;
+      }
+    };
+    meter_tenant(victim_tg, false);
+    for (const auto& [tg, attacker_tenant] : neighbor_groups)
+      meter_tenant(tg, attacker_tenant);
+    r.pop_tenants = 1 + neighbor_groups.size();
+    r.pop_billing_error_mean = error_sum / static_cast<double>(r.pop_tenants);
+    r.pop_billing_error_p99 = r.pop_billing_error.quantile(0.99);
+    r.pop_attacker_advantage_mean =
+        r.pop_attackers > 0
+            ? advantage_sum / static_cast<double>(r.pop_attackers)
+            : 0.0;
+    const std::uint64_t honest = r.pop_tenants - r.pop_attackers;
+    r.pop_detection_tpr =
+        r.pop_attackers > 0 ? static_cast<double>(r.pop_flagged_attackers) /
+                                  static_cast<double>(r.pop_attackers)
+                            : 0.0;
+    r.pop_detection_fpr =
+        honest > 0 ? static_cast<double>(r.pop_flagged_honest) /
+                         static_cast<double>(honest)
+                   : 0.0;
   }
 
   if (observing) {

@@ -7,9 +7,11 @@
 #include <string>
 
 #include "attacks/attack.hpp"
+#include "common/stats.hpp"
 #include "core/trusted_metering.hpp"
 #include "sim/simulation.hpp"
 #include "trace/metrics.hpp"
+#include "workloads/population.hpp"
 #include "workloads/workloads.hpp"
 
 namespace mtr::core {
@@ -33,9 +35,27 @@ struct TraceRequest {
   bool enabled() const { return !path.empty(); }
 };
 
+/// Victim/attacker scheduling niceness — one scenario axis on the grid
+/// seam. Defaults are the pre-axis behaviour: nobody is renamed from what
+/// the workload/attack chose for itself, so default-valued cells execute
+/// the exact pre-axis instruction stream.
+struct NiceSpec {
+  Nice victim{0};
+  Nice attacker{0};
+
+  bool is_default() const { return victim.v == 0 && attacker.v == 0; }
+
+  friend constexpr bool operator==(const NiceSpec&, const NiceSpec&) = default;
+};
+
 struct ExperimentConfig {
   workloads::WorkloadKind kind = workloads::WorkloadKind::kOurs;
   workloads::WorkloadParams workload{};
+  /// Tenant population sharing the host with the victim (size 1 = the
+  /// classic single-victim cell; the population path is disabled then).
+  workloads::PopulationSpec population{};
+  /// Victim/attacker nice values (0/0 = leave the defaults untouched).
+  NiceSpec nice{};
   sim::SimConfig sim{};
   Tariff tariff{};
   /// Hard cap on simulated time (safety net against runaway scenarios).
@@ -91,6 +111,24 @@ struct ExperimentResult {
   double attacker_billed_seconds = 0.0;
   CpuUsageCycles attacker_true_cycles;
   double attacker_true_seconds = 0.0;
+
+  // Population metering (schema v4). Tenant 0 is always the victim; the
+  // sketches hold one sample per tenant, so records stay O(sketch buckets)
+  // — never O(population) — at 10^4 processes per cell.
+  std::uint64_t pop_tenants = 1;
+  std::uint64_t pop_attackers = 0;
+  /// Tenants the auditor's meter cross-check flags, split by ground truth.
+  std::uint64_t pop_flagged_attackers = 0;
+  std::uint64_t pop_flagged_honest = 0;
+  double pop_billing_error_mean = 0.0;   // exact mean of per-tenant errors
+  double pop_billing_error_p99 = 0.0;    // sketch-derived tail
+  double pop_attacker_advantage_mean = 0.0;
+  double pop_detection_tpr = 0.0;  // flagged attackers / attackers
+  double pop_detection_fpr = 0.0;  // flagged honest / honest
+  QuantileSketch pop_billing_error;       // billed − true seconds, per tenant
+  QuantileSketch pop_billed_seconds;      // per-tenant tick bill
+  QuantileSketch pop_true_seconds;        // per-tenant ground truth
+  QuantileSketch pop_attacker_advantage;  // true − billed, attacker tenants
 
   // Observability (populated only when ExperimentConfig::trace asked for it;
   // never part of the CSV/JSONL result schema).

@@ -1,6 +1,7 @@
 #include "dist/inspect.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -32,10 +33,12 @@ modes (exactly one):
                    tracks, categories, schema stamp
   --jsonl FILE     rank the cells of a result JSONL by billing gap
                    (mean billed minus true seconds)
-  --compare A B    diff two metrics files; prints per-counter deltas and
-                   exits 1 when any counter-class value differs (timing-
-                   class values -- wall clocks, phases, pool, the
-                   cell_seconds sketch -- are reported, never fatal)
+  --compare A B    diff two metrics files; prints per-counter deltas plus
+                   side-by-side A/B sparklines of every gauge series with
+                   a delta row, and exits 1 when any counter-class value
+                   differs (timing-class values -- wall clocks, phases,
+                   pool, the cell_seconds sketch -- are reported, never
+                   fatal)
   --status-file F  render a mtr_sweep --status-file heartbeat: sweep,
                    cells done/total, elapsed, ETA, worker busy fractions,
                    heartbeat age; exits 1 when the heartbeat is stale
@@ -288,6 +291,64 @@ const trace::SweepMetrics* find_sweep(const MetricsFile& f,
   return nullptr;
 }
 
+/// Mean of one series bucket, or nullopt when the bucket holds no samples
+/// (or lies past the series' end — the shorter side of a length mismatch).
+std::optional<double> bucket_mean(const trace::TimeSeries& s, std::size_t i) {
+  if (i >= s.size() || s.bucket(i).count == 0) return std::nullopt;
+  const trace::SeriesBucket& b = s.bucket(i);
+  return static_cast<double>(b.sum) / static_cast<double>(b.count);
+}
+
+/// Side-by-side gauge-series sparklines for the two files, one block per
+/// series, with a delta row underneath: ' ' where the bucket means agree,
+/// '+' where B runs above A, '-' where it runs below, '!' where only one
+/// side has samples. Informational only — the series aggregates already
+/// compare in the counter class; this shows WHERE along the timeline two
+/// runs diverge, not just that they do.
+void render_series_comparison(std::ostream& out, const trace::SweepMetrics& ma,
+                              const trace::SweepMetrics& mb) {
+  std::vector<std::pair<const char*, const trace::TimeSeries*>> sa, sb;
+  ma.telemetry.for_each_series(
+      [&](const char* n, const trace::TimeSeries& s) { sa.emplace_back(n, &s); });
+  mb.telemetry.for_each_series(
+      [&](const char* n, const trace::TimeSeries& s) { sb.emplace_back(n, &s); });
+  for (std::size_t k = 0; k < sa.size() && k < sb.size(); ++k) {
+    const trace::TimeSeries& a = *sa[k].second;
+    const trace::TimeSeries& b = *sb[k].second;
+    if (a.empty() && b.empty()) continue;
+    out << "  series " << sa[k].first << " (A " << a.samples() << " samples @"
+        << a.width() << ", B " << b.samples() << " samples @" << b.width()
+        << "):\n";
+    out << "    A     |" << render_sparkline(a) << "|\n";
+    out << "    B     |" << render_sparkline(b) << "|\n";
+    std::string delta;
+    std::uint64_t differing = 0;
+    double max_gap = 0.0;
+    for (std::size_t i = 0; i < std::max(a.size(), b.size()); ++i) {
+      const std::optional<double> va = bucket_mean(a, i);
+      const std::optional<double> vb = bucket_mean(b, i);
+      if (!va && !vb) {
+        delta += ' ';
+      } else if (!va || !vb) {
+        delta += '!';
+        ++differing;
+      } else if (*va == *vb) {
+        delta += ' ';
+      } else {
+        delta += *vb > *va ? '+' : '-';
+        max_gap = std::max(max_gap, std::abs(*vb - *va));
+        ++differing;
+      }
+    }
+    out << "    delta |" << delta << "|  ";
+    if (differing == 0)
+      out << "bucket means identical\n";
+    else
+      out << differing << " bucket(s) differ, max |mean delta| "
+          << fmt6(max_gap) << "\n";
+  }
+}
+
 // ------------------------------------------------------------ trace mode
 
 int run_trace_summary(const InspectOptions& options, std::ostream& out) {
@@ -497,6 +558,7 @@ int compare_metrics(std::ostream& out, const std::string& name_a,
       out << "  counters: identical (" << fa.counters.size() << " compared)\n";
     counter_deltas += c;
     timing_deltas += diff_class(out, "timing", fa.timings, fb.timings);
+    render_series_comparison(out, *ma, *mb);
   }
   out << "summary: " << counter_deltas << " counter delta(s), "
       << timing_deltas << " timing delta(s) across " << order.size()

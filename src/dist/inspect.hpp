@@ -2,7 +2,8 @@
 // kinds the pipeline emits — metrics.json (quantile tables, kernel
 // counters, ASCII sparklines of the telemetry series), result JSONL
 // (top-N cells by billing gap), and Perfetto trace JSON (event census).
-// `--compare A B` diffs two metrics files per counter and exits nonzero
+// `--compare A B` diffs two metrics files per counter — with side-by-side
+// A/B sparklines of every gauge series plus a delta row — and exits nonzero
 // when any counter-class value differs — the CI check that shard-folded
 // metrics equal a single-process run's exactly (timing-class values:
 // wall clocks, phases, pool utilization, the cell_seconds sketch — are

@@ -198,8 +198,16 @@ std::string recompute_cell_line(const CellBlock& b, const std::string& path) {
   s.reclaim_batch = b.reclaim_batch;
   s.ptrace = b.ptrace;
   s.jiffy_timers = b.jiffy_timers;
+  s.population = static_cast<std::uint32_t>(b.population);
+  s.attacker_fraction = b.attacker_fraction;
+  s.victim_nice = b.victim_nice;
+  s.attacker_nice = b.attacker_nice;
   s.seeds = b.run_lines.size();
-  for (const std::string& key : cell_stat_keys()) s.stats.push_back({key, {}});
+  for (const std::string& key : cell_stat_keys(b.schema))
+    s.stats.push_back({key, {}});
+  if (b.schema >= 4)
+    for (const auto& cols : cell_sketch_columns())
+      s.sketches.emplace_back(cols.first, QuantileSketch{});
 
   for (std::size_t i = 0; i < b.run_lines.size(); ++i) {
     const std::string& line = b.run_lines[i];
@@ -226,6 +234,25 @@ std::string recompute_cell_line(const CellBlock& b, const std::string& path) {
                              " is missing or has an invalid field '" + st.key +
                              "'");
       st.stats.add(*v);
+    }
+    if (b.schema >= 4) {
+      // v4 run records carry the per-run sketches verbatim; merging them is
+      // exact (bucket counts sum), so the recomputed cell quantiles come
+      // out byte-identical to the single-process run.
+      const auto& columns = cell_sketch_columns();
+      for (std::size_t k = 0; k < columns.size(); ++k) {
+        const std::string& run_key = columns[k].second;
+        const auto token = json_string(f, run_key);
+        const auto sketch =
+            token ? report::decode_sketch(*token) : std::nullopt;
+        if (!sketch)
+          throw MergeError(MergeFault::kCorrupt,
+                           run_line_at(path, b, i) + ": run record of " +
+                               describe(b) +
+                               " is missing or has an invalid field '" +
+                               run_key + "'");
+        s.sketches[k].second.merge(*sketch);
+      }
     }
   }
 

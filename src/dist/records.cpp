@@ -115,6 +115,13 @@ std::optional<std::uint64_t> json_u64(
   return parse_u64(it->second);
 }
 
+std::optional<std::int64_t> json_i64(
+    const std::map<std::string, std::string>& fields, const std::string& key) {
+  const auto it = fields.find(key);
+  if (it == fields.end()) return std::nullopt;
+  return parse_number<std::int64_t>(it->second);
+}
+
 std::optional<double> json_double(
     const std::map<std::string, std::string>& fields, const std::string& key) {
   const auto it = fields.find(key);
@@ -134,15 +141,32 @@ std::optional<bool> json_bool(const std::map<std::string, std::string>& fields,
   return std::nullopt;
 }
 
-const std::vector<std::string>& cell_stat_keys() {
-  static const std::vector<std::string> keys = [] {
-    std::vector<std::string> k;
+std::vector<std::string> cell_stat_keys(std::uint64_t version) {
+  std::vector<std::string> k;
+  core::CellStats cell;
+  cell.for_each_stat(
+      [&](const char* name, const RunningStats&, auto) { k.emplace_back(name); });
+  if (version < 4) {
+    // The pop_* summaries arrived with v4; older cell lines never had them.
+    std::erase_if(k, [](const std::string& name) {
+      return name.rfind("pop_", 0) == 0;
+    });
+  }
+  return k;
+}
+
+const std::vector<std::pair<std::string, std::string>>& cell_sketch_columns() {
+  static const std::vector<std::pair<std::string, std::string>> cols = [] {
+    std::vector<std::pair<std::string, std::string>> c;
     core::CellStats cell;
-    cell.for_each_stat(
-        [&](const char* name, const RunningStats&, auto) { k.emplace_back(name); });
-    return k;
+    cell.for_each_sketch([&](const char* name, const QuantileSketch&, auto) {
+      std::string dist = name;  // "pop_<x>_dist" -> run column "pop_<x>_sketch"
+      std::string run = dist.substr(0, dist.size() - 5) + "_sketch";
+      c.emplace_back(std::move(dist), std::move(run));
+    });
+    return c;
   }();
-  return keys;
+  return cols;
 }
 
 namespace {
@@ -178,12 +202,16 @@ std::string at_byte(std::uint64_t offset) {
 }
 
 /// The coordinate columns of one record, shared between the two scanners.
-/// Scenario-axis members stay at their defaults for v2 records.
+/// Scenario-axis members stay at their defaults for v2 records, the
+/// population-axis members for v2/v3.
 struct RecCoords {
   std::uint64_t cell_index = 0;
   std::string sweep, attack, scheduler, ptrace;
   std::uint64_t hz = 0, cpu_hz = 0, ram_frames = 0, reclaim_batch = 0;
   bool jiffy_timers = true;
+  std::uint64_t population = 1;
+  double attacker_fraction = 0.0;
+  std::int64_t victim_nice = 0, attacker_nice = 0;
 
   friend bool operator==(const RecCoords&, const RecCoords&) = default;
 
@@ -191,7 +219,10 @@ struct RecCoords {
     return b.cell_index == cell_index && b.sweep == sweep && b.attack == attack &&
            b.scheduler == scheduler && b.hz == hz && b.cpu_hz == cpu_hz &&
            b.ram_frames == ram_frames && b.reclaim_batch == reclaim_batch &&
-           b.ptrace == ptrace && b.jiffy_timers == jiffy_timers;
+           b.ptrace == ptrace && b.jiffy_timers == jiffy_timers &&
+           b.population == population &&
+           b.attacker_fraction == attacker_fraction &&
+           b.victim_nice == victim_nice && b.attacker_nice == attacker_nice;
   }
   void stamp(CellBlock& b) const {
     b.cell_index = cell_index;
@@ -204,6 +235,10 @@ struct RecCoords {
     b.reclaim_batch = reclaim_batch;
     b.ptrace = ptrace;
     b.jiffy_timers = jiffy_timers;
+    b.population = population;
+    b.attacker_fraction = attacker_fraction;
+    b.victim_nice = victim_nice;
+    b.attacker_nice = attacker_nice;
   }
 };
 
@@ -242,6 +277,20 @@ const char* extract_json_coords(const std::map<std::string, std::string>& f,
     out.reclaim_batch = *reclaim_batch;
     out.ptrace = *ptrace;
     out.jiffy_timers = *jiffy;
+  }
+  if (schema >= 4) {
+    const auto population = json_u64(f, "population");
+    const auto fraction = json_double(f, "attacker_fraction");
+    const auto victim_nice = json_i64(f, "victim_nice");
+    const auto attacker_nice = json_i64(f, "attacker_nice");
+    if (!population) return "population";
+    if (!fraction) return "attacker_fraction";
+    if (!victim_nice) return "victim_nice";
+    if (!attacker_nice) return "attacker_nice";
+    out.population = *population;
+    out.attacker_fraction = *fraction;
+    out.victim_nice = *victim_nice;
+    out.attacker_nice = *attacker_nice;
   }
   return nullptr;
 }
@@ -412,6 +461,11 @@ FileScan scan_csv(const std::string& path) {
   const std::size_t c_reclaim = v3 ? col("reclaim_batch") : 0;
   const std::size_t c_ptrace = v3 ? col("ptrace") : 0;
   const std::size_t c_jiffy = v3 ? col("jiffy_timers") : 0;
+  const bool v4 = version >= 4;
+  const std::size_t c_pop = v4 ? col("population") : 0;
+  const std::size_t c_frac = v4 ? col("attacker_fraction") : 0;
+  const std::size_t c_vnice = v4 ? col("victim_nice") : 0;
+  const std::size_t c_anice = v4 ? col("attacker_nice") : 0;
 
   std::uint64_t offset = line.size() + 1;
   std::uint64_t line_no = 1;
@@ -490,6 +544,37 @@ FileScan scan_csv(const std::string& path) {
         break;
       }
       c.jiffy_timers = row[c_jiffy] == "true";
+    }
+    if (v4) {
+      // The nice columns are signed and attacker_fraction is a double, so
+      // they get their own strict parsers beside num()'s parse_u64.
+      const auto population = num(c_pop, "population");
+      if (!population) break;
+      const auto fraction = parse_f64(row[c_frac]);
+      if (!fraction) {
+        stop(where(path, line_no) +
+             ": field 'attacker_fraction' has non-numeric value '" +
+             row[c_frac] + "'");
+        break;
+      }
+      const auto victim_nice = parse_number<std::int64_t>(row[c_vnice]);
+      if (!victim_nice) {
+        stop(where(path, line_no) +
+             ": field 'victim_nice' has non-numeric value '" + row[c_vnice] +
+             "'");
+        break;
+      }
+      const auto attacker_nice = parse_number<std::int64_t>(row[c_anice]);
+      if (!attacker_nice) {
+        stop(where(path, line_no) +
+             ": field 'attacker_nice' has non-numeric value '" + row[c_anice] +
+             "'");
+        break;
+      }
+      c.population = *population;
+      c.attacker_fraction = *fraction;
+      c.victim_nice = *victim_nice;
+      c.attacker_nice = *attacker_nice;
     }
 
     if (has_open && open.cell_index == c.cell_index) {

@@ -4,9 +4,9 @@
 // `record:"cell"` summary), possibly ending in the partial tail a killed
 // sweep left behind. Scanners collect the complete blocks, remember where
 // the valid prefix ends (so resume can truncate the tail away), and reject
-// unsupported or mixed schema versions outright; the current (v3) and the
-// previous (v2, pre-scenario-axes) layouts both scan. Shared by
-// ResumeIndex and mtr_merge.
+// unsupported or mixed schema versions outright; the current (v4,
+// population axes) and the previous layouts (v3 scenario-axes, v2
+// pre-axes) all scan. Shared by ResumeIndex and mtr_merge.
 #pragma once
 
 #include <cstdint>
@@ -27,7 +27,7 @@ namespace mtr::dist {
 /// (no trailing newline), so consumers that re-emit them preserve the
 /// original bytes exactly.
 struct CellBlock {
-  /// Schema version of the file this block came from (2 or 3).
+  /// Schema version of the file this block came from (2, 3, or 4).
   std::uint64_t schema = 0;
   std::uint64_t cell_index = 0;
   std::string sweep;
@@ -41,6 +41,12 @@ struct CellBlock {
   std::uint64_t reclaim_batch = 0;
   std::string ptrace;
   bool jiffy_timers = true;
+  // Population-axis coordinates (schema v4); defaults for older blocks.
+  // attacker_fraction compares exactly: %.17g tokens round-trip bit-exact.
+  std::uint64_t population = 1;
+  double attacker_fraction = 0.0;
+  std::int64_t victim_nice = 0;
+  std::int64_t attacker_nice = 0;
   /// 1-based line number of the block's first run record (error reports).
   std::uint64_t first_line = 0;
   std::vector<std::uint64_t> seeds;    // one per run record, in file order
@@ -92,13 +98,23 @@ std::optional<std::string> json_string(
     const std::map<std::string, std::string>& fields, const std::string& key);
 std::optional<std::uint64_t> json_u64(
     const std::map<std::string, std::string>& fields, const std::string& key);
+std::optional<std::int64_t> json_i64(
+    const std::map<std::string, std::string>& fields, const std::string& key);
 std::optional<double> json_double(
     const std::map<std::string, std::string>& fields, const std::string& key);
 std::optional<bool> json_bool(const std::map<std::string, std::string>& fields,
                               const std::string& key);
 
-/// The canonical aggregate keys of a `record:"cell"` line, in
-/// CellStats::for_each_stat order — what mtr_merge recomputes.
-const std::vector<std::string>& cell_stat_keys();
+/// The canonical aggregate keys of a `record:"cell"` line for records of
+/// `version`, in CellStats::for_each_stat order — what mtr_merge
+/// recomputes. v4 added the pop_* summaries; older versions get the list
+/// without them.
+std::vector<std::string> cell_stat_keys(std::uint64_t version);
+
+/// The v4 distribution aggregates of a cell record as (cell-record key,
+/// run-record column) pairs in CellStats::for_each_sketch order — e.g.
+/// ("pop_billing_error_dist", "pop_billing_error_sketch"). mtr_merge
+/// decodes the run column of every run, merges, and re-emits the summary.
+const std::vector<std::pair<std::string, std::string>>& cell_sketch_columns();
 
 }  // namespace mtr::dist

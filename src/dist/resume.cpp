@@ -18,9 +18,9 @@ std::string describe(const std::string& sweep, const std::string& attack,
          ", hz=" + std::to_string(hz) + "]";
 }
 
-/// Appending v3 records to a v2 file would corrupt it (the CSV header
-/// lacks the scenario-axis columns); refuse with a pointer at the escape
-/// hatches instead of failing later with a confusing mismatch.
+/// Appending v4 records to a v2/v3 file would corrupt it (the CSV header
+/// lacks the newer coordinate columns); refuse with a pointer at the
+/// escape hatches instead of failing later with a confusing mismatch.
 void check_resumable_schema(const std::string& path, const FileScan& scan) {
   if (scan.schema == 0 || scan.schema == report::kSchemaVersion) return;
   throw std::runtime_error(
@@ -123,7 +123,9 @@ ResumeIndex ResumeIndex::scan(const std::string& csv_path,
           c.attack != b.attack || c.scheduler != b.scheduler || c.hz != b.hz ||
           c.cpu_hz != b.cpu_hz || c.ram_frames != b.ram_frames ||
           c.reclaim_batch != b.reclaim_batch || c.ptrace != b.ptrace ||
-          c.jiffy_timers != b.jiffy_timers)
+          c.jiffy_timers != b.jiffy_timers || c.population != b.population ||
+          c.attacker_fraction != b.attacker_fraction ||
+          c.victim_nice != b.victim_nice || c.attacker_nice != b.attacker_nice)
         throw std::runtime_error(
             "resume: " + csv_path + ":" + std::to_string(c.first_line) +
             " and " + jsonl_path + ":" + std::to_string(b.first_line) +
@@ -132,9 +134,11 @@ ResumeIndex ResumeIndex::scan(const std::string& csv_path,
             " vs " + describe(b.sweep, b.attack, b.scheduler, b.hz, b.cell_index) +
             ") — were they written by the same invocation?");
     }
-    Done done{b.sweep, b.attack,     b.scheduler,      b.ptrace,
-              b.hz,    b.cpu_hz,     b.ram_frames,     b.reclaim_batch,
-              b.jiffy_timers, primary_path, b.first_line};
+    Done done{b.sweep,       b.attack,      b.scheduler,
+              b.ptrace,      b.hz,          b.cpu_hz,
+              b.ram_frames,  b.reclaim_batch, b.jiffy_timers,
+              b.population,  b.attacker_fraction, b.victim_nice,
+              b.attacker_nice, primary_path, b.first_line};
     index.done_.emplace(b.cell_index, std::move(done));
     if (index.have_jsonl_) index.jsonl_valid_ = b.end_offset;
     if (index.have_csv_) index.csv_valid_ = csv_done[i].end_offset;
@@ -186,6 +190,10 @@ bool ResumeIndex::completed(const report::GridCellInfo& cell) const {
       : d.reclaim_batch != cell.reclaim_batch ? "reclaim_batch"
       : d.ptrace != cell.ptrace         ? "ptrace"
       : d.jiffy_timers != cell.jiffy_timers ? "jiffy_timers"
+      : d.population != cell.population ? "population"
+      : d.attacker_fraction != cell.attacker_fraction ? "attacker_fraction"
+      : d.victim_nice != cell.victim_nice ? "victim_nice"
+      : d.attacker_nice != cell.attacker_nice ? "attacker_nice"
                                         : nullptr;
   if (mismatch != nullptr)
     throw std::runtime_error(

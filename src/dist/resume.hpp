@@ -21,8 +21,8 @@ class ResumeIndex {
   /// Scans the existing outputs of one sweep invocation. Either path may
   /// be empty (sink not configured) or name a file that does not exist yet
   /// (fresh start) — both contribute nothing. Throws std::runtime_error on
-  /// a schema-version mismatch (including output recorded with the older
-  /// v2 layout — this build appends v3 records, so v2 files must be merged
+  /// a schema-version mismatch (including output recorded with an older
+  /// layout — this build appends v4 records, so v2/v3 files must be merged
   /// with mtr_merge or restarted, never appended to), when a complete cell
   /// was recorded with a
   /// seed set other than `expected_seeds` (resume requires the original
@@ -70,6 +70,9 @@ class ResumeIndex {
     std::string sweep, attack, scheduler, ptrace;
     std::uint64_t hz = 0, cpu_hz = 0, ram_frames = 0, reclaim_batch = 0;
     bool jiffy_timers = true;
+    std::uint64_t population = 1;
+    double attacker_fraction = 0.0;
+    std::int64_t victim_nice = 0, attacker_nice = 0;
     /// Where the block was recorded (error reports): path + first line.
     std::string path;
     std::uint64_t line = 0;

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/ensure.hpp"
+#include "common/parse.hpp"
 #include "crypto/digest.hpp"
 #include "workloads/workloads.hpp"
 
@@ -109,12 +110,55 @@ std::vector<Field> flatten_run(const std::string& sweep,
   f.push_back({"attacker_true_user_cycles", u64(r.attacker_true_cycles.user.v)});
   f.push_back({"attacker_true_system_cycles", u64(r.attacker_true_cycles.system.v)});
   f.push_back({"attacker_true_seconds", r.attacker_true_seconds});
+
+  // Population metering (schema v4) — appended so every earlier column
+  // keeps its position and v3 content is exactly this record minus the
+  // v4 columns.
+  f.push_back({"population", u64(cell.population)});
+  f.push_back({"attacker_fraction", FieldValue{cell.attacker_fraction}});
+  f.push_back({"victim_nice", i64(cell.nice.victim.v)});
+  f.push_back({"attacker_nice", i64(cell.nice.attacker.v)});
+  f.push_back({"pop_tenants", u64(r.pop_tenants)});
+  f.push_back({"pop_attackers", u64(r.pop_attackers)});
+  f.push_back({"pop_flagged_attackers", u64(r.pop_flagged_attackers)});
+  f.push_back({"pop_flagged_honest", u64(r.pop_flagged_honest)});
+  f.push_back({"pop_billing_error_mean", r.pop_billing_error_mean});
+  f.push_back({"pop_billing_error_p99", r.pop_billing_error_p99});
+  f.push_back({"pop_attacker_advantage_mean", r.pop_attacker_advantage_mean});
+  f.push_back({"pop_detection_tpr", r.pop_detection_tpr});
+  f.push_back({"pop_detection_fpr", r.pop_detection_fpr});
+  f.push_back({"pop_billing_error_sketch", encode_sketch(r.pop_billing_error)});
+  f.push_back({"pop_billed_sketch", encode_sketch(r.pop_billed_seconds)});
+  f.push_back({"pop_true_sketch", encode_sketch(r.pop_true_seconds)});
+  f.push_back({"pop_advantage_sketch", encode_sketch(r.pop_attacker_advantage)});
   return f;
 }
 
 const std::vector<std::string>& schema_v3_columns() {
   static const std::vector<std::string> kColumns = {
       "cpu_hz", "ram_frames", "reclaim_batch", "ptrace", "jiffy_timers"};
+  return kColumns;
+}
+
+const std::vector<std::string>& schema_v4_columns() {
+  static const std::vector<std::string> kColumns = {
+      "population",
+      "attacker_fraction",
+      "victim_nice",
+      "attacker_nice",
+      "pop_tenants",
+      "pop_attackers",
+      "pop_flagged_attackers",
+      "pop_flagged_honest",
+      "pop_billing_error_mean",
+      "pop_billing_error_p99",
+      "pop_attacker_advantage_mean",
+      "pop_detection_tpr",
+      "pop_detection_fpr",
+      "pop_billing_error_sketch",
+      "pop_billed_sketch",
+      "pop_true_sketch",
+      "pop_advantage_sketch"};
   return kColumns;
 }
 
@@ -126,13 +170,82 @@ std::vector<std::string> run_schema_keys(std::uint64_t version) {
   cell.runs.emplace_back();
   std::vector<std::string> keys;
   for (Field& f : flatten_run("", cell, 0)) keys.push_back(std::move(f.key));
-  if (version < 3) {
-    const auto& v3 = schema_v3_columns();
+  const auto erase_columns = [&](const std::vector<std::string>& cols) {
     std::erase_if(keys, [&](const std::string& k) {
-      return std::find(v3.begin(), v3.end(), k) != v3.end();
+      return std::find(cols.begin(), cols.end(), k) != cols.end();
     });
-  }
+  };
+  if (version < 4) erase_columns(schema_v4_columns());
+  if (version < 3) erase_columns(schema_v3_columns());
   return keys;
+}
+
+std::string encode_sketch(const QuantileSketch& s) {
+  std::string out = std::to_string(s.count());
+  out += ';';
+  out += std::to_string(s.zero_count());
+  out += ';';
+  out += fmt_f64(s.min());
+  out += ';';
+  out += fmt_f64(s.max());
+  out += ';';
+  bool first = true;
+  for (const auto& [index, n] : s.positive()) {
+    if (!first) out += ' ';
+    first = false;
+    out += std::to_string(index) + ':' + std::to_string(n);
+  }
+  out += ';';
+  first = true;
+  for (const auto& [index, n] : s.negative()) {
+    if (!first) out += ' ';
+    first = false;
+    out += std::to_string(index) + ':' + std::to_string(n);
+  }
+  return out;
+}
+
+std::optional<QuantileSketch> decode_sketch(std::string_view token) {
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= token.size(); ++i) {
+    if (i == token.size() || token[i] == ';') {
+      parts.push_back(token.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (parts.size() != 6) return std::nullopt;
+  const auto count = parse_number<std::uint64_t>(parts[0]);
+  const auto zero = parse_number<std::uint64_t>(parts[1]);
+  const auto lo = parse_f64(parts[2]);
+  const auto hi = parse_f64(parts[3]);
+  if (!count || !zero || !lo || !hi) return std::nullopt;
+
+  QuantileSketch s;
+  const auto load_buckets = [&s](std::string_view list, bool negative) {
+    if (list.empty()) return true;
+    std::size_t from = 0;
+    for (std::size_t i = 0; i <= list.size(); ++i) {
+      if (i != list.size() && list[i] != ' ') continue;
+      const std::string_view pair = list.substr(from, i - from);
+      from = i + 1;
+      const std::size_t colon = pair.find(':');
+      if (colon == std::string_view::npos) return false;
+      const auto index = parse_number<std::int32_t>(pair.substr(0, colon));
+      const auto n = parse_number<std::uint64_t>(pair.substr(colon + 1));
+      if (!index || !n || *n == 0) return false;
+      if (*index < QuantileSketch::kMinIndex || *index > QuantileSketch::kMaxIndex)
+        return false;
+      s.load_bucket(*index, *n, negative);
+    }
+    return true;
+  };
+  if (!load_buckets(parts[4], false)) return std::nullopt;
+  if (!load_buckets(parts[5], true)) return std::nullopt;
+  s.load_zero(*zero);
+  s.load_bounds(*lo, *hi);
+  if (s.count() != *count) return std::nullopt;  // token-internal mismatch
+  return s;
 }
 
 std::vector<std::string> split_csv_line(const std::string& line) {
@@ -277,11 +390,18 @@ CellSummary summarize_cell(const std::string& sweep, const core::CellStats& cell
   s.reclaim_batch = cell.ram.reclaim_batch;
   s.ptrace = kernel::to_string(cell.ptrace);
   s.jiffy_timers = cell.jiffy_timers;
+  s.population = cell.population;
+  s.attacker_fraction = cell.attacker_fraction;
+  s.victim_nice = cell.nice.victim.v;
+  s.attacker_nice = cell.nice.attacker.v;
   s.workload = cell.runs.empty() ? "" : workloads::short_name(cell.runs.front().kind);
   s.seeds = cell.runs.size();
   s.source_ok = cell.all_source_ok();
   cell.for_each_stat([&](const char* key, const RunningStats& stat, auto) {
     s.stats.push_back({key, stat});
+  });
+  cell.for_each_sketch([&](const char* key, const QuantileSketch& sketch, auto) {
+    s.sketches.emplace_back(key, sketch);
   });
   return s;
 }
@@ -298,6 +418,12 @@ void write_cell_record(std::ostream& os, const CellSummary& s) {
        << ",\"reclaim_batch\":" << s.reclaim_batch << ",\"ptrace\":\""
        << json_escape(s.ptrace) << "\",\"jiffy_timers\":"
        << (s.jiffy_timers ? "true" : "false");
+  // The population coordinates joined the record in schema v4.
+  if (s.schema >= 4)
+    os << ",\"population\":" << s.population
+       << ",\"attacker_fraction\":" << fmt_f64(s.attacker_fraction)
+       << ",\"victim_nice\":" << s.victim_nice
+       << ",\"attacker_nice\":" << s.attacker_nice;
   os << ",\"workload\":\"" << json_escape(s.workload) << "\",\"seeds\":" << s.seeds
      << ",\"source_ok\":" << (s.source_ok ? "true" : "false");
   for (const CellStatSummary& st : s.stats) {
@@ -306,6 +432,18 @@ void write_cell_record(std::ostream& os, const CellSummary& s) {
        << ",\"stddev\":" << fmt_f64(st.stats.stddev())
        << ",\"min\":" << fmt_f64(st.stats.min())
        << ",\"max\":" << fmt_f64(st.stats.max()) << '}';
+  }
+  // v4 distribution aggregates: quantile summaries of the merged sketches.
+  // Derived (not stored) values only — the full sketch lives in the run
+  // records, which is what lets mtr_merge recompute this line byte-exactly.
+  if (s.schema >= 4) {
+    for (const auto& [key, sk] : s.sketches) {
+      os << ",\"" << json_escape(key) << "\":{\"n\":" << sk.count()
+         << ",\"min\":" << fmt_f64(sk.min()) << ",\"max\":" << fmt_f64(sk.max())
+         << ",\"p50\":" << fmt_f64(sk.quantile(0.5))
+         << ",\"p90\":" << fmt_f64(sk.quantile(0.9))
+         << ",\"p99\":" << fmt_f64(sk.quantile(0.99)) << '}';
+    }
   }
   os << "}\n";
 }

@@ -11,8 +11,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -28,13 +31,30 @@ namespace mtr::report {
 /// `reclaim_batch`, `ptrace`, `jiffy_timers` — to run and cell records;
 /// every other column is unchanged, so v2 content is exactly a v3 record
 /// with those columns removed (and the version rewritten).
-inline constexpr std::uint64_t kSchemaVersion = 3;
+/// v4: added the population axes — `population`, `attacker_fraction`,
+/// `victim_nice`, `attacker_nice` — plus the per-tenant distribution
+/// columns (`pop_*` scalars and encoded QuantileSketch strings) to run
+/// records and the `pop_*_dist` quantile summaries to cell records. As
+/// with v3, a v3 record is exactly a v4 record with those columns removed.
+inline constexpr std::uint64_t kSchemaVersion = 4;
 /// Oldest schema the dist-layer scanners (mtr_merge) still read. Sinks
 /// always write kSchemaVersion.
 inline constexpr std::uint64_t kMinReadSchemaVersion = 2;
 
 /// The run-record keys v3 added over v2, in emission order.
 const std::vector<std::string>& schema_v3_columns();
+/// The run-record keys v4 added over v3, in emission order.
+const std::vector<std::string>& schema_v4_columns();
+
+/// Compact QuantileSketch serialization for run records:
+/// "count;zero;min;max;pos;neg" where pos/neg are space-separated
+/// "index:count" bucket lists. No commas, quotes, or braces, so the token
+/// embeds in CSV cells and JSON strings without any escaping — which is
+/// what keeps v4 shard merges byte-exact: mtr_merge decodes the per-run
+/// sketches, merges them (exact, order-free), and re-encodes.
+std::string encode_sketch(const QuantileSketch& sketch);
+/// Strict inverse of encode_sketch: nullopt on any malformed token.
+std::optional<QuantileSketch> decode_sketch(std::string_view token);
 
 /// One serialized field. The variant arm picks the CSV/JSON rendering:
 /// bools become true/false, doubles render round-trippably (%.17g).
@@ -97,10 +117,18 @@ struct CellSummary {
   std::uint64_t reclaim_batch = 0;
   std::string ptrace;
   bool jiffy_timers = true;
+  /// Population coordinates, written for schema >= 4 only.
+  std::uint32_t population = 1;
+  double attacker_fraction = 0.0;
+  std::int64_t victim_nice = 0;
+  std::int64_t attacker_nice = 0;
   std::string workload;
   std::uint64_t seeds = 0;
   bool source_ok = true;
   std::vector<CellStatSummary> stats;  // CellStats::for_each_stat order
+  /// v4 distribution aggregates (CellStats::for_each_sketch order),
+  /// rendered as {n, min, max, p50, p90, p99}; schema >= 4 only.
+  std::vector<std::pair<std::string, QuantileSketch>> sketches;
 };
 CellSummary summarize_cell(const std::string& sweep, const core::CellStats& cell);
 

@@ -62,6 +62,10 @@ std::vector<core::CellStats> SweepContext::run_grid(
       info.reclaim_batch = c.ram.reclaim_batch;
       info.ptrace = kernel::to_string(c.ptrace);
       info.jiffy_timers = c.jiffy_timers;
+      info.population = c.population;
+      info.attacker_fraction = c.attacker_fraction;
+      info.victim_nice = c.nice.victim.v;
+      info.attacker_nice = c.nice.attacker.v;
       if (!gate(info)) {
         owned[i] = 0;
         --n_owned;
@@ -83,10 +87,14 @@ std::vector<core::CellStats> SweepContext::run_grid(
     // Grids that open a scenario axis get their shape spelled out, so a
     // planned ablation shows which axes multiply the cell count.
     const core::GridGeometry geom = core::grid_geometry(grid);
-    if (geom.cpus > 1 || geom.rams > 1 || geom.ptraces > 1 || geom.jiffies > 1)
+    if (geom.cpus > 1 || geom.rams > 1 || geom.ptraces > 1 ||
+        geom.jiffies > 1 || geom.populations > 1 || geom.fractions > 1 ||
+        geom.nices > 1)
       p << " (axes: attack=" << geom.attacks << " scheduler=" << geom.schedulers
         << " hz=" << geom.ticks << " cpu=" << geom.cpus << " ram=" << geom.rams
-        << " ptrace=" << geom.ptraces << " jiffy=" << geom.jiffies << ")";
+        << " ptrace=" << geom.ptraces << " jiffy=" << geom.jiffies
+        << " population=" << geom.populations << " fraction=" << geom.fractions
+        << " nice=" << geom.nices << ")";
     p << '\n';
     return {};
   }

@@ -21,7 +21,7 @@
 namespace mtr::report {
 
 /// Identity of one grid cell as a gate sees it, before anything runs.
-/// Mirrors the coordinate columns of a sink record (schema v3).
+/// Mirrors the coordinate columns of a sink record (schema v4).
 struct GridCellInfo {
   std::uint64_t index = 0;  // invocation-global cell index
   std::string sweep;
@@ -33,6 +33,10 @@ struct GridCellInfo {
   std::uint64_t reclaim_batch = 0;
   std::string ptrace;  // kernel::to_string form
   bool jiffy_timers = true;
+  std::uint64_t population = 1;
+  double attacker_fraction = 0.0;
+  std::int64_t victim_nice = 0;
+  std::int64_t attacker_nice = 0;
 };
 
 /// Decides, in grid order, whether a cell executes. The driver composes

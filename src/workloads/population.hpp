@@ -1,0 +1,77 @@
+// Deterministic tenant populations: the paper meters one victim and one
+// attacker per host, but a production host runs hundreds of tenants. This
+// generator expands a cell into a whole population — mixed workload
+// archetypes, Zipf-distributed sizes, a configurable attacker fraction —
+// as a pure function of (spec, cell seed), so the same cell regenerates
+// the same population bit-for-bit at any thread count, shard split, or
+// resume point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/step.hpp"
+
+namespace mtr::workloads {
+
+/// Behaviour archetypes for honest neighbor tenants. Deliberately light
+/// models (no shell/loader image) so 10^4-tenant cells stay tractable; the
+/// metered victim keeps the full workload image path.
+enum class TenantArchetype : std::uint8_t {
+  kCpuBound,   // pure compute loop (the paper's "Our program" shape)
+  kMalloc,     // arithmetic with periodic mmap (Pi shape)
+  kIoBound,    // compute with blocking disk I/O
+  kBursty,     // interactive: short bursts between sleeps
+};
+
+const char* archetype_name(TenantArchetype a);
+
+/// One axis point of the population grid.
+struct PopulationSpec {
+  /// Tenants on the host, the metered victim included. 1 = the classic
+  /// single-victim cell; the population path is fully disabled then.
+  std::uint32_t size = 1;
+  /// Fraction of the non-victim tenants that run the fork-storm attacker
+  /// instead of an honest archetype.
+  double attacker_fraction = 0.0;
+  /// Zipf exponent for neighbor size ranks (share of rank r ∝ r^-s).
+  double zipf_exponent = 1.1;
+  /// Total neighbor work as a multiple of the victim's own work, split
+  /// across the population by the Zipf shares. Holding this constant while
+  /// `size` grows isolates process-count effects from load effects.
+  double load = 1.0;
+
+  bool enabled() const { return size > 1; }
+
+  friend bool operator==(const PopulationSpec&, const PopulationSpec&) = default;
+};
+
+/// One generated tenant. Index 0 is always the metered victim (it keeps its
+/// configured workload; `share`/`archetype` describe neighbors only).
+struct TenantSpec {
+  std::uint32_t index = 0;
+  TenantArchetype archetype = TenantArchetype::kCpuBound;
+  /// Zipf-normalized fraction of the neighbor work budget (0 for index 0).
+  double share = 0.0;
+  bool attacker = false;
+  /// Per-tenant seed, split off the cell seed.
+  std::uint64_t seed = 0;
+};
+
+/// Generates the population for one cell. Pure function of its arguments:
+/// no global state, no ambient randomness — this is what makes populations
+/// reproducible across threads, shards, and resumes.
+std::vector<TenantSpec> generate_population(const PopulationSpec& spec,
+                                            std::uint64_t cell_seed);
+
+/// Builds the program for one honest neighbor tenant. `neighbor_cycles` is
+/// the whole population's neighbor work budget in cycles; the tenant runs
+/// its Zipf share of it in its archetype's step mix.
+kernel::ProgramFactory make_tenant_program(const TenantSpec& tenant,
+                                           double neighbor_cycles);
+
+/// Process name stamped on the tenant ("tenant-17[io]", "tenant-3[atk]").
+std::string tenant_name(const TenantSpec& tenant);
+
+}  // namespace mtr::workloads

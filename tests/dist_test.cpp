@@ -116,6 +116,31 @@ report::SweepRegistry counting_registry(std::atomic<int>* runs) {
   return registry;
 }
 
+/// A registry with one real population sweep: 2 population sizes x 2
+/// attacker fractions, real tenants spawned and metered per cell. Used by
+/// the shard/resume byte-identity tests to prove populations regenerate
+/// bit-identically from the cell seed alone.
+report::SweepRegistry population_registry() {
+  report::SweepRegistry registry;
+  registry.add(
+      {"pop", "population 4-cell grid", [](const report::SweepContext& ctx) {
+         core::BatchGrid grid;
+         grid.base = test::quick_experiment(workloads::WorkloadKind::kOurs,
+                                            ctx.scale);
+         grid.seeds = ctx.seeds;
+         grid.attacks.push_back(
+             {"baseline", []() -> std::unique_ptr<attacks::Attack> {
+                return nullptr;
+              }});
+         grid.population_sizes = {1, 6};
+         grid.attacker_fractions = {0.0, 0.4};
+         core::BatchRunner runner(ctx.threads);
+         ctx.begin_progress("pop", 4);
+         ctx.run_grid("pop", runner, std::move(grid));
+       }});
+  return registry;
+}
+
 SweepOptions grid_options(const std::string& out_dir) {
   SweepOptions o;
   o.sweeps = {"grid"};
@@ -158,7 +183,9 @@ void write_shard_jsonl(const std::string& path,
     sink.write_cell("grid", synth_cell(i, {7, 8}));
 }
 
-/// Strips one `,"key":value` pair from a single-line JSON record.
+/// Strips one `,"key":value` pair from a single-line JSON record. Handles
+/// string, scalar, and one-level `{...}` object values (the per-stat and
+/// pop_*_dist aggregates of cell records).
 void strip_json_key(std::string& line, const std::string& key) {
   const std::string needle = ",\"" + key + "\":";
   const std::size_t at = line.find(needle);
@@ -166,54 +193,93 @@ void strip_json_key(std::string& line, const std::string& key) {
   std::size_t end = at + needle.size();
   if (line[end] == '"') {
     end = line.find('"', end + 1) + 1;  // our axis strings never escape
+  } else if (line[end] == '{') {
+    int depth = 1;
+    ++end;
+    while (end < line.size() && depth > 0) {
+      if (line[end] == '{') ++depth;
+      if (line[end] == '}') --depth;
+      ++end;
+    }
   } else {
     while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
   }
   line.erase(at, end - at);
 }
 
-/// Rewrites sink output as its schema-v2 equivalent (the inverse of what
-/// v3 added): drop the scenario-axis fields, restamp the version. The C++
-/// twin of bench/schema_downgrade.py, used to fixture cross-version tests.
-std::string downgrade_jsonl_v2(const std::string& text) {
-  std::string out;
-  for (std::string line : lines_of(text)) {
-    const std::size_t schema_at = line.find("\"schema\":3");
-    EXPECT_NE(schema_at, std::string::npos) << line;
-    line.replace(schema_at, 10, "\"schema\":2");
-    for (const std::string& key : report::schema_v3_columns())
-      strip_json_key(line, key);
-    out += line;
-    out += '\n';
-  }
-  return out;
+/// The `"key":value` pairs schema `from` added over `from - 1`: its run
+/// columns plus, for v4, the cell-record-only pop_*_dist aggregates.
+std::vector<std::string> schema_step_keys(std::uint64_t from) {
+  std::vector<std::string> keys =
+      from == 4 ? report::schema_v4_columns() : report::schema_v3_columns();
+  if (from == 4)
+    for (const char* k : {"pop_billing_error_dist", "pop_billed_dist",
+                          "pop_true_dist", "pop_advantage_dist"})
+      keys.emplace_back(k);
+  return keys;
 }
 
+/// Rewrites sink output as its schema-`to` equivalent by stripping, one
+/// version step at a time, exactly what each newer schema added and
+/// restamping the version. The C++ twin of bench/schema_downgrade.py, used
+/// to fixture cross-version tests.
+std::string downgrade_jsonl(const std::string& text, std::uint64_t to) {
+  std::string current = text;
+  for (std::uint64_t from = report::kSchemaVersion; from > to; --from) {
+    const std::string old_tag = "\"schema\":" + std::to_string(from);
+    const std::string new_tag = "\"schema\":" + std::to_string(from - 1);
+    std::string out;
+    for (std::string line : lines_of(current)) {
+      const std::size_t schema_at = line.find(old_tag);
+      EXPECT_NE(schema_at, std::string::npos) << line;
+      if (schema_at == std::string::npos) return current;
+      line.replace(schema_at, old_tag.size(), new_tag);
+      for (const std::string& key : schema_step_keys(from))
+        strip_json_key(line, key);
+      out += line;
+      out += '\n';
+    }
+    current = std::move(out);
+  }
+  return current;
+}
+
+std::string downgrade_csv(const std::string& text, std::uint64_t to) {
+  std::string current = text;
+  for (std::uint64_t from = report::kSchemaVersion; from > to; --from) {
+    const auto lines = lines_of(current);
+    const std::vector<std::string> header = report::split_csv_line(lines.at(0));
+    const auto extra = schema_step_keys(from);
+    std::vector<std::size_t> keep;
+    std::size_t schema_col = 0;
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      if (header[i] == "schema") schema_col = i;
+      if (std::find(extra.begin(), extra.end(), header[i]) == extra.end())
+        keep.push_back(i);
+    }
+    std::string out;
+    for (std::size_t r = 0; r < lines.size(); ++r) {
+      std::vector<std::string> row = report::split_csv_line(lines[r]);
+      if (r > 0) {
+        EXPECT_EQ(row.at(schema_col), std::to_string(from));
+        row[schema_col] = std::to_string(from - 1);
+      }
+      for (std::size_t i = 0; i < keep.size(); ++i) {
+        if (i) out += ',';
+        out += report::csv_escape(row.at(keep[i]));
+      }
+      out += '\n';
+    }
+    current = std::move(out);
+  }
+  return current;
+}
+
+std::string downgrade_jsonl_v2(const std::string& text) {
+  return downgrade_jsonl(text, 2);
+}
 std::string downgrade_csv_v2(const std::string& text) {
-  const auto lines = lines_of(text);
-  const std::vector<std::string> header = report::split_csv_line(lines.at(0));
-  const auto& extra = report::schema_v3_columns();
-  std::vector<std::size_t> keep;
-  std::size_t schema_col = 0;
-  for (std::size_t i = 0; i < header.size(); ++i) {
-    if (header[i] == "schema") schema_col = i;
-    if (std::find(extra.begin(), extra.end(), header[i]) == extra.end())
-      keep.push_back(i);
-  }
-  std::string out;
-  for (std::size_t r = 0; r < lines.size(); ++r) {
-    std::vector<std::string> row = report::split_csv_line(lines[r]);
-    if (r > 0) {
-      EXPECT_EQ(row.at(schema_col), "3");
-      row[schema_col] = "2";
-    }
-    for (std::size_t i = 0; i < keep.size(); ++i) {
-      if (i) out += ',';
-      out += report::csv_escape(row.at(keep[i]));
-    }
-    out += '\n';
-  }
-  return out;
+  return downgrade_csv(text, 2);
 }
 
 TEST(ShardSpecTest, ParsesAndPartitionsDeterministically) {
@@ -442,6 +508,64 @@ TEST(ResumeTest, PartialCellIsRerunAndBytesMatchUninterruptedRun) {
   EXPECT_EQ(read_file(dir + "/grid.csv"), ref_csv);
   EXPECT_EQ(read_file(dir + "/grid.jsonl"), ref_jsonl);
   std::filesystem::remove_all(dir);
+}
+
+TEST(PopulationSweepTest, ThreadsShardsAndResumePreservePopulationBytes) {
+  // Populations are regenerated from the cell seed alone, so a populated
+  // grid must be byte-identical however the work is split: worker thread
+  // count, shard partition, or a mid-cell kill healed by --resume.
+  const std::string root = temp_path("dist_pop_identity");
+  std::filesystem::remove_all(root);
+  const report::SweepRegistry registry = population_registry();
+  std::ostringstream out, err;
+
+  SweepOptions ref = grid_options(root + "/ref");
+  ref.sweeps = {"pop"};
+  ref.threads = 1;
+  ASSERT_EQ(run_sweeps(registry, ref, out, err), 0) << err.str();
+  const std::string ref_csv = read_file(root + "/ref/pop.csv");
+  const std::string ref_jsonl = read_file(root + "/ref/pop.jsonl");
+  // The populated cells really metered their tenants.
+  EXPECT_NE(ref_jsonl.find("\"population\":6"), std::string::npos);
+  EXPECT_NE(ref_jsonl.find("\"pop_tenants\":6"), std::string::npos);
+
+  SweepOptions threaded = ref;
+  threaded.out_dir = root + "/threads";
+  threaded.threads = 4;
+  ASSERT_EQ(run_sweeps(registry, threaded, out, err), 0) << err.str();
+  EXPECT_EQ(read_file(threaded.out_dir + "/pop.csv"), ref_csv);
+  EXPECT_EQ(read_file(threaded.out_dir + "/pop.jsonl"), ref_jsonl);
+
+  MergeOptions merge;
+  merge.csv_out = root + "/merged/pop.csv";
+  merge.jsonl_out = root + "/merged/pop.jsonl";
+  for (int shard = 0; shard < 2; ++shard) {
+    SweepOptions opts = ref;
+    opts.out_dir = root + "/shard" + std::to_string(shard);
+    opts.shard = parse_shard_spec(std::to_string(shard) + "/2");
+    ASSERT_EQ(run_sweeps(registry, opts, out, err), 0) << err.str();
+    merge.csv_in.push_back(opts.out_dir + "/pop.csv");
+    merge.jsonl_in.push_back(opts.out_dir + "/pop.jsonl");
+  }
+  std::ostringstream merge_out, merge_err;
+  ASSERT_EQ(run_merge(merge, merge_out, merge_err), 0) << merge_err.str();
+  EXPECT_EQ(read_file(merge.csv_out), ref_csv);
+  EXPECT_EQ(read_file(merge.jsonl_out), ref_jsonl);
+
+  // Kill inside the first populated cell (cell 2): its partial block and
+  // orphan run must be rolled back and regenerated bit-identically.
+  SweepOptions resumed = ref;
+  resumed.out_dir = root + "/resumed";
+  ASSERT_EQ(run_sweeps(registry, resumed, out, err), 0) << err.str();
+  keep_lines(resumed.out_dir + "/pop.jsonl", 7);  // 2 cell blocks + 1 orphan
+  keep_lines(resumed.out_dir + "/pop.csv", 6);    // header + 4 rows + 1
+  resumed.resume = true;
+  std::ostringstream err2;
+  ASSERT_EQ(run_sweeps(registry, resumed, out, err2), 0) << err2.str();
+  EXPECT_NE(err2.str().find("2 cell(s) already complete"), std::string::npos);
+  EXPECT_EQ(read_file(resumed.out_dir + "/pop.csv"), ref_csv);
+  EXPECT_EQ(read_file(resumed.out_dir + "/pop.jsonl"), ref_jsonl);
+  std::filesystem::remove_all(root);
 }
 
 TEST(ResumeTest, SeedMismatchIsRejected) {
@@ -795,8 +919,8 @@ TEST(RecordsTest, ScanErrorsNameFileLineAndField) {
     sink.write_cell("grid", synth_cell(0, {7, 8}));
     auto lines = lines_of(read_file(csv));
     ASSERT_EQ(lines.size(), 3u);
-    ASSERT_EQ(lines[2].rfind("3,grid,0,", 0), 0u) << lines[2];
-    lines[2].replace(0, 9, "3,grid,0x0,");
+    ASSERT_EQ(lines[2].rfind("4,grid,0,", 0), 0u) << lines[2];
+    lines[2].replace(0, 9, "4,grid,0x0,");
     write_file(csv, lines[0] + "\n" + lines[1] + "\n" + lines[2] + "\n");
   }
   scan = scan_csv(csv);
@@ -849,42 +973,54 @@ TEST(MergeTest, MixedSchemaVersionShardsAreRejected) {
   std::filesystem::create_directories(root);
   write_shard_jsonl(root + "/s0.jsonl", {0});
   write_shard_jsonl(root + "/s1.jsonl", {1});
-  write_file(root + "/s1.jsonl", downgrade_jsonl_v2(read_file(root + "/s1.jsonl")));
+  write_file(root + "/s1.jsonl", downgrade_jsonl(read_file(root + "/s1.jsonl"), 3));
   try {
     merge_jsonl({root + "/s0.jsonl", root + "/s1.jsonl"});
     FAIL() << "expected a mixed-schema error";
   } catch (const std::runtime_error& e) {
+    // The rejection names both files and both versions (v4 writer next to
+    // a v3 shard).
     const std::string what = e.what();
-    EXPECT_NE(what.find("schema v2"), std::string::npos) << what;
-    EXPECT_NE(what.find("carries v3"), std::string::npos) << what;
+    EXPECT_NE(what.find(root + "/s1.jsonl"), std::string::npos) << what;
+    EXPECT_NE(what.find(root + "/s0.jsonl"), std::string::npos) << what;
+    EXPECT_NE(what.find("schema v3"), std::string::npos) << what;
+    EXPECT_NE(what.find("carries v4"), std::string::npos) << what;
   }
   std::filesystem::remove_all(root);
 }
 
-TEST(ResumeTest, V2OutputIsRefusedWithAPointerAtMerge) {
-  // Appending v3 records to a v2 file would corrupt it: resume must refuse
-  // outright and tell the operator what to do with the old output.
-  const std::string jsonl = temp_path("dist_resume_v2.jsonl");
-  write_shard_jsonl(jsonl, {0});
-  write_file(jsonl, downgrade_jsonl_v2(read_file(jsonl)));
-  try {
-    ResumeIndex::scan("", jsonl, {7, 8});
-    FAIL() << "expected a cross-version resume error";
-  } catch (const std::runtime_error& e) {
-    const std::string what = e.what();
-    EXPECT_NE(what.find("schema v2"), std::string::npos) << what;
-    EXPECT_NE(what.find("mtr_merge"), std::string::npos) << what;
-  }
-  std::filesystem::remove(jsonl);
+TEST(ResumeTest, OldSchemaOutputIsRefusedWithAPointerAtMerge) {
+  // Appending v4 records to a v2/v3 file would corrupt it: resume must
+  // refuse outright, naming the file and the recorded version, and tell
+  // the operator what to do with the old output.
+  for (const std::uint64_t old_version : {2u, 3u}) {
+    const std::string jsonl = temp_path("dist_resume_old.jsonl");
+    write_shard_jsonl(jsonl, {0});
+    write_file(jsonl, downgrade_jsonl(read_file(jsonl), old_version));
+    try {
+      ResumeIndex::scan("", jsonl, {7, 8});
+      FAIL() << "expected a cross-version resume error (v" << old_version
+             << ")";
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(jsonl), std::string::npos) << what;
+      EXPECT_NE(what.find("schema v" + std::to_string(old_version)),
+                std::string::npos)
+          << what;
+      EXPECT_NE(what.find("appends v4"), std::string::npos) << what;
+      EXPECT_NE(what.find("mtr_merge"), std::string::npos) << what;
+    }
+    std::filesystem::remove(jsonl);
 
-  const std::string csv = temp_path("dist_resume_v2.csv");
-  {
-    report::CsvSink sink(csv);
-    sink.write_cell("grid", synth_cell(0, {7, 8}));
+    const std::string csv = temp_path("dist_resume_old.csv");
+    {
+      report::CsvSink sink(csv);
+      sink.write_cell("grid", synth_cell(0, {7, 8}));
+    }
+    write_file(csv, downgrade_csv(read_file(csv), old_version));
+    EXPECT_THROW(ResumeIndex::scan(csv, "", {7, 8}), std::runtime_error);
+    std::filesystem::remove(csv);
   }
-  write_file(csv, downgrade_csv_v2(read_file(csv)));
-  EXPECT_THROW(ResumeIndex::scan(csv, "", {7, 8}), std::runtime_error);
-  std::filesystem::remove(csv);
 }
 
 TEST(SweepDriverTest, DryRunPlanNamesOpenScenarioAxes) {
@@ -905,7 +1041,8 @@ TEST(SweepDriverTest, DryRunPlanNamesOpenScenarioAxes) {
   std::ostringstream out, err;
   EXPECT_EQ(run_sweeps(registry, opts, out, err), 0);
   EXPECT_NE(out.str().find("abl: cells [0,2) — runs all 2 (axes: attack=1 "
-                           "scheduler=1 hz=1 cpu=1 ram=1 ptrace=1 jiffy=2)"),
+                           "scheduler=1 hz=1 cpu=1 ram=1 ptrace=1 jiffy=2 "
+                           "population=1 fraction=1 nice=1)"),
             std::string::npos)
       << out.str();
 }

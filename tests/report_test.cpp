@@ -120,20 +120,25 @@ TEST(ResultSinkSchema, KeysAreUniqueAndVersioned) {
       EXPECT_NE(keys[i], keys[j]) << "duplicate column " << keys[i];
 }
 
-TEST(ResultSinkSchema, V2LayoutIsV3MinusTheScenarioAxisColumns) {
-  const auto v3 = run_schema_keys(kSchemaVersion);
+TEST(ResultSinkSchema, EachLayoutIsTheNextMinusItsDocumentedColumns) {
+  const auto v4 = run_schema_keys(kSchemaVersion);
+  const auto v3 = run_schema_keys(3);
   const auto v2 = run_schema_keys(2);
+  ASSERT_EQ(v4.size(), v3.size() + schema_v4_columns().size());
   ASSERT_EQ(v3.size(), v2.size() + schema_v3_columns().size());
-  // v2 is exactly the v3 list with the documented columns removed — the
-  // property the schema_downgrade.py CI check and mtr_merge's v2 output
-  // both lean on.
-  std::vector<std::string> stripped;
-  for (const std::string& key : v3) {
-    const auto& extra = schema_v3_columns();
-    if (std::find(extra.begin(), extra.end(), key) == extra.end())
-      stripped.push_back(key);
-  }
-  EXPECT_EQ(stripped, v2);
+  // Each older layout is exactly the newer list with the documented
+  // columns removed — the property the schema_downgrade.py CI check and
+  // mtr_merge's old-version outputs both lean on.
+  const auto strip = [](const std::vector<std::string>& keys,
+                        const std::vector<std::string>& extra) {
+    std::vector<std::string> out;
+    for (const std::string& key : keys)
+      if (std::find(extra.begin(), extra.end(), key) == extra.end())
+        out.push_back(key);
+    return out;
+  };
+  EXPECT_EQ(strip(v4, schema_v4_columns()), v3);
+  EXPECT_EQ(strip(v3, schema_v3_columns()), v2);
   // The v3 additions sit with the other cell coordinates, before `seed`.
   const auto at = [&](const std::string& key) {
     return static_cast<std::size_t>(
@@ -145,6 +150,85 @@ TEST(ResultSinkSchema, V2LayoutIsV3MinusTheScenarioAxisColumns) {
   EXPECT_LT(at("reclaim_batch"), at("ptrace"));
   EXPECT_LT(at("ptrace"), at("jiffy_timers"));
   EXPECT_LT(at("jiffy_timers"), at("seed"));
+}
+
+TEST(SketchCodecTest, EncodeDecodeRoundTripsExactly) {
+  QuantileSketch s;
+  s.add(0.0);
+  s.add(0.0);
+  s.add(1.0 / 3.0);            // long %.17g bucket bounds
+  s.add(-2.5e-7);              // negative store
+  s.add(1.0e9);                // far positive bucket
+  for (int i = 0; i < 100; ++i) s.add(0.001 * i);
+  const std::optional<QuantileSketch> back = decode_sketch(encode_sketch(s));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(*back == s);
+  // Re-encoding the decoded sketch is byte-stable — what makes mtr_merge's
+  // recomputed cell lines byte-identical to the original writer's.
+  EXPECT_EQ(encode_sketch(*back), encode_sketch(s));
+
+  const std::optional<QuantileSketch> empty = decode_sketch(encode_sketch({}));
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(SketchCodecTest, MalformedTokensAreRejected) {
+  for (const char* bad :
+       {"", "1;2", "x;0;0;0;;", "2;0;0;1;0:1 1:x;", "2;0;0;1;0:1;0:1;extra"}) {
+    EXPECT_FALSE(decode_sketch(bad).has_value()) << "'" << bad << "'";
+  }
+}
+
+TEST(ResultSinkGrowth, CellRecordsStayBoundedAtTenThousandTenants) {
+  // The population refactor's growth guard: sink output is per-run and
+  // per-cell, never per-tenant. A 10^4-tenant cell must emit the same
+  // number of rows as a 1-tenant cell, and its record bytes must stay
+  // bounded by the sketch bucket structure, not the tenant count.
+  const auto populated_cell = [](std::uint32_t tenants) {
+    core::CellStats cell = sample_cell();
+    cell.population = tenants;
+    cell.attacker_fraction = 0.25;
+    for (core::ExperimentResult& r : cell.runs) {
+      r.pop_tenants = tenants;
+      for (std::uint32_t i = 0; i < tenants; ++i) {
+        // Spread over several decades so the sketches actually fill.
+        const double v = 1e-6 * static_cast<double>(i + 1);
+        r.pop_billing_error.add(i % 2 ? v : -v);
+        r.pop_billed_seconds.add(3.0 + v);
+        r.pop_true_seconds.add(3.0);
+        r.pop_attacker_advantage.add(v);
+      }
+    }
+    cell.for_each_sketch([&](const char*, QuantileSketch& sketch, auto get) {
+      for (const core::ExperimentResult& r : cell.runs) sketch.merge(get(r));
+    });
+    return cell;
+  };
+
+  const auto emitted = [](const core::CellStats& cell) {
+    std::ostringstream csv_os, jsonl_os;
+    CsvSink csv(csv_os);
+    JsonlSink jsonl(jsonl_os);
+    csv.write_cell("pop", cell);
+    jsonl.write_cell("pop", cell);
+    return std::pair{csv_os.str(), jsonl_os.str()};
+  };
+
+  const auto [csv_small, jsonl_small] = emitted(populated_cell(100));
+  const auto [csv_big, jsonl_big] = emitted(populated_cell(10'000));
+
+  // Row counts are a function of seeds, not tenants.
+  EXPECT_EQ(lines_of(csv_big).size(), 1u + 2u);     // header + one row/seed
+  EXPECT_EQ(lines_of(jsonl_big).size(), 2u + 1u);   // runs + cell summary
+  EXPECT_EQ(lines_of(csv_big).size(), lines_of(csv_small).size());
+  EXPECT_EQ(lines_of(jsonl_big).size(), lines_of(jsonl_small).size());
+
+  // 100x the tenants must not cost anywhere near 100x the bytes: the only
+  // growth is sketch buckets, log-bounded by the value range.
+  EXPECT_LT(csv_big.size(), 4 * csv_small.size());
+  EXPECT_LT(jsonl_big.size(), 4 * jsonl_small.size());
+  EXPECT_LT(csv_big.size(), 64u * 1024u);
+  EXPECT_LT(jsonl_big.size(), 64u * 1024u);
 }
 
 TEST(CsvSinkTest, RoundTripsEveryField) {

@@ -1,9 +1,15 @@
 // Workload model tests: the paper's four test programs behave as specified
-// (sizes, determinism, thread structure, library usage).
+// (sizes, determinism, thread structure, library usage), plus the tenant
+// population generator (Zipf shares, attacker placement, seed purity).
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <future>
+#include <set>
 
 #include "common/ensure.hpp"
 #include "sim/simulation.hpp"
+#include "workloads/population.hpp"
 #include "workloads/stdlibs.hpp"
 #include "workloads/workloads.hpp"
 
@@ -117,6 +123,117 @@ TEST(Brute, RealMd5VerificationPathRuns) {
   const WorkloadInfo info = make_workload(Kind::kBrute, params);
   const Pid pid = s.launch(info.image);
   EXPECT_TRUE(s.run_until_exit(pid));
+}
+
+bool same_population(const std::vector<TenantSpec>& a,
+                     const std::vector<TenantSpec>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].index != b[i].index || a[i].archetype != b[i].archetype ||
+        a[i].share != b[i].share || a[i].attacker != b[i].attacker ||
+        a[i].seed != b[i].seed)
+      return false;
+  }
+  return true;
+}
+
+TEST(Population, IsAPureFunctionOfSpecAndSeed) {
+  PopulationSpec spec;
+  spec.size = 64;
+  spec.attacker_fraction = 0.25;
+  const auto a = generate_population(spec, 0xFEEDFACEu);
+  const auto b = generate_population(spec, 0xFEEDFACEu);
+  EXPECT_TRUE(same_population(a, b));
+  const auto c = generate_population(spec, 0xFEEDFACFu);
+  EXPECT_FALSE(same_population(a, c));  // seed actually reaches the streams
+}
+
+TEST(Population, RegeneratesBitIdenticallyAcrossThreads) {
+  // The generator has no global state, so concurrent regeneration from the
+  // same (spec, seed) — the shape a multi-threaded BatchRunner produces
+  // when two cells share a population axis point — is bit-identical to a
+  // serial call, shares included (fixed summation order).
+  PopulationSpec spec;
+  spec.size = 257;
+  spec.attacker_fraction = 0.125;
+  const auto reference = generate_population(spec, 42);
+  std::vector<std::future<std::vector<TenantSpec>>> futures;
+  for (int t = 0; t < 8; ++t)
+    futures.push_back(std::async(std::launch::async, [&spec] {
+      return generate_population(spec, 42);
+    }));
+  for (auto& f : futures) EXPECT_TRUE(same_population(reference, f.get()));
+}
+
+TEST(Population, ZipfSharesAreNormalizedAndRankOrdered) {
+  PopulationSpec spec;
+  spec.size = 101;
+  const auto tenants = generate_population(spec, 7);
+  ASSERT_EQ(tenants.size(), 101u);
+  EXPECT_EQ(tenants[0].share, 0.0);  // the victim carries no neighbor share
+  double sum = 0.0;
+  for (std::size_t i = 1; i < tenants.size(); ++i) {
+    sum += tenants[i].share;
+    EXPECT_GT(tenants[i].share, 0.0);
+    if (i > 1) {
+      EXPECT_LT(tenants[i].share, tenants[i - 1].share);
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Zipf with s=1.1: rank 1 vs rank 2 differ by 2^1.1.
+  EXPECT_NEAR(tenants[1].share / tenants[2].share, std::pow(2.0, 1.1), 1e-9);
+}
+
+TEST(Population, AttackerPlacementMatchesFractionAndSparesTheVictim) {
+  PopulationSpec spec;
+  spec.size = 41;  // 40 neighbors
+  spec.attacker_fraction = 0.25;
+  const auto tenants = generate_population(spec, 99);
+  EXPECT_FALSE(tenants[0].attacker);
+  int attackers = 0;
+  for (const TenantSpec& t : tenants) attackers += t.attacker ? 1 : 0;
+  EXPECT_EQ(attackers, 10);  // round(0.25 * 40)
+
+  // Changing only the fraction reshuffles nothing else: seeds, shares and
+  // archetypes are drawn from streams the attacker draw never touches.
+  PopulationSpec more = spec;
+  more.attacker_fraction = 0.5;
+  const auto crowded = generate_population(more, 99);
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    EXPECT_EQ(tenants[i].seed, crowded[i].seed);
+    EXPECT_EQ(tenants[i].share, crowded[i].share);
+    EXPECT_EQ(tenants[i].archetype, crowded[i].archetype);
+    if (tenants[i].attacker) {
+      EXPECT_TRUE(crowded[i].attacker);  // the smaller draw nests in the larger
+    }
+  }
+}
+
+TEST(Population, PerTenantSeedsAreDistinct) {
+  PopulationSpec spec;
+  spec.size = 1000;
+  const auto tenants = generate_population(spec, 3);
+  std::set<std::uint64_t> seeds;
+  for (const TenantSpec& t : tenants) seeds.insert(t.seed);
+  EXPECT_EQ(seeds.size(), tenants.size());
+}
+
+TEST(Population, SingleTenantCellIsDisabled) {
+  PopulationSpec spec;
+  EXPECT_FALSE(spec.enabled());
+  const auto tenants = generate_population(spec, 11);
+  ASSERT_EQ(tenants.size(), 1u);
+  EXPECT_FALSE(tenants[0].attacker);
+  EXPECT_EQ(tenants[0].share, 0.0);
+}
+
+TEST(Population, TenantNamesCarryArchetypeAndAttackerTags) {
+  TenantSpec t;
+  t.index = 17;
+  t.archetype = TenantArchetype::kIoBound;
+  EXPECT_EQ(tenant_name(t), "tenant-17[io]");
+  t.attacker = true;
+  EXPECT_EQ(tenant_name(t), "tenant-17[atk]");
 }
 
 TEST(Workloads, HotAddressesAreDistinct) {
